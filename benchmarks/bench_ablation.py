@@ -1,0 +1,27 @@
+"""§2.2 ablation: the rewriting-added instructions and their removal.
+
+"In our current implementation, we add two new instructions per
+translated basic block.  These extra instructions could be optimized
+away to provide a performance closer to that of the native binary."
+The block chunker measures the cost of the added instructions; the EBB
+chunker is the optimized variant.
+"""
+
+from conftest import save_result
+
+from repro.eval import extra_instruction_ablation, render_ablation
+
+
+def test_extra_instruction_ablation(benchmark):
+    rows = benchmark.pedantic(extra_instruction_ablation,
+                              kwargs={"scale": 0.1},
+                              rounds=1, iterations=1)
+    save_result("ablation", render_ablation(rows))
+    block, ebb = rows
+    assert block.granularity == "block" and ebb.granularity == "ebb"
+    # the block chunker really adds instructions; EBB removes them
+    assert block.extra_instr_per_chunk > 0.3
+    assert ebb.extra_instr_per_chunk < 0.1
+    # and that is visible in steady-state time
+    assert ebb.relative_time < block.relative_time
+    assert ebb.relative_time < 1.1

@@ -1,0 +1,28 @@
+"""Section 3 / Figure 10: the software data-cache design."""
+
+from conftest import save_result
+
+from repro.eval import dcache_eval, render_dcache
+
+
+def test_dcache(benchmark):
+    rows = benchmark.pedantic(
+        dcache_eval, kwargs={"scale": 0.05,
+                             "dcache_sizes": (512, 2048),
+                             "predictions": ("none", "last")},
+        rounds=1, iterations=1)
+    save_result("dcache", render_dcache(rows))
+    by_key = {(r.prediction, r.dcache_size): r for r in rows}
+    none_small = by_key[("none", 512)]
+    last_small = by_key[("last", 512)]
+    last_big = by_key[("last", 2048)]
+    # prediction converts slow hits into fast hits and saves time
+    assert last_small.fast_hits > 0 and none_small.fast_hits == 0
+    assert last_small.relative_time < none_small.relative_time
+    # capacity reduces misses
+    assert last_big.misses <= last_small.misses
+    # the guaranteed latency: observed slow hits never exceed the bound
+    for row in rows:
+        assert row.worst_slow_hit_cycles <= row.slow_hit_bound_cycles
+    # constant-address scalars were specialized (Fig 10 top)
+    assert all(r.pinned_specializations > 0 for r in rows)

@@ -1,0 +1,21 @@
+"""Figure 5: relative execution time of the software I-cache."""
+
+from conftest import save_result
+
+from repro.eval import fig5, render_fig5
+
+
+def test_fig5(benchmark):
+    bars = benchmark.pedantic(fig5, kwargs={"scale": 0.15},
+                              rounds=1, iterations=1)
+    save_result("fig5", render_fig5(bars))
+    ideal, big, mid, small = bars
+    assert ideal.relative_time == 1.0
+    # working set fits: modest overhead (paper: 1.19/1.17), and the
+    # two fitting sizes behave identically
+    assert 1.0 < big.relative_time < 1.35
+    assert abs(big.relative_time - mid.relative_time) < 0.02
+    # working set does not fit: "performance is awful ... but the
+    # system continues to operate"
+    assert small.relative_time > 3.0
+    assert small.evictions > 0

@@ -1,0 +1,19 @@
+"""Figure 6: hardware I-cache miss rate versus cache size."""
+
+from conftest import BENCH_SCALE, save_result
+
+from repro.eval import fig6, render_fig6
+
+
+def test_fig6(benchmark):
+    curves = benchmark.pedantic(fig6, kwargs={"scale": BENCH_SCALE},
+                                rounds=1, iterations=1)
+    save_result("fig6", render_fig6(curves))
+    for curve in curves:
+        rates = [r.miss_rate for r in curve.results]
+        # small caches miss a lot, large caches almost never
+        assert rates[0] > 0.05, curve.workload
+        assert rates[-1] < 0.005, curve.workload
+        # the curve has a knee within the swept range
+        assert curve.knee_bytes is not None, curve.workload
+        assert 512 <= curve.knee_bytes <= 32768, curve.workload

@@ -1,0 +1,38 @@
+"""Figure 7: software tcache miss rate versus tcache size, and the
+cross-figure claim that SW and HW working-set knees are similar."""
+
+from conftest import BENCH_SCALE, save_result
+
+from repro.eval import fig6, fig7, render_fig7
+
+
+def test_fig7(benchmark):
+    curves = benchmark.pedantic(fig7, kwargs={"scale": BENCH_SCALE},
+                                rounds=1, iterations=1)
+    save_result("fig7", render_fig7(curves))
+    for curve in curves:
+        rates = [r.miss_rate for r in curve.results]
+        assert rates[0] > 0.01, curve.workload          # thrashing
+        assert rates[-1] < rates[0] / 50, curve.workload  # knee passed
+        assert curve.knee_bytes() is not None, curve.workload
+
+
+def test_knees_similar_to_hardware(benchmark):
+    """§2.2: "the cache size required to capture the working set
+    appears similar for the software cache as for a hardware cache"."""
+    def both():
+        return ({c.workload: c.knee_bytes()
+                 for c in fig7(scale=BENCH_SCALE)},
+                {c.workload: c.knee_bytes
+                 for c in fig6(scale=BENCH_SCALE)})
+
+    sw, hw = benchmark.pedantic(both, rounds=1, iterations=1)
+    save_result("fig6_fig7_knees",
+                "SW vs HW working-set knees (bytes):\n" +
+                "\n".join(f"  {w}: sw={sw[w]} hw={hw[w]}" for w in sw))
+    for workload, sw_knee in sw.items():
+        hw_knee = hw[workload]
+        assert sw_knee is not None and hw_knee is not None
+        # within 4x either way = "similar" on a log-2 size axis
+        assert hw_knee / 4 <= sw_knee <= hw_knee * 4, (
+            workload, sw_knee, hw_knee)

@@ -1,0 +1,22 @@
+"""Figure 8: eviction rate over time versus CC memory size (ARM)."""
+
+from conftest import save_result
+
+from repro.eval import fig8, render_fig8
+
+
+def test_fig8(benchmark):
+    series = benchmark.pedantic(fig8, kwargs={"scale": 0.3, "nbins": 16},
+                                rounds=1, iterations=1)
+    save_result("fig8", render_fig8(series))
+    low, fit, roomy = series
+    # below the working set: continuous paging
+    assert low.steady_state_rate > 100
+    # fitting: paging falls to zero in steady state, with the paper's
+    # "minor paging ... at the end to load the terminal statistics
+    # routines"
+    assert fit.steady_state_rate == 0
+    assert fit.final_blip > 0
+    assert fit.total_evictions < low.total_evictions / 4
+    # headroom: no paging at all
+    assert roomy.total_evictions == 0

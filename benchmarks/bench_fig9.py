@@ -1,0 +1,19 @@
+"""Figure 9: normalized dynamic footprint of the ARM benchmarks."""
+
+from conftest import save_result
+
+from repro.eval import PAPER_FIG9, fig9, render_fig9
+
+
+def test_fig9(benchmark):
+    bars = benchmark.pedantic(fig9, kwargs={"scale": 0.25},
+                              rounds=1, iterations=1)
+    save_result("fig9", render_fig9(bars))
+    assert [b.workload for b in bars] == list(PAPER_FIG9)
+    for bar in bars:
+        # paper: 0.07-0.13 (7-14x); allow a moderately wider band for
+        # our smaller statically linked library
+        assert 0.05 <= bar.normalized_footprint <= 0.22, bar.workload
+        assert bar.reduction_factor >= 4.5, bar.workload
+        # the hot set is a handful of functions, not the whole program
+        assert len(bar.hot_functions) <= 8, bar.workload

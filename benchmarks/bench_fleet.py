@@ -1,0 +1,35 @@
+"""Figure 1 deployment: server scaling across a device fleet."""
+
+from conftest import save_result
+
+from repro.eval.render import ascii_table
+from repro.fleet import simulate_fleet
+from repro.softcache import SoftCacheConfig
+from repro.workloads import build_workload
+
+
+def test_fleet_scaling(benchmark):
+    def run():
+        image = build_workload("sensor", 0.05)
+        config = SoftCacheConfig(tcache_size=8192)
+        return [simulate_fleet(image, n, config) for n in (1, 4, 16)]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[r.n_clients, r.mc_chunks_built, r.mc_requests,
+             f"{100 * r.chunk_cache_sharing:.0f}%",
+             f"{100 * r.link_utilization:.2f}%",
+             f"{r.mean_queue_delay_s * 1e6:.1f}us"] for r in results]
+    save_result("fleet", ascii_table(
+        ["clients", "MC rewrites", "MC requests", "shared",
+         "link util", "mean queue"],
+        rows, title="Figure 1 deployment: one server, many devices "
+                    "(simultaneous boot)"))
+    one, four, sixteen = results
+    # server-side rewriting work is constant in fleet size
+    assert one.mc_chunks_built == four.mc_chunks_built \
+        == sixteen.mc_chunks_built
+    # requests scale linearly; sharing approaches 1
+    assert sixteen.mc_requests == 16 * one.mc_requests
+    assert sixteen.chunk_cache_sharing > 0.9
+    # a simultaneous 16-device boot visibly loads the uplink
+    assert sixteen.link_utilization > four.link_utilization

@@ -1,0 +1,15 @@
+"""§2.4: 60 application bytes of network overhead per chunk."""
+
+from conftest import save_result
+
+from repro.eval import netcost, render_netcost
+
+
+def test_netcost(benchmark):
+    result = benchmark.pedantic(netcost, kwargs={"scale": 0.05},
+                                rounds=1, iterations=1)
+    save_result("netcost", render_netcost(result))
+    assert result.exchanges > 0
+    # the reproduced measurement: exactly 60 bytes per exchange
+    assert result.overhead_per_exchange == 60.0
+    assert result.mean_chunk_payload > 0

@@ -1,0 +1,61 @@
+"""Host-side performance of the substrate itself (pytest-benchmark
+with real rounds): interpreter throughput and SoftCache overheads.
+
+These are the only benchmarks measuring *host* time rather than
+simulated results; they guard against performance regressions in the
+interpreter and the miss path, which bound how large the reproduced
+experiments can be.
+"""
+
+import pytest
+
+from repro.net import LOCAL_LINK
+from repro.sim import Machine
+from repro.softcache import SoftCacheConfig, SoftCacheSystem
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def image():
+    return build_workload("sensor", 0.05)
+
+
+def test_interpreter_throughput(benchmark, image):
+    def run():
+        machine = Machine(image)
+        machine.run()
+        return machine.cpu.icount
+
+    icount = benchmark(run)
+    rate = icount / benchmark.stats["mean"]
+    print(f"\ninterpreter: {rate / 1e6:.2f} M simulated instr/s")
+    assert rate > 200_000  # regression floor
+
+
+def test_traced_run_overhead(benchmark, image):
+    def run():
+        machine = Machine(image)
+        machine.run_traced(500_000_000)
+        return machine.cpu.icount
+
+    benchmark(run)
+
+
+def test_softcache_run(benchmark, image):
+    def run():
+        system = SoftCacheSystem(image, SoftCacheConfig(
+            tcache_size=8192, link=LOCAL_LINK,
+            record_timeline=False))
+        return system.run().instructions
+
+    benchmark(run)
+
+
+def test_softcache_thrash_run(benchmark, image):
+    def run():
+        system = SoftCacheSystem(image, SoftCacheConfig(
+            tcache_size=768, link=LOCAL_LINK,
+            record_timeline=False))
+        return system.run().instructions
+
+    benchmark(run)

@@ -1,0 +1,17 @@
+"""Table 1: dynamic vs static .text sizes for the SPARC benchmarks."""
+
+from conftest import BENCH_SCALE, save_result
+
+from repro.eval import render_table1, table1
+
+
+def test_table1(benchmark):
+    rows = benchmark.pedantic(table1, kwargs={"scale": BENCH_SCALE},
+                              rounds=1, iterations=1)
+    save_result("table1", render_table1(rows))
+    assert len(rows) == 4
+    for row in rows:
+        # the headline: dynamic text is a fraction of static text
+        assert row.dynamic_text < 0.5 * row.static_text, row
+        # and static text is a genuine statically linked image
+        assert row.static_text > 8 * 1024

@@ -1,0 +1,17 @@
+"""§2.2 / Fig 6 caption: hardware tags add 11-18% for 32-bit addrs."""
+
+from conftest import save_result
+
+from repro.eval import render_tagspace, tagspace
+from repro.hwcache import overhead_band
+
+
+def test_tagspace(benchmark):
+    rows = benchmark.pedantic(tagspace, rounds=1, iterations=1)
+    save_result("tagspace", render_tagspace(rows))
+    lo, hi = overhead_band([r[0] for r in rows])
+    assert 10.5 <= lo <= 13.5
+    assert 16.5 <= hi <= 18.5
+    # monotone: smaller caches carry relatively more tag bits
+    percents = [pct for _, pct in rows]
+    assert percents == sorted(percents, reverse=True)

@@ -1,0 +1,23 @@
+"""Benchmark-suite helpers: result persistence and shared scales.
+
+Every benchmark regenerates one table or figure of the paper, asserts
+its qualitative shape, and writes the rendered text into
+``benchmarks/results/`` so EXPERIMENTS.md can reference concrete runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Workload scale used across benchmarks: large enough for stable
+#: shapes, small enough that the whole suite runs in minutes.
+BENCH_SCALE = 0.2
+
+
+def save_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""The Section-3 software data cache, end to end.
+
+Runs a pointer-walking workload in full-system mode (instruction AND
+data caching in software) and shows the D-cache design's moving parts:
+pinned constant-address globals (Fig 10 top), per-site prediction with
+fast hits (Fig 10 bottom), slow hits via binary search — whose worst
+case is the design's *guaranteed* on-chip latency — and stack-cache
+presence checks with frame spill/refill.
+"""
+
+from repro.dcache import DataCacheConfig
+from repro.lang import compile_program
+from repro.net import LOCAL_LINK
+from repro.sim import run_native
+from repro.softcache import SoftCacheConfig, SoftCacheSystem
+
+SOURCE = r"""
+int config_scale = 5;       // pinned scalar: specialized accesses
+int histogram[128];
+int matrix[256];
+
+int deep(int n, int *acc) {
+    int local[4];
+    local[0] = n;
+    *acc += local[0];
+    if (n > 0) return deep(n - 1, acc);
+    return *acc;
+}
+
+int main(void) {
+    int i;
+    int acc = 0;
+    for (i = 0; i < 256; i++) matrix[i] = (i * 13) & 255;
+    // sequential sweep: 'last block' prediction hits
+    for (i = 0; i < 256; i++) acc += matrix[i] * config_scale;
+    // strided histogram: prediction misses -> slow hits
+    for (i = 0; i < 256; i++) histogram[matrix[i] & 127]++;
+    // deep recursion: stack cache spills and refills frames
+    deep(40, &acc);
+    print_labeled("acc=", acc);
+    print_labeled("h0=", histogram[0]);
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    image = compile_program(SOURCE, "dcache_demo")
+    native = run_native(image)
+    print("native:", native.output_text.strip().replace("\n", " "))
+
+    for prediction in ("none", "last", "stride"):
+        config = SoftCacheConfig(
+            tcache_size=32 * 1024, link=LOCAL_LINK,
+            data_cache=DataCacheConfig(dcache_size=1024, block_size=16,
+                                       scache_size=256,
+                                       prediction=prediction))
+        system = SoftCacheSystem(image, config)
+        report = system.run()
+        assert report.output == native.output_text
+        stats = system.dcache.stats
+        rw = system.mc.data_rewriter.stats
+        print(f"\nprediction={prediction}")
+        print(f"  pinned specializations : {rw.pinned_specializations} "
+              f"sites (zero-check accesses)")
+        print(f"  fast hits              : {stats.fast_hits}")
+        print(f"  slow hits              : {stats.slow_hits} "
+              f"(worst {stats.worst_slow_hit_cycles} cycles; design "
+              f"bound {system.dcache.slow_hit_bound_cycles()})")
+        print(f"  misses                 : {stats.misses} "
+              f"({stats.writebacks} writebacks)")
+        print(f"  prediction accuracy    : "
+              f"{100 * stats.prediction_accuracy():.1f}%")
+        print(f"  scache enter/exit      : {stats.scache_enters}/"
+              f"{stats.scache_exits} "
+              f"(spills {stats.scache_spills}, refills "
+              f"{stats.scache_refills})")
+        print(f"  relative time          : "
+              f"{report.cycles / native.cpu.cycles:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Figure 1's deployment: a network of sensors fed by one server.
+
+Simulates fleets of identical sensor nodes booting against a single
+memory controller over a shared 10 Mbps uplink, and shows the two
+server-side effects the paper's scenario implies: chunk rewriting is
+done once for the whole fleet (the MC chunk cache), and simultaneous
+boots queue on the uplink while staggered boots do not.
+"""
+
+from repro.fleet import simulate_fleet
+from repro.softcache import SoftCacheConfig
+from repro.workloads import build_workload
+
+
+def main() -> None:
+    image = build_workload("sensor", scale=0.1)
+    config = SoftCacheConfig(tcache_size=8 * 1024)
+
+    print(f"{'sensors':>8} {'boot':>10} {'MC rewrites':>12} "
+          f"{'shared':>7} {'link util':>10} {'mean queue':>11} "
+          f"{'max queue':>10}")
+    for n in (1, 4, 16):
+        for stagger, label in ((0.0, "together"), (0.05, "staggered")):
+            fleet = simulate_fleet(image, n, config, stagger_s=stagger)
+            print(f"{n:8d} {label:>10} "
+                  f"{fleet.mc_chunks_built:12d} "
+                  f"{100 * fleet.chunk_cache_sharing:6.0f}% "
+                  f"{100 * fleet.link_utilization:9.2f}% "
+                  f"{fleet.mean_queue_delay_s * 1e6:9.1f}us "
+                  f"{fleet.max_queue_delay_s * 1e6:8.1f}us")
+
+    print("\nThe server rewrites each chunk once no matter how many")
+    print("sensors it feeds, and a simultaneous fleet boot is the only")
+    print("moment the shared uplink queues - the paper's scenario of a")
+    print("device that is 'nearly useless without the communication")
+    print("connection' scales on the server side.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""The paper's Figure 2 scenario: a multi-mode sensor node.
+
+The sensor's code has four modes — initialization, calibration,
+daytime, nighttime — but only one is active at a time, so local memory
+can be sized to the largest single mode instead of the whole program.
+This script runs the sensor workload under SoftCaches sized (a) below
+one mode, (b) to one mode, and (c) to the whole program, and shows the
+translation/eviction behavior the figure predicts: with memory for one
+mode, misses happen only at mode *transitions*, and within a mode the
+fully associative tcache guarantees a 100% hit rate.
+"""
+
+from repro.net import LOCAL_LINK
+from repro.profiling import profile_image
+from repro.sim import run_native
+from repro.softcache import SoftCacheConfig, SoftCacheSystem
+from repro.workloads import build_workload
+
+
+def main() -> None:
+    image = build_workload("sensor", scale=0.6)
+    native = run_native(image)
+    profile = profile_image(image)
+
+    day = profile.entry_named("day_step")
+    night = profile.entry_named("night_step")
+    print("mode sizes (bytes):")
+    for name in ("mode_init", "mode_calibrate", "day_step",
+                 "night_step"):
+        print(f"  {name:16s} {image.proc_named(name).size}")
+    print(f"  whole image      {image.static_text_size}\n")
+
+    # size local memory to one performance-critical mode + the shared
+    # helpers it calls (the figure's 'minimum memory required')
+    helpers = sum(image.proc_named(n).size for n in
+                  ("sin_q15", "rand", "abs_i", "clamp_i", "main",
+                   "_start", "isqrt"))
+    one_mode = max(day.proc.size, night.proc.size) + helpers + 256
+
+    for label, size in (("below one mode", one_mode // 2),
+                        ("one mode", one_mode),
+                        ("whole program", image.static_text_size * 2)):
+        config = SoftCacheConfig(tcache_size=size, link=LOCAL_LINK)
+        system = SoftCacheSystem(image, config)
+        report = system.run()
+        assert report.output == native.output_text
+        stats = system.stats
+        print(f"{label:15s} ({size:6d}B): "
+              f"{stats.translations:5d} translations, "
+              f"{stats.evictions + stats.blocks_flushed:5d} evictions, "
+              f"rel. time "
+              f"{report.cycles / native.cpu.cycles:.2f}x")
+
+    print("\nWith memory for one mode, translations stay near the")
+    print("whole-program count: chunks are (re)loaded only when the")
+    print("sensor switches mode, and each mode then runs at full")
+    print("speed with zero cache checks - Figure 2's promise.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""repro — reproduction of "Software Caching using Dynamic Binary
+Rewriting for Embedded Devices" (Huneycutt, Fryman, MacKenzie,
+ICPP 2002).
+
+The package implements the paper's full system in Python:
+
+* :mod:`repro.isa`, :mod:`repro.asm`, :mod:`repro.lang` — a 32-bit RISC
+  ISA with assembler, linker and a mini-C compiler (the toolchain that
+  produces workload binaries);
+* :mod:`repro.sim` — the embedded-client CPU simulator with an explicit
+  cost model;
+* :mod:`repro.softcache` — the contribution: client/server software
+  instruction caching via dynamic binary rewriting (tcache, MC/CC,
+  backpatching, invalidation, eviction, redirectors);
+* :mod:`repro.dcache` — the Section-3 software data cache design
+  (stack cache + fully associative predicted dcache);
+* :mod:`repro.hwcache`, :mod:`repro.net`, :mod:`repro.cfg`,
+  :mod:`repro.profiling` — the baselines and substrates;
+* :mod:`repro.workloads`, :mod:`repro.eval` — benchmark programs and
+  the per-figure/table experiment drivers.
+
+Quickstart::
+
+    from repro.workloads import build_workload
+    from repro.softcache import SoftCacheConfig, run_softcache
+
+    image = build_workload("adpcm_enc")
+    report, system = run_softcache(
+        image, SoftCacheConfig(tcache_size=4096))
+    print(report.seconds, system.stats.translations)
+"""
+
+__version__ = "1.0.0"

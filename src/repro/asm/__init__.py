@@ -1,0 +1,19 @@
+"""repro.asm — assembler, object files, linker and executable images.
+
+The toolchain the reproduction uses to build workload binaries:
+:func:`assemble` turns assembly text into a relocatable
+:class:`ObjectFile`; :func:`link` combines objects (plus a ``crt0``
+startup stub) into an executable :class:`Image` with the symbol and
+procedure tables the SoftCache memory controller chunks from.
+"""
+
+from .assembler import AsmError, assemble
+from .image import Image, ProcSpan
+from .linker import LinkError, assemble_and_link, link
+from .objfile import ObjectFile, Reloc, Relocation, Section, Symbol
+
+__all__ = [
+    "AsmError", "Image", "LinkError", "ObjectFile", "ProcSpan", "Reloc",
+    "Relocation", "Section", "Symbol", "assemble", "assemble_and_link",
+    "link",
+]

@@ -1,0 +1,543 @@
+"""Two-pass line-oriented assembler for the repro RISC ISA.
+
+Accepts the conventional dialect::
+
+    .text
+    .global main
+    .proc   main
+    main:
+        addi  sp, sp, -8
+        sw    ra, 4(sp)
+        li    a0, 42
+        jal   helper        ; forward references are fine
+        lw    ra, 4(sp)
+        addi  sp, sp, 8
+        ret
+
+    .data
+    table:  .word 1, 2, helper   ; label in data -> W32 relocation
+
+Comments start with ``;``, ``#`` or ``//``.  Pseudo-instructions
+(``li``, ``la``, ``mv``, ``nop``, ``beqz`` …) expand deterministically
+at parse time so offsets are known in a single pass; label references
+become relocation records resolved by the linker.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..isa import (
+    Fmt,
+    Insn,
+    MNEMONICS,
+    Op,
+    SPECS,
+    Sys,
+    Trap,
+    encode,
+    is_reg_name,
+    reg_num,
+)
+from ..isa.registers import AT, RA, ZERO
+from .objfile import ObjectFile, Reloc, Relocation
+
+
+class AsmError(ValueError):
+    """An assembly-source error, annotated with file/line."""
+
+    def __init__(self, message: str, filename: str = "<asm>", line: int = 0):
+        super().__init__(f"{filename}:{line}: {message}")
+        self.filename = filename
+        self.line = line
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*)\s*:\s*(.*)$")
+_SYM_RE = re.compile(r"^[A-Za-z_.$][\w.$]*$")
+_MEM_RE = re.compile(r"^(.*)\(\s*([A-Za-z_][\w]*|r\d+)\s*\)$")
+_SYMOFF_RE = re.compile(r"^([A-Za-z_.$][\w.$]*)\s*([+-]\s*\d+)?$")
+
+_BRANCH_SWAPS = {
+    "bgt": Op.BLT, "ble": Op.BGE, "bgtu": Op.BLTU, "bleu": Op.BGEU,
+}
+_BRANCH_ZERO = {
+    "beqz": Op.BEQ, "bnez": Op.BNE, "bltz": Op.BLT, "bgez": Op.BGE,
+}
+
+_STRING_ESCAPES = {"n": "\n", "t": "\t", "0": "\0", "\\": "\\",
+                   '"': '"', "'": "'", "r": "\r"}
+
+
+@dataclass
+class _Ctx:
+    """Mutable assembly state."""
+
+    obj: ObjectFile
+    filename: str
+    section: str = ".text"
+    line: int = 0
+    equs: dict[str, int] = None  # type: ignore[assignment]
+    pending_procs: set[str] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.equs = {}
+        self.pending_procs = set()
+
+    def err(self, msg: str) -> AsmError:
+        return AsmError(msg, self.filename, self.line)
+
+
+def assemble(source: str, name: str = "<asm>") -> ObjectFile:
+    """Assemble *source* into an :class:`ObjectFile`.
+
+    Raises :class:`AsmError` on any syntax or range problem.
+    """
+    obj = ObjectFile(name=name)
+    ctx = _Ctx(obj=obj, filename=name)
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        ctx.line = lineno
+        line = _strip_comment(raw).strip()
+        while line:
+            match = _LABEL_RE.match(line)
+            if match:
+                label = match.group(1)
+                try:
+                    obj.define(label, ctx.section, _section_offset(ctx))
+                except ValueError as exc:
+                    raise AsmError(str(exc), name, lineno) from exc
+                line = match.group(2).strip()
+                continue
+            _process_statement(ctx, line)
+            break
+    for sym in ctx.pending_procs:
+        if sym not in obj.symbols:
+            raise AsmError(f".proc for undefined symbol: {sym}", name, 0)
+        obj.mark_proc(sym)
+    try:
+        obj.finalize()
+    except ValueError as exc:
+        raise AsmError(str(exc), name, 0) from exc
+    return obj
+
+
+def _strip_comment(line: str) -> str:
+    out = []
+    in_str = False
+    i = 0
+    while i < len(line):
+        ch = line[i]
+        if in_str:
+            out.append(ch)
+            if ch == "\\" and i + 1 < len(line):
+                out.append(line[i + 1])
+                i += 2
+                continue
+            if ch == '"':
+                in_str = False
+        else:
+            if ch == '"':
+                in_str = True
+                out.append(ch)
+            elif ch in ";#" or line.startswith("//", i):
+                break
+            else:
+                out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def _section_offset(ctx: _Ctx) -> int:
+    sec = ctx.obj.section(ctx.section)
+    return sec.bss_size if ctx.section == ".bss" else len(sec.data)
+
+
+def _process_statement(ctx: _Ctx, stmt: str) -> None:
+    parts = stmt.split(None, 1)
+    head = parts[0].lower()
+    rest = parts[1] if len(parts) > 1 else ""
+    if head.startswith("."):
+        _directive(ctx, head, rest)
+    else:
+        _instruction(ctx, head, rest)
+
+
+# ---------------------------------------------------------------------------
+# Directives
+# ---------------------------------------------------------------------------
+
+def _directive(ctx: _Ctx, name: str, rest: str) -> None:
+    obj = ctx.obj
+    if name in (".text", ".data", ".bss"):
+        ctx.section = name
+        obj.section(name)
+        return
+    if name == ".global" or name == ".globl":
+        for sym in _split_operands(rest):
+            obj.mark_global(sym)
+        return
+    if name == ".proc":
+        # .proc usually precedes its label; apply marks after assembly.
+        ctx.pending_procs.add(rest.strip())
+        return
+    if name == ".equ" or name == ".set":
+        sym, _, val = rest.partition(",")
+        ctx.equs[sym.strip()] = _parse_int(ctx, val.strip())
+        return
+    if ctx.section == ".bss":
+        if name == ".space":
+            sec = obj.section(".bss")
+            sec.bss_size += _parse_int(ctx, rest.strip())
+            return
+        if name == ".align":
+            sec = obj.section(".bss")
+            n = _parse_int(ctx, rest.strip())
+            sec.bss_size = -(-sec.bss_size // n) * n
+            return
+        raise ctx.err(f"directive {name} not allowed in .bss")
+    sec = obj.section(ctx.section)
+    if name == ".word":
+        for operand in _split_operands(rest):
+            _emit_data_word(ctx, operand)
+        return
+    if name == ".half":
+        for operand in _split_operands(rest):
+            val = _parse_int(ctx, operand) & 0xFFFF
+            sec.data += val.to_bytes(2, "little")
+        return
+    if name == ".byte":
+        for operand in _split_operands(rest):
+            val = _parse_int(ctx, operand) & 0xFF
+            sec.data.append(val)
+        return
+    if name in (".asciiz", ".string"):
+        sec.data += _parse_string(ctx, rest.strip()).encode("latin-1") + b"\0"
+        return
+    if name == ".ascii":
+        sec.data += _parse_string(ctx, rest.strip()).encode("latin-1")
+        return
+    if name == ".space":
+        sec.data += bytes(_parse_int(ctx, rest.strip()))
+        return
+    if name == ".align":
+        n = _parse_int(ctx, rest.strip())
+        while len(sec.data) % n:
+            sec.data.append(0)
+        return
+    raise ctx.err(f"unknown directive {name}")
+
+
+def _emit_data_word(ctx: _Ctx, operand: str) -> None:
+    sec = ctx.obj.section(ctx.section)
+    operand = operand.strip()
+    if _looks_symbolic(ctx, operand):
+        sym, addend = _parse_symoff(ctx, operand)
+        ctx.obj.relocations.append(
+            Relocation(ctx.section, len(sec.data), Reloc.W32, sym, addend))
+        sec.data += b"\0\0\0\0"
+    else:
+        val = _parse_int(ctx, operand) & 0xFFFFFFFF
+        sec.data += val.to_bytes(4, "little")
+
+
+# ---------------------------------------------------------------------------
+# Instructions
+# ---------------------------------------------------------------------------
+
+def _instruction(ctx: _Ctx, mnem: str, rest: str) -> None:
+    ops = _split_operands(rest)
+    emitted = _expand(ctx, mnem, ops)
+    sec = ctx.obj.section(ctx.section)
+    if ctx.section == ".bss":
+        raise ctx.err("instructions not allowed in .bss")
+    for insn, reloc_kind, reloc_sym, reloc_add in emitted:
+        if reloc_kind is not None:
+            ctx.obj.relocations.append(Relocation(
+                ctx.section, len(sec.data), reloc_kind, reloc_sym, reloc_add))
+        try:
+            word = encode(insn)
+        except Exception as exc:
+            raise ctx.err(str(exc)) from exc
+        sec.data += word.to_bytes(4, "little")
+
+
+_Emit = tuple[Insn, Reloc | None, str, int]
+
+
+def _emit1(insn: Insn) -> list[_Emit]:
+    return [(insn, None, "", 0)]
+
+
+def _expand(ctx: _Ctx, mnem: str, ops: list[str]) -> list[_Emit]:
+    """Expand one statement into encoded instructions + relocations."""
+    # --- pseudo-instructions -------------------------------------------
+    if mnem == "nop":
+        return _emit1(Insn(Op.ADD, rd=ZERO, rs1=ZERO, rs2=ZERO))
+    if mnem == "li":
+        _arity(ctx, mnem, ops, 2)
+        return _expand_li(ctx, _reg(ctx, ops[0]), _parse_int(ctx, ops[1]))
+    if mnem == "la":
+        _arity(ctx, mnem, ops, 2)
+        rd = _reg(ctx, ops[0])
+        sym, addend = _parse_symoff(ctx, ops[1])
+        return [
+            (Insn(Op.LUI, rd=rd, rs1=ZERO, imm=0), Reloc.HI16, sym, addend),
+            (Insn(Op.ORI, rd=rd, rs1=rd, imm=0), Reloc.LO16, sym, addend),
+        ]
+    if mnem == "mv" or mnem == "move":
+        _arity(ctx, mnem, ops, 2)
+        return _emit1(Insn(Op.ADD, rd=_reg(ctx, ops[0]),
+                           rs1=_reg(ctx, ops[1]), rs2=ZERO))
+    if mnem == "neg":
+        _arity(ctx, mnem, ops, 2)
+        return _emit1(Insn(Op.SUB, rd=_reg(ctx, ops[0]), rs1=ZERO,
+                           rs2=_reg(ctx, ops[1])))
+    if mnem == "not":
+        _arity(ctx, mnem, ops, 2)
+        return _emit1(Insn(Op.NOR, rd=_reg(ctx, ops[0]),
+                           rs1=_reg(ctx, ops[1]), rs2=ZERO))
+    if mnem == "seqz":
+        _arity(ctx, mnem, ops, 2)
+        return _emit1(Insn(Op.SLTIU, rd=_reg(ctx, ops[0]),
+                           rs1=_reg(ctx, ops[1]), imm=1))
+    if mnem == "snez":
+        _arity(ctx, mnem, ops, 2)
+        return _emit1(Insn(Op.SLTU, rd=_reg(ctx, ops[0]), rs1=ZERO,
+                           rs2=_reg(ctx, ops[1])))
+    if mnem == "subi":
+        _arity(ctx, mnem, ops, 3)
+        return _emit1(Insn(Op.ADDI, rd=_reg(ctx, ops[0]),
+                           rs1=_reg(ctx, ops[1]),
+                           imm=-_parse_int(ctx, ops[2])))
+    if mnem == "b":
+        mnem, ops = "j", ops
+    if mnem == "call":
+        mnem = "jal"
+    if mnem in _BRANCH_SWAPS:
+        _arity(ctx, mnem, ops, 3)
+        op = _BRANCH_SWAPS[mnem]
+        return _branch(ctx, op, _reg(ctx, ops[1]), _reg(ctx, ops[0]), ops[2])
+    if mnem in _BRANCH_ZERO:
+        _arity(ctx, mnem, ops, 2)
+        op = _BRANCH_ZERO[mnem]
+        if mnem in ("beqz", "bnez", "bltz", "bgez"):
+            return _branch(ctx, op, _reg(ctx, ops[0]), ZERO, ops[1])
+    if mnem == "bgtz":
+        _arity(ctx, mnem, ops, 2)
+        return _branch(ctx, Op.BLT, ZERO, _reg(ctx, ops[0]), ops[1])
+    if mnem == "blez":
+        _arity(ctx, mnem, ops, 2)
+        return _branch(ctx, Op.BGE, ZERO, _reg(ctx, ops[0]), ops[1])
+
+    op = MNEMONICS.get(mnem)
+    if op is None:
+        raise ctx.err(f"unknown mnemonic '{mnem}'")
+    fmt = SPECS[op].fmt
+
+    if fmt is Fmt.R:
+        if op is Op.RET:
+            _arity(ctx, mnem, ops, 0)
+            return _emit1(Insn(Op.RET, rs1=RA))
+        if op is Op.JR:
+            _arity(ctx, mnem, ops, 1)
+            return _emit1(Insn(Op.JR, rs1=_reg(ctx, ops[0])))
+        if op is Op.JALR:
+            _arity(ctx, mnem, ops, 2)
+            return _emit1(Insn(Op.JALR, rd=_reg(ctx, ops[0]),
+                               rs1=_reg(ctx, ops[1])))
+        _arity(ctx, mnem, ops, 3)
+        return _emit1(Insn(op, rd=_reg(ctx, ops[0]), rs1=_reg(ctx, ops[1]),
+                           rs2=_reg(ctx, ops[2])))
+
+    if fmt is Fmt.I:
+        if SPECS[op].reads_mem or SPECS[op].writes_mem:
+            _arity(ctx, mnem, ops, 2)
+            offset, base = _parse_mem(ctx, ops[1])
+            return _emit1(Insn(op, rd=_reg(ctx, ops[0]), rs1=base,
+                               imm=offset))
+        if op is Op.LUI:
+            _arity(ctx, mnem, ops, 2)
+            return _emit1(Insn(op, rd=_reg(ctx, ops[0]), rs1=ZERO,
+                               imm=_parse_int(ctx, ops[1]) & 0xFFFF))
+        _arity(ctx, mnem, ops, 3)
+        return _emit1(Insn(op, rd=_reg(ctx, ops[0]), rs1=_reg(ctx, ops[1]),
+                           imm=_parse_int(ctx, ops[2])))
+
+    if fmt is Fmt.B:
+        _arity(ctx, mnem, ops, 3)
+        return _branch(ctx, op, _reg(ctx, ops[0]), _reg(ctx, ops[1]), ops[2])
+
+    if fmt is Fmt.J:
+        _arity(ctx, mnem, ops, 1)
+        target = ops[0]
+        if _looks_symbolic(ctx, target):
+            sym, addend = _parse_symoff(ctx, target)
+            return [(Insn(op, imm=0), Reloc.J26, sym, addend)]
+        return _emit1(Insn(op, imm=_parse_int(ctx, target) >> 2))
+
+    # Fmt.T
+    if op is Op.HALT:
+        _arity(ctx, mnem, ops, 0)
+        return _emit1(Insn(Op.HALT))
+    if op is Op.SYSCALL:
+        _arity(ctx, mnem, ops, 1)
+        return _emit1(Insn(Op.SYSCALL, imm=_parse_service(ctx, ops[0])))
+    if op is Op.BREAK:
+        code = _parse_int(ctx, ops[0]) if ops else 0
+        return _emit1(Insn(Op.BREAK, imm=code))
+    if op is Op.TRAP:
+        _arity(ctx, mnem, ops, 2)
+        return _emit1(Insn(Op.TRAP, rd=_parse_trap(ctx, ops[0]),
+                           imm=_parse_int(ctx, ops[1])))
+    raise ctx.err(f"unhandled mnemonic '{mnem}'")  # pragma: no cover
+
+
+def _expand_li(ctx: _Ctx, rd: int, value: int) -> list[_Emit]:
+    value &= 0xFFFFFFFF
+    signed = value - 0x100000000 if value & 0x80000000 else value
+    if -32768 <= signed <= 32767:
+        return _emit1(Insn(Op.ADDI, rd=rd, rs1=ZERO, imm=signed))
+    if 0 <= value <= 0xFFFF:
+        return _emit1(Insn(Op.ORI, rd=rd, rs1=ZERO, imm=value))
+    lo = value & 0xFFFF
+    hi = (value >> 16) & 0xFFFF
+    out = [(Insn(Op.LUI, rd=rd, rs1=ZERO, imm=hi), None, "", 0)]
+    if lo:
+        out.append((Insn(Op.ORI, rd=rd, rs1=rd, imm=lo), None, "", 0))
+    return out
+
+
+def _branch(ctx: _Ctx, op: Op, rs1: int, rs2: int, target: str) -> list[_Emit]:
+    if _looks_symbolic(ctx, target):
+        sym, addend = _parse_symoff(ctx, target)
+        return [(Insn(op, rs1=rs1, rs2=rs2, imm=0), Reloc.BR16, sym, addend)]
+    return _emit1(Insn(op, rs1=rs1, rs2=rs2, imm=_parse_int(ctx, target)))
+
+
+# ---------------------------------------------------------------------------
+# Operand parsing
+# ---------------------------------------------------------------------------
+
+def _split_operands(rest: str) -> list[str]:
+    if not rest.strip():
+        return []
+    out, depth, in_str, cur = [], 0, False, []
+    for ch in rest:
+        if in_str:
+            cur.append(ch)
+            if ch == '"':
+                in_str = False
+            continue
+        if ch == '"':
+            in_str = True
+            cur.append(ch)
+        elif ch == "(":
+            depth += 1
+            cur.append(ch)
+        elif ch == ")":
+            depth -= 1
+            cur.append(ch)
+        elif ch == "," and depth == 0:
+            out.append("".join(cur).strip())
+            cur = []
+        else:
+            cur.append(ch)
+    tail = "".join(cur).strip()
+    if tail:
+        out.append(tail)
+    return out
+
+
+def _arity(ctx: _Ctx, mnem: str, ops: list[str], n: int) -> None:
+    if len(ops) != n:
+        raise ctx.err(f"{mnem} expects {n} operands, got {len(ops)}")
+
+
+def _reg(ctx: _Ctx, text: str) -> int:
+    try:
+        return reg_num(text.strip())
+    except KeyError:
+        raise ctx.err(f"unknown register '{text.strip()}'") from None
+
+
+def _parse_int(ctx: _Ctx, text: str) -> int:
+    text = text.strip()
+    if text in ctx.equs:
+        return ctx.equs[text]
+    if len(text) >= 3 and text[0] == "'" and text[-1] == "'":
+        body = text[1:-1]
+        if body.startswith("\\") and len(body) == 2:
+            body = _STRING_ESCAPES.get(body[1], body[1])
+        if len(body) != 1:
+            raise ctx.err(f"bad character literal {text}")
+        return ord(body)
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise ctx.err(f"bad integer '{text}'") from None
+
+
+def _parse_mem(ctx: _Ctx, text: str) -> tuple[int, int]:
+    match = _MEM_RE.match(text.strip())
+    if not match:
+        raise ctx.err(f"bad memory operand '{text}' (want off(base))")
+    off_text = match.group(1).strip()
+    offset = _parse_int(ctx, off_text) if off_text else 0
+    return offset, _reg(ctx, match.group(2))
+
+
+def _looks_symbolic(ctx: _Ctx, text: str) -> bool:
+    text = text.strip()
+    if text in ctx.equs:
+        return False
+    match = _SYMOFF_RE.match(text)
+    if not match:
+        return False
+    head = match.group(1)
+    if is_reg_name(head):
+        return False
+    return not head[0].isdigit()
+
+
+def _parse_symoff(ctx: _Ctx, text: str) -> tuple[str, int]:
+    match = _SYMOFF_RE.match(text.strip())
+    if not match:
+        raise ctx.err(f"bad symbol reference '{text}'")
+    addend = 0
+    if match.group(2):
+        addend = int(match.group(2).replace(" ", ""))
+    return match.group(1), addend
+
+
+def _parse_service(ctx: _Ctx, text: str) -> int:
+    text = text.strip()
+    try:
+        return Sys[text.upper()].value
+    except KeyError:
+        return _parse_int(ctx, text)
+
+
+def _parse_trap(ctx: _Ctx, text: str) -> int:
+    text = text.strip()
+    try:
+        return Trap[text.upper()].value
+    except KeyError:
+        return _parse_int(ctx, text)
+
+
+def _parse_string(ctx: _Ctx, text: str) -> str:
+    text = text.strip()
+    if len(text) < 2 or text[0] != '"' or text[-1] != '"':
+        raise ctx.err(f"bad string literal {text!r}")
+    body = text[1:-1]
+    out = []
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\" and i + 1 < len(body):
+            out.append(_STRING_ESCAPES.get(body[i + 1], body[i + 1]))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)

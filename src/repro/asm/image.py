@@ -1,0 +1,118 @@
+"""Executable image produced by the linker.
+
+An :class:`Image` is what the server-side memory controller (MC) holds:
+the fully linked text and data segments at their final addresses, plus
+the symbol/procedure tables the MC's chunkers use to break the program
+into basic blocks or procedures.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+from ..layout import DATA_BASE, TEXT_BASE
+
+
+@dataclass(frozen=True, slots=True)
+class ProcSpan:
+    """A procedure in the text segment: ``[addr, addr + size)``."""
+
+    name: str
+    addr: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.addr + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.addr <= addr < self.end
+
+
+@dataclass(slots=True)
+class Image:
+    """A linked, loadable executable."""
+
+    name: str
+    text: bytes
+    data: bytes
+    bss_size: int
+    entry: int
+    symbols: dict[str, int] = field(default_factory=dict)
+    procs: list[ProcSpan] = field(default_factory=list)
+    #: Data-segment object sizes: address -> bytes to the next symbol
+    #: (gap method over *all* symbols including locals).  Used by the
+    #: D-cache to find pinnable 4-byte scalars.
+    data_object_sizes: dict[int, int] = field(default_factory=dict)
+    text_base: int = TEXT_BASE
+    data_base: int = DATA_BASE
+    _proc_starts: list[int] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        self.procs = sorted(self.procs, key=lambda p: p.addr)
+        self._proc_starts = [p.addr for p in self.procs]
+
+    # -- geometry -----------------------------------------------------
+
+    @property
+    def text_end(self) -> int:
+        return self.text_base + len(self.text)
+
+    @property
+    def data_end(self) -> int:
+        return self.data_base + len(self.data)
+
+    @property
+    def bss_base(self) -> int:
+        return (self.data_end + 7) & ~7
+
+    @property
+    def bss_end(self) -> int:
+        return self.bss_base + self.bss_size
+
+    @property
+    def heap_base(self) -> int:
+        """First address past all static data (start of the heap)."""
+        return (self.bss_end + 15) & ~15
+
+    def in_text(self, addr: int) -> bool:
+        return self.text_base <= addr < self.text_end
+
+    # -- accessors ------------------------------------------------------
+
+    def word_at(self, addr: int) -> int:
+        """Read the 32-bit little-endian word at text/data address *addr*."""
+        if self.in_text(addr):
+            off = addr - self.text_base
+            return int.from_bytes(self.text[off:off + 4], "little")
+        if self.data_base <= addr < self.data_end:
+            off = addr - self.data_base
+            return int.from_bytes(self.data[off:off + 4], "little")
+        raise ValueError(f"address {addr:#x} outside image {self.name}")
+
+    def proc_at(self, addr: int) -> ProcSpan | None:
+        """Find the procedure containing *addr*, or None."""
+        i = bisect_right(self._proc_starts, addr) - 1
+        if i >= 0 and self.procs[i].contains(addr):
+            return self.procs[i]
+        return None
+
+    def proc_named(self, name: str) -> ProcSpan:
+        """Look up a procedure by name; raises KeyError if absent."""
+        for p in self.procs:
+            if p.name == name:
+                return p
+        raise KeyError(name)
+
+    def symbol_name(self, addr: int) -> str | None:
+        """Best-effort reverse symbol lookup (exact matches only)."""
+        for name, a in self.symbols.items():
+            if a == addr:
+                return name
+        return None
+
+    @property
+    def static_text_size(self) -> int:
+        """Static .text size in bytes (Table 1's 'Static .text')."""
+        return len(self.text)

@@ -1,0 +1,205 @@
+"""Linker: combine object files into an executable :class:`Image`.
+
+Lays out all ``.text`` sections at :data:`~repro.layout.TEXT_BASE`,
+all ``.data`` at :data:`~repro.layout.DATA_BASE` and ``.bss`` after
+data, resolves symbols and applies relocations.  A ``crt0`` startup
+stub is prepended that establishes the stack, clears the frame-pointer
+chain sentinel and calls ``main`` — the fixed stack discipline the
+SoftCache runtime relies on to walk frames.
+
+Like a conventional static link (and like the paper's ``gcc -O4``
+builds in Table 1), *everything* given to the linker ends up in the
+image whether it is called or not; there is no dead-code garbage
+collection.  This is what makes static text a large overestimate of
+the working set.
+"""
+
+from __future__ import annotations
+
+from ..layout import DATA_BASE, STACK_TOP, TEXT_BASE, align
+from .assembler import assemble
+from .image import Image, ProcSpan
+from .objfile import ObjectFile, Reloc
+
+_CRT0 = f"""
+    .text
+    .global _start
+    .proc _start
+_start:
+    li   sp, {STACK_TOP}
+    add  fp, zero, zero        ; fp sentinel terminates stack walks
+    jal  main
+    syscall exit               ; exit code = main's return value in a0
+"""
+
+
+class LinkError(ValueError):
+    """Undefined/duplicate symbols or out-of-range relocations."""
+
+
+def link(objects: list[ObjectFile], name: str = "a.out", *,
+         add_crt0: bool = True, entry_symbol: str = "_start") -> Image:
+    """Link *objects* into an executable :class:`Image`.
+
+    With *add_crt0* (the default) the startup stub is prepended and the
+    image entry is ``_start``; otherwise *entry_symbol* must be defined
+    by one of the objects.
+    """
+    objs = list(objects)
+    if add_crt0:
+        objs.insert(0, assemble(_CRT0, "crt0"))
+
+    # -- assign section base offsets -----------------------------------
+    text_offsets: dict[int, int] = {}
+    data_offsets: dict[int, int] = {}
+    bss_offsets: dict[int, int] = {}
+    text_size = data_size = bss_size = 0
+    for i, obj in enumerate(objs):
+        sec = obj.sections.get(".text")
+        text_offsets[i] = text_size
+        if sec is not None:
+            if len(sec.data) % 4:
+                raise LinkError(f"{obj.name}: .text size not word aligned")
+            text_size += len(sec.data)
+        sec = obj.sections.get(".data")
+        data_size = align(data_size, 8)
+        data_offsets[i] = data_size
+        if sec is not None:
+            data_size += len(sec.data)
+    bss_base = align(DATA_BASE + data_size, 8)
+    for i, obj in enumerate(objs):
+        sec = obj.sections.get(".bss")
+        bss_size = align(bss_size, 8)
+        bss_offsets[i] = bss_size
+        if sec is not None:
+            bss_size += sec.bss_size
+
+    # -- build the global and per-object symbol tables ------------------
+    def sym_addr(i: int, section: str, offset: int) -> int:
+        if section == ".text":
+            return TEXT_BASE + text_offsets[i] + offset
+        if section == ".data":
+            return DATA_BASE + data_offsets[i] + offset
+        if section == ".bss":
+            return bss_base + bss_offsets[i] + offset
+        raise LinkError(f"unknown section {section}")
+
+    global_syms: dict[str, int] = {}
+    global_def_obj: dict[str, str] = {}
+    local_syms: list[dict[str, int]] = []
+    proc_marks: list[tuple[str, int]] = []
+    for i, obj in enumerate(objs):
+        locals_i: dict[str, int] = {}
+        for sym in obj.symbols.values():
+            addr = sym_addr(i, sym.section, sym.offset)
+            locals_i[sym.name] = addr
+            if sym.is_global:
+                if sym.name in global_syms:
+                    raise LinkError(
+                        f"duplicate global symbol {sym.name!r} in "
+                        f"{obj.name} and {global_def_obj[sym.name]}")
+                global_syms[sym.name] = addr
+                global_def_obj[sym.name] = obj.name
+            if sym.is_proc and sym.section == ".text":
+                proc_marks.append((sym.name, addr))
+        local_syms.append(locals_i)
+
+    # -- concatenate segments -------------------------------------------
+    text = bytearray(text_size)
+    data = bytearray(data_size)
+    for i, obj in enumerate(objs):
+        sec = obj.sections.get(".text")
+        if sec is not None:
+            off = text_offsets[i]
+            text[off:off + len(sec.data)] = sec.data
+        sec = obj.sections.get(".data")
+        if sec is not None:
+            off = data_offsets[i]
+            data[off:off + len(sec.data)] = sec.data
+
+    # -- apply relocations ------------------------------------------------
+    for i, obj in enumerate(objs):
+        for rel in obj.relocations:
+            target = local_syms[i].get(rel.symbol)
+            if target is None:
+                target = global_syms.get(rel.symbol)
+            if target is None:
+                raise LinkError(
+                    f"{obj.name}: undefined symbol {rel.symbol!r}")
+            value = target + rel.addend
+            if rel.section == ".text":
+                buf, place = text, text_offsets[i] + rel.offset
+                site_addr = TEXT_BASE + place
+            elif rel.section == ".data":
+                buf, place = data, data_offsets[i] + rel.offset
+                site_addr = DATA_BASE + place
+            else:
+                raise LinkError(f"relocation in {rel.section}")
+            word = int.from_bytes(buf[place:place + 4], "little")
+            word = _apply_reloc(rel.kind, word, site_addr, value, obj.name)
+            buf[place:place + 4] = word.to_bytes(4, "little")
+
+    # -- procedure spans ---------------------------------------------------
+    proc_marks.sort(key=lambda item: item[1])
+    procs = []
+    text_end = TEXT_BASE + text_size
+    for j, (pname, paddr) in enumerate(proc_marks):
+        pend = proc_marks[j + 1][1] if j + 1 < len(proc_marks) else text_end
+        procs.append(ProcSpan(pname, paddr, pend - paddr))
+
+    entry = global_syms.get(entry_symbol)
+    if entry is None:
+        raise LinkError(f"entry symbol {entry_symbol!r} undefined")
+
+    # data-object sizes by the gap method over every symbol (locals
+    # included) so 4-byte scalars are identifiable for pinning
+    data_addrs = sorted({addr for locals_i in local_syms
+                         for addr in locals_i.values()
+                         if DATA_BASE <= addr < bss_base + bss_size})
+    data_addrs.append(bss_base + bss_size)
+    data_object_sizes = {
+        data_addrs[i]: data_addrs[i + 1] - data_addrs[i]
+        for i in range(len(data_addrs) - 1)}
+
+    return Image(name=name, text=bytes(text), data=bytes(data),
+                 bss_size=bss_size, entry=entry, symbols=global_syms,
+                 procs=procs, data_object_sizes=data_object_sizes)
+
+
+def _apply_reloc(kind: Reloc, word: int, site: int, value: int,
+                 objname: str) -> int:
+    if kind is Reloc.J26:
+        if value & 3:
+            raise LinkError(f"{objname}: jump target misaligned: {value:#x}")
+        t26 = value >> 2
+        if t26 >> 26:
+            raise LinkError(f"{objname}: jump target out of range: "
+                            f"{value:#x}")
+        return (word & 0xFC000000) | t26
+    if kind is Reloc.BR16:
+        disp = (value - (site + 4)) >> 2
+        if not -(1 << 15) <= disp < (1 << 15):
+            raise LinkError(f"{objname}: branch at {site:#x} cannot reach "
+                            f"{value:#x}")
+        return (word & 0xFFFF0000) | (disp & 0xFFFF)
+    if kind is Reloc.HI16:
+        return (word & 0xFFFF0000) | ((value >> 16) & 0xFFFF)
+    if kind is Reloc.LO16:
+        return (word & 0xFFFF0000) | (value & 0xFFFF)
+    if kind is Reloc.W32:
+        return value & 0xFFFFFFFF
+    raise LinkError(f"unknown relocation kind {kind}")  # pragma: no cover
+
+
+def assemble_and_link(sources: dict[str, str] | str,
+                      name: str = "a.out") -> Image:
+    """Convenience: assemble one or more sources and link them.
+
+    *sources* is either a single assembly string or a mapping of
+    object-name to source text.
+    """
+    if isinstance(sources, str):
+        objs = [assemble(sources, "main.s")]
+    else:
+        objs = [assemble(text, objname) for objname, text in sources.items()]
+    return link(objs, name)

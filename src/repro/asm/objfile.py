@@ -1,0 +1,120 @@
+"""Object-file model for the repro toolchain.
+
+The assembler produces :class:`ObjectFile` instances; the linker
+combines them into an executable :class:`~repro.asm.image.Image`.
+Everything is in-memory — there is no on-disk format — but the model
+mirrors a conventional relocatable object: sections, a symbol table
+and relocation records.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Reloc(enum.Enum):
+    """Relocation kinds.
+
+    * ``J26``  — 26-bit absolute word target of a J-format jump/call.
+    * ``BR16`` — 16-bit pc-relative word displacement of a branch.
+    * ``HI16`` — upper 16 bits of a symbol address (``lui``).
+    * ``LO16`` — lower 16 bits of a symbol address (``ori``).
+    * ``W32``  — full 32-bit address in a data word (jump tables,
+      function pointers — the *ambiguous pointers* of the paper).
+    """
+
+    J26 = "J26"
+    BR16 = "BR16"
+    HI16 = "HI16"
+    LO16 = "LO16"
+    W32 = "W32"
+
+
+@dataclass(frozen=True, slots=True)
+class Relocation:
+    """One relocation record: patch *section* at *offset* with the
+    address of *symbol* + *addend* according to *kind*."""
+
+    section: str
+    offset: int
+    kind: Reloc
+    symbol: str
+    addend: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Symbol:
+    """A defined symbol: *offset* within *section* of this object."""
+
+    name: str
+    section: str
+    offset: int
+    is_global: bool = False
+    #: For text symbols: True when this label starts a procedure
+    #: (set by ``.proc`` or the compiler); used by the procedure chunker.
+    is_proc: bool = False
+
+
+@dataclass(slots=True)
+class Section:
+    """A named section with raw bytes (``.bss`` carries only a size)."""
+
+    name: str
+    data: bytearray = field(default_factory=bytearray)
+    bss_size: int = 0
+
+    @property
+    def size(self) -> int:
+        return self.bss_size if self.name == ".bss" else len(self.data)
+
+
+@dataclass(slots=True)
+class ObjectFile:
+    """A relocatable object produced by one assembler run."""
+
+    name: str = "<anon>"
+    sections: dict[str, Section] = field(default_factory=dict)
+    symbols: dict[str, Symbol] = field(default_factory=dict)
+    relocations: list[Relocation] = field(default_factory=list)
+    pending_globals: set[str] = field(default_factory=set)
+
+    def section(self, name: str) -> Section:
+        """Get or create the section *name*."""
+        sec = self.sections.get(name)
+        if sec is None:
+            sec = self.sections[name] = Section(name)
+        return sec
+
+    def define(self, name: str, section: str, offset: int, *,
+               is_global: bool = False, is_proc: bool = False) -> None:
+        """Define symbol *name*; raises on duplicate definition."""
+        if name in self.symbols:
+            raise ValueError(f"duplicate symbol: {name}")
+        self.symbols[name] = Symbol(name, section, offset,
+                                    is_global=is_global, is_proc=is_proc)
+
+    def mark_global(self, name: str) -> None:
+        """Mark *name* global (may be called before its definition)."""
+        sym = self.symbols.get(name)
+        if sym is not None:
+            self.symbols[name] = Symbol(sym.name, sym.section, sym.offset,
+                                        is_global=True, is_proc=sym.is_proc)
+        else:
+            self.pending_globals.add(name)
+
+    def mark_proc(self, name: str) -> None:
+        """Mark an already-defined text symbol as a procedure entry."""
+        sym = self.symbols[name]
+        self.symbols[name] = Symbol(sym.name, sym.section, sym.offset,
+                                    is_global=sym.is_global, is_proc=True)
+
+    def finalize(self) -> None:
+        """Apply pending ``.global`` marks; call once after assembly."""
+        for name in self.pending_globals:
+            sym = self.symbols.get(name)
+            if sym is None:
+                raise ValueError(f".global for undefined symbol: {name}")
+            self.symbols[name] = Symbol(sym.name, sym.section, sym.offset,
+                                        is_global=True, is_proc=sym.is_proc)
+        self.pending_globals.clear()

@@ -1,0 +1,14 @@
+"""repro.cfg — basic blocks and control-flow analysis.
+
+:func:`scan_block` is the lazy block scanner the memory controller
+chunks with; :func:`build_cfg` builds the whole-program graph used by
+static analyses and as a testing oracle.
+"""
+
+from .blocks import Block, BlockScanError, MAX_BLOCK_INSNS, Term, scan_block
+from .graph import CFG, block_starts, build_cfg, reachable_procs
+
+__all__ = [
+    "Block", "BlockScanError", "CFG", "MAX_BLOCK_INSNS", "Term",
+    "block_starts", "build_cfg", "reachable_procs", "scan_block",
+]

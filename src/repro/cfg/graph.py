@@ -1,0 +1,98 @@
+"""Whole-program control-flow graph construction.
+
+Static analysis used by the evaluation harness (reachable-code
+estimates for Table 1, hot-code contiguity for Figure 9) and by tests
+that validate the chunkers.  The dynamic SoftCache itself never needs
+the global graph — it discovers blocks lazily — but the CFG gives an
+independent oracle to check chunking against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..asm.image import Image
+from .blocks import Block, Term, scan_block
+
+
+@dataclass
+class CFG:
+    """Reachable control-flow graph of an image.
+
+    ``blocks`` maps block start address to :class:`Block`;
+    ``succs``/``preds`` are adjacency over block start addresses.
+    Computed jumps contribute no static edges (they are the paper's
+    *ambiguous pointers*); their possible targets are approximated by
+    ``indirect_targets`` — addresses found in data words that point
+    into text (jump tables, function pointers).
+    """
+
+    image: Image
+    blocks: dict[int, Block] = field(default_factory=dict)
+    succs: dict[int, list[int]] = field(default_factory=dict)
+    preds: dict[int, list[int]] = field(default_factory=dict)
+    indirect_targets: list[int] = field(default_factory=list)
+
+    @property
+    def reachable_text_bytes(self) -> int:
+        """Bytes of text covered by at least one reachable block."""
+        covered: set[int] = set()
+        for block in self.blocks.values():
+            covered.update(range(block.addr, block.end, 4))
+        return 4 * len(covered)
+
+
+def _scan_indirect_targets(image: Image) -> list[int]:
+    """Data words that look like text addresses (jump-table entries)."""
+    out = []
+    data = image.data
+    for off in range(0, len(data) - 3, 4):
+        val = int.from_bytes(data[off:off + 4], "little")
+        if image.in_text(val) and val % 4 == 0:
+            out.append(val)
+    return out
+
+
+def build_cfg(image: Image, entries: list[int] | None = None) -> CFG:
+    """Build the CFG reachable from *entries* (default: image entry
+    plus every indirect target found in data)."""
+    cfg = CFG(image=image)
+    cfg.indirect_targets = _scan_indirect_targets(image)
+    work = list(entries) if entries is not None else (
+        [image.entry] + cfg.indirect_targets)
+    seen: set[int] = set()
+    text_end = image.text_end
+    while work:
+        addr = work.pop()
+        if addr in seen or not image.in_text(addr):
+            continue
+        seen.add(addr)
+        block = scan_block(image.word_at, addr, text_end)
+        cfg.blocks[addr] = block
+        succs: list[int] = []
+        if block.taken is not None:
+            succs.append(block.taken)
+        if block.fallthrough is not None:
+            succs.append(block.fallthrough)
+        if block.term is Term.RET:
+            pass  # return edges resolved dynamically
+        cfg.succs[addr] = succs
+        for succ in succs:
+            cfg.preds.setdefault(succ, []).append(addr)
+            work.append(succ)
+    return cfg
+
+
+def block_starts(cfg: CFG) -> set[int]:
+    """All block start addresses (for trace→block-trace conversion)."""
+    return set(cfg.blocks)
+
+
+def reachable_procs(cfg: CFG) -> set[str]:
+    """Names of procedures containing at least one reachable block."""
+    names: set[str] = set()
+    for addr in cfg.blocks:
+        proc = cfg.image.proc_at(addr)
+        if proc is not None:
+            names.add(proc.name)
+    return names

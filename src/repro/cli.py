@@ -1,0 +1,212 @@
+"""Command-line interface: run workloads, profile, regenerate figures.
+
+Examples::
+
+    python -m repro workloads
+    python -m repro run adpcm_enc --tcache 4096 --granularity ebb
+    python -m repro run compress95 --native --scale 0.1
+    python -m repro profile gzip --scale 0.1
+    python -m repro disasm sensor --proc day_step
+    python -m repro figures --only table1,fig7 --scale 0.15
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .isa import disassemble_range
+from .net import LOCAL_LINK, LinkModel
+from .profiling import profile_image
+from .sim import run_native
+from .softcache import SoftCacheConfig, SoftCacheSystem
+from .workloads import WORKLOADS, build_workload
+
+
+def _cmd_workloads(args) -> int:
+    print(f"{'name':12s} {'description'}")
+    print("-" * 60)
+    for name, spec in WORKLOADS.items():
+        print(f"{name:12s} {spec.description}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    image = build_workload(args.workload, args.scale,
+                           arm_profile=(args.granularity == "proc"))
+    if args.native:
+        machine = run_native(image)
+        print(machine.output_text, end="")
+        print(f"\n[native] {machine.cpu.icount} instructions, "
+              f"{machine.cpu.cycles} cycles")
+        return machine.cpu.exit_code or 0
+
+    dcache_config = None
+    if args.dcache:
+        from .dcache import DataCacheConfig
+        dcache_config = DataCacheConfig(dcache_size=args.dcache)
+    link = LOCAL_LINK if args.local_link else LinkModel()
+    config = SoftCacheConfig(
+        tcache_size=args.tcache, granularity=args.granularity,
+        policy=args.policy, link=link, data_cache=dcache_config)
+    system = SoftCacheSystem(image, config)
+    report = system.run()
+    print(report.output, end="")
+    stats = system.stats
+    print(f"\n[softcache {args.granularity}/{args.policy} "
+          f"tcache={args.tcache}B]")
+    print(f"  instructions      : {report.instructions}")
+    print(f"  cycles            : {report.cycles} "
+          f"({report.seconds * 1e3:.2f} ms simulated)")
+    print(f"  translations      : {stats.translations}")
+    print(f"  evictions/flushes : {stats.evictions}/{stats.flushes}")
+    print(f"  miss traps        : {stats.miss_traps} "
+          f"(+{stats.jr_lookups} jr lookups)")
+    print(f"  link              : {system.link_stats.exchanges} "
+          f"exchanges, {system.link_stats.total_bytes} bytes")
+    usage = system.local_memory_in_use
+    print(f"  local memory      : {usage}")
+    if system.dcache is not None:
+        dst = system.dcache.stats
+        print(f"  dcache            : fast={dst.fast_hits} "
+              f"slow={dst.slow_hits} miss={dst.misses} "
+              f"pred={100 * dst.prediction_accuracy():.0f}%")
+    return report.exit_code
+
+
+def _cmd_profile(args) -> int:
+    image = build_workload(args.workload, args.scale)
+    profile = profile_image(image)
+    print(profile.report(args.top))
+    print(f"\ndynamic .text : {profile.dynamic_text_bytes}B")
+    print(f"static .text  : {image.static_text_size}B")
+    hot = profile.hot_code_bytes(args.threshold)
+    print(f"hot code      : {hot}B "
+          f"({[e.name for e in profile.hot_procs(args.threshold)]})")
+    print(f"norm footprint: {hot / image.static_text_size:.3f}")
+    return 0
+
+
+def _cmd_disasm(args) -> int:
+    image = build_workload(args.workload, args.scale)
+    if args.proc:
+        span = image.proc_named(args.proc)
+        start, end = span.addr, span.end
+    else:
+        start, end = image.text_base, min(image.text_end,
+                                          image.text_base + 4 * args.max)
+    for line in disassemble_range(image.word_at, start, end):
+        print(line)
+    return 0
+
+
+_FIGURES = ("table1", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "netcost", "tagspace", "ablation", "dcache")
+
+
+def _cmd_figures(args) -> int:
+    from . import eval as ev
+    wanted = (args.only.split(",") if args.only else list(_FIGURES))
+    runners = {
+        "table1": lambda: ev.render_table1(ev.table1(scale=args.scale)),
+        "fig5": lambda: ev.render_fig5(ev.fig5(scale=args.scale)),
+        "fig6": lambda: ev.render_fig6(ev.fig6(scale=args.scale)),
+        "fig7": lambda: ev.render_fig7(ev.fig7(scale=args.scale)),
+        "fig8": lambda: ev.render_fig8(ev.fig8(scale=args.scale)),
+        "fig9": lambda: ev.render_fig9(ev.fig9(scale=args.scale)),
+        "netcost": lambda: ev.render_netcost(
+            ev.netcost(scale=args.scale / 2)),
+        "tagspace": lambda: ev.render_tagspace(ev.tagspace()),
+        "ablation": lambda: ev.render_ablation(
+            ev.extra_instruction_ablation(scale=args.scale / 2)),
+        "dcache": lambda: ev.render_dcache(
+            ev.dcache_eval(scale=args.scale / 4)),
+    }
+    for name in wanted:
+        runner = runners.get(name)
+        if runner is None:
+            print(f"unknown figure {name!r}; choices: "
+                  f"{', '.join(_FIGURES)}", file=sys.stderr)
+            return 2
+        print(runner())
+        print()
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .eval import generate_report
+    text = generate_report(scale=args.scale)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SoftCache: software caching via dynamic binary "
+                    "rewriting (ICPP 2002 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list benchmark programs")
+
+    run = sub.add_parser("run", help="run a workload")
+    run.add_argument("workload", choices=sorted(WORKLOADS))
+    run.add_argument("--scale", type=float, default=0.2)
+    run.add_argument("--native", action="store_true",
+                     help="run without the SoftCache (ideal baseline)")
+    run.add_argument("--tcache", type=int, default=24 * 1024)
+    run.add_argument("--granularity", default="block",
+                     choices=("block", "ebb", "proc"))
+    run.add_argument("--policy", default="fifo",
+                     choices=("fifo", "flush"))
+    run.add_argument("--dcache", type=int, default=0,
+                     help="enable the software D-cache with this size")
+    run.add_argument("--local-link", action="store_true",
+                     help="zero-cost MC link (SPARC prototype style)")
+
+    prof = sub.add_parser("profile", help="flat profile of a workload")
+    prof.add_argument("workload", choices=sorted(WORKLOADS))
+    prof.add_argument("--scale", type=float, default=0.1)
+    prof.add_argument("--top", type=int, default=12)
+    prof.add_argument("--threshold", type=float, default=0.90)
+
+    dis = sub.add_parser("disasm", help="disassemble a workload image")
+    dis.add_argument("workload", choices=sorted(WORKLOADS))
+    dis.add_argument("--scale", type=float, default=0.1)
+    dis.add_argument("--proc", help="disassemble one procedure")
+    dis.add_argument("--max", type=int, default=64,
+                     help="max instructions without --proc")
+
+    figs = sub.add_parser("figures",
+                          help="regenerate the paper's tables/figures")
+    figs.add_argument("--only", help="comma-separated subset: "
+                                     + ",".join(_FIGURES))
+    figs.add_argument("--scale", type=float, default=0.2)
+
+    report = sub.add_parser(
+        "report", help="run every experiment, emit one text report")
+    report.add_argument("--scale", type=float, default=0.2)
+    report.add_argument("--out", help="write the report to this file")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "workloads": _cmd_workloads,
+        "run": _cmd_run,
+        "profile": _cmd_profile,
+        "disasm": _cmd_disasm,
+        "figures": _cmd_figures,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

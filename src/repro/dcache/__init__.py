@@ -1,0 +1,17 @@
+"""repro.dcache — the Section-3 software data cache.
+
+Implements the paper's D-cache *paper design*: load/store rewriting
+(:class:`DataRewriter`, Fig 10), pinned constant-address globals, a
+stack cache with entry/exit presence checks, and a fully associative
+predicted dcache with slow-hit binary search
+(:class:`SoftDataCache`).  Enable it through
+``SoftCacheConfig(data_cache=DataCacheConfig(...))``.
+"""
+
+from .dcache import DataCacheConfig, DataCacheStats, SoftDataCache
+from .rewrite import DataRewriter, DCSite, RewriteStats, SCSite
+
+__all__ = [
+    "DCSite", "DataCacheConfig", "DataCacheStats", "DataRewriter",
+    "RewriteStats", "SCSite", "SoftDataCache",
+]

@@ -1,0 +1,431 @@
+"""The software data cache (Section 3): scache + predicted dcache.
+
+Design mirrors §3.1 exactly:
+
+* local memory is statically divided into **pinned globals** (the
+  specialized constant-address scalars of Fig 10 top), a **stack
+  cache** (circular buffer of frames with presence checks at procedure
+  entry/exit, spilling whole frames to the server when it overflows),
+  and a **fully associative dcache** of fixed-size blocks kept with
+  their tags in sorted order;
+* a data access first checks a per-site **prediction** (fast hit =
+  Fig 10 bottom's inline sequence), then falls back to a **binary
+  search** of the whole dcache — a *slow hit*, whose worst-case cost
+  is the paper's guaranteed on-chip latency — and finally misses to
+  the server over the link;
+* dirty blocks write back on eviction.
+
+Functionally the cache is real: the server's copy of the data segment
+is only touched on refill/writeback, so coherence bugs would change
+program results, and the test suite compares final memory images
+against native runs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..sim.errors import MemoryFault
+
+MASK32 = 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class DataCacheConfig:
+    """Sizing and policy of the software data cache."""
+
+    dcache_size: int = 2048     # bytes of block storage
+    block_size: int = 16
+    scache_size: int = 512      # bytes of stack-frame cache
+    pin_globals: bool = True    # pin 4-byte scalar globals locally
+    max_pinned_bytes: int = 256
+    prediction: str = "last"    # 'last' | 'stride' | 'none'
+    #: record the dcache block-access sequence (feeds the §4
+    #: multi-bank parallel-access analysis in repro.power)
+    record_access_tags: bool = False
+
+    def __post_init__(self):
+        if self.block_size & (self.block_size - 1):
+            raise ValueError("block size must be a power of two")
+        if self.dcache_size % self.block_size:
+            raise ValueError("dcache size must be a multiple of the "
+                             "block size")
+        if self.prediction not in ("last", "stride", "none"):
+            raise ValueError(f"unknown prediction {self.prediction!r}")
+
+
+@dataclass
+class DataCacheStats:
+    loads: int = 0
+    stores: int = 0
+    fast_hits: int = 0
+    slow_hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+    pinned_accesses: int = 0
+    stack_accesses: int = 0
+    scache_enters: int = 0
+    scache_exits: int = 0
+    scache_spills: int = 0
+    scache_refills: int = 0
+    worst_slow_hit_cycles: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.loads + self.stores
+
+    @property
+    def dcache_accesses(self) -> int:
+        return self.fast_hits + self.slow_hits + self.misses
+
+    def prediction_accuracy(self) -> float:
+        hits = self.fast_hits + self.slow_hits
+        return self.fast_hits / hits if hits else 0.0
+
+    def slow_hit_guarantee_held(self) -> bool:
+        """True if every on-chip access resolved without the server."""
+        return self.misses == 0
+
+
+class _Block:
+    __slots__ = ("data", "dirty")
+
+    def __init__(self, data: bytearray):
+        self.data = data
+        self.dirty = False
+
+
+class SoftDataCache:
+    """Client-side data-cache controller (plugs into the CC's traps)."""
+
+    def __init__(self, machine, channel, costs,
+                 config: DataCacheConfig, rewriter, local_base: int):
+        self.machine = machine
+        self.cpu = machine.cpu
+        self.mem = machine.mem
+        self.channel = channel
+        self.costs = costs
+        self.config = config
+        self.rewriter = rewriter
+        self.stats = DataCacheStats()
+        self._data_region = machine.mem.region_named("data")
+        self._stack_region = machine.mem.region_named("stack")
+        self._local_region = machine.mem.region_named("local")
+        # pinned area lives in local RAM at local_base
+        self.pinned_base = local_base
+        self.pinned: dict[int, int] = {}       # orig addr -> local addr
+        self._pinned_spans: list[tuple[int, int]] = []
+        self._build_pinned_map()
+        rewriter.pinned = self.pinned
+        # dcache block storage
+        self.capacity = config.dcache_size // config.block_size
+        self.blocks: OrderedDict[int, _Block] = OrderedDict()
+        self._pred_tag: dict[int, int] = {}
+        self._pred_stride: dict[int, int] = {}
+        self._last_tag: dict[int, int] = {}
+        # scache frame tracking: list of frame sizes, oldest first;
+        # frames below `resident_from` have been spilled to the server
+        self._frames: list[int] = []
+        self._resident_from = 0
+        #: dcache block-access sequence (when record_access_tags)
+        self.access_tags: list[int] = []
+        self._attach()
+
+    # -- setup -----------------------------------------------------------
+
+    def _build_pinned_map(self) -> None:
+        if not self.config.pin_globals:
+            return
+        image = self.machine.image
+        local = self.pinned_base
+        budget = self.config.max_pinned_bytes
+        for addr in sorted(image.data_object_sizes):
+            size = image.data_object_sizes[addr]
+            if size != 4 or budget < 4:
+                continue
+            self.pinned[addr] = local
+            self._pinned_spans.append((addr, local))
+            local += 4
+            budget -= 4
+
+    @property
+    def pinned_bytes(self) -> int:
+        return 4 * len(self.pinned)
+
+    def _attach(self) -> None:
+        # copy pinned values into local RAM
+        buf = self._data_region.buf
+        base = self._data_region.base
+        for orig, local in self.pinned.items():
+            off = orig - base
+            self.mem.write_bytes(local, bytes(buf[off:off + 4]))
+        # all other data access must come through the traps
+        self._data_region.readable = False
+        self._data_region.writable = False
+        self.machine.coherent_reader = self.coherent_read_cstring
+
+    def finalize(self) -> None:
+        """Write everything back to the server copy (end of run)."""
+        base = self._data_region.base
+        buf = self._data_region.buf
+        for tag, block in self.blocks.items():
+            if block.dirty:
+                start = tag * self.config.block_size - base
+                buf[start:start + self.config.block_size] = block.data
+                block.dirty = False
+        for orig, local in self.pinned.items():
+            buf[orig - base:orig - base + 4] = self.mem.read_bytes(
+                local, 4)
+        self._data_region.readable = True
+        self._data_region.writable = True
+
+    # -- trap handlers -----------------------------------------------------------
+
+    def handle_dc(self, cpu, code: int, operand: int, pc: int) -> int:
+        from ..isa import Trap
+        site = self.rewriter.dc_sites[operand]
+        regs = cpu.regs
+        addr = (regs[site.rs1] + site.imm) & MASK32
+        is_store = code == Trap.DC_STORE
+        if is_store:
+            self.stats.stores += 1
+        else:
+            self.stats.loads += 1
+        stack = self._stack_region
+        if stack.base <= addr < stack.end:
+            # scache guarantees residency for stack objects
+            self.stats.stack_accesses += 1
+            cpu.add_cycles(self.costs.scache_check_cycles)
+            self._native_access(site, addr, is_store)
+            return pc + 4
+        local_addr = self._pinned_local(addr)
+        if local_addr is not None:
+            self.stats.pinned_accesses += 1
+            cpu.add_cycles(self.costs.dcache_hit_cycles)
+            self._native_access(site, local_addr, is_store)
+            return pc + 4
+        self._dcache_access(site, addr, is_store)
+        return pc + 4
+
+    def handle_sc(self, cpu, code: int, operand: int, pc: int) -> int:
+        from ..isa import Trap
+        site = self.rewriter.sc_sites[operand]
+        cpu.add_cycles(self.costs.scache_check_cycles)
+        regs = cpu.regs
+        if code == Trap.SC_ENTER:
+            self.stats.scache_enters += 1
+            regs[2] = (regs[2] - site.frame_size) & MASK32  # sp -= F
+            self._frames.append(site.frame_size)
+            self._spill_if_needed()
+        else:
+            self.stats.scache_exits += 1
+            regs[2] = regs[3]  # sp = fp
+            if self._frames:
+                self._frames.pop()
+            if self._resident_from > len(self._frames):
+                self._resident_from = len(self._frames)
+            if self._frames and self._resident_from == len(self._frames):
+                # the caller's frame was spilled: bring it back
+                self._refill_frame()
+        return pc + 4
+
+    # -- scache internals ------------------------------------------------------------
+
+    def _resident_bytes(self) -> int:
+        return sum(self._frames[self._resident_from:])
+
+    def _spill_if_needed(self) -> None:
+        while (self._resident_bytes() > self.config.scache_size
+               and self._resident_from < len(self._frames) - 1):
+            spilled = self._frames[self._resident_from]
+            self._resident_from += 1
+            self.stats.scache_spills += 1
+            self.cpu.add_cycles(int(
+                self.channel.send("stack_spill", spilled)
+                * self.costs.cpu_hz))
+
+    def _refill_frame(self) -> None:
+        if self._resident_from > 0:
+            self._resident_from -= 1
+            size = self._frames[self._resident_from]
+            self.stats.scache_refills += 1
+            self.cpu.add_cycles(int(
+                self.channel.exchange("stack_refill", size)
+                * self.costs.cpu_hz))
+
+    # -- pinned ------------------------------------------------------------------------
+
+    def _pinned_local(self, addr: int) -> int | None:
+        entry = self.pinned.get(addr & ~3)
+        if entry is None:
+            return None
+        return entry | (addr & 3)
+
+    # -- dcache internals -----------------------------------------------------------------
+
+    def _dcache_access(self, site, addr: int, is_store: bool) -> None:
+        config = self.config
+        tag = addr // config.block_size
+        if config.record_access_tags:
+            self.access_tags.append(tag)
+        block = self.blocks.get(tag)
+        predicted = self._predict(site.site_id)
+        if block is not None and predicted == tag:
+            self.stats.fast_hits += 1
+            self.cpu.add_cycles(self.costs.dcache_hit_cycles)
+        elif block is not None:
+            # slow hit: binary search of the sorted tag array
+            self.stats.slow_hits += 1
+            steps = max(1, math.ceil(math.log2(len(self.blocks) + 1)))
+            cost = (self.costs.dcache_hit_cycles
+                    + steps * self.costs.dcache_slow_hit_per_step_cycles)
+            self.stats.worst_slow_hit_cycles = max(
+                self.stats.worst_slow_hit_cycles, cost)
+            self.cpu.add_cycles(cost)
+        else:
+            self.stats.misses += 1
+            self.cpu.add_cycles(self.costs.dcache_hit_cycles
+                                + self.costs.trap_overhead_cycles)
+            block = self._refill(tag)
+        self.blocks.move_to_end(tag)
+        self._update_prediction(site.site_id, tag)
+        offset = addr - tag * config.block_size
+        self._block_access(site, block, offset, is_store)
+
+    def _predict(self, site_id: int) -> int | None:
+        mode = self.config.prediction
+        if mode == "none":
+            return None
+        if mode == "last":
+            return self._pred_tag.get(site_id)
+        last = self._pred_tag.get(site_id)
+        if last is None:
+            return None
+        return last + self._pred_stride.get(site_id, 0)
+
+    def _update_prediction(self, site_id: int, tag: int) -> None:
+        if self.config.prediction == "stride":
+            last = self._pred_tag.get(site_id)
+            if last is not None:
+                self._pred_stride[site_id] = tag - last
+        self._pred_tag[site_id] = tag
+
+    def _refill(self, tag: int) -> _Block:
+        config = self.config
+        if len(self.blocks) >= self.capacity:
+            victim_tag, victim = self.blocks.popitem(last=False)
+            if victim.dirty:
+                self.stats.writebacks += 1
+                self._server_write(victim_tag * config.block_size,
+                                   victim.data)
+                self.cpu.add_cycles(int(
+                    self.channel.send("data_wb", config.block_size)
+                    * self.costs.cpu_hz))
+        data = bytearray(self._server_read(tag * config.block_size,
+                                           config.block_size))
+        block = _Block(data)
+        self.blocks[tag] = block
+        self.cpu.add_cycles(int(
+            self.channel.exchange("data", config.block_size)
+            * self.costs.cpu_hz))
+        return block
+
+    def _server_read(self, addr: int, length: int) -> bytes:
+        region = self._data_region
+        if not (region.base <= addr and addr + length <= region.end):
+            raise MemoryFault(addr, "data access outside data segment")
+        off = addr - region.base
+        return bytes(region.buf[off:off + length])
+
+    def _server_write(self, addr: int, data: bytes) -> None:
+        region = self._data_region
+        off = addr - region.base
+        region.buf[off:off + len(data)] = data
+
+    def _block_access(self, site, block: _Block, offset: int,
+                      is_store: bool) -> None:
+        regs = self.cpu.regs
+        width = site.width
+        if is_store:
+            value = regs[site.rd] & ((1 << (8 * width)) - 1)
+            block.data[offset:offset + width] = value.to_bytes(
+                width, "little")
+            block.dirty = True
+            return
+        raw = int.from_bytes(block.data[offset:offset + width], "little")
+        if site.signed and width < 4:
+            sign = 1 << (8 * width - 1)
+            if raw & sign:
+                raw = (raw - (1 << (8 * width))) & MASK32
+        if site.rd:
+            regs[site.rd] = raw
+
+    def _native_access(self, site, addr: int, is_store: bool) -> None:
+        """Perform the access against directly mapped memory."""
+        mem = self.mem
+        regs = self.cpu.regs
+        width = site.width
+        if is_store:
+            value = regs[site.rd]
+            if width == 4:
+                mem.write_word(addr, value)
+            elif width == 2:
+                mem.write_half(addr, value)
+            else:
+                mem.write_byte(addr, value)
+            return
+        if width == 4:
+            raw = mem.read_word(addr)
+        elif width == 2:
+            raw = mem.read_half(addr)
+        else:
+            raw = mem.read_byte(addr)
+        if site.signed and width < 4:
+            sign = 1 << (8 * width - 1)
+            if raw & sign:
+                raw = (raw - (1 << (8 * width))) & MASK32
+        if site.rd:
+            regs[site.rd] = raw
+
+    # -- coherent views for the OS layer -------------------------------------------
+
+    def coherent_read_byte(self, addr: int) -> int:
+        local = self._pinned_local(addr)
+        if local is not None:
+            return self.mem.read_byte(local)
+        tag = addr // self.config.block_size
+        block = self.blocks.get(tag)
+        if block is not None:
+            return block.data[addr - tag * self.config.block_size]
+        region = self._data_region
+        if region.base <= addr < region.end:
+            return region.buf[addr - region.base]
+        return self.mem.read_byte(addr)
+
+    def coherent_read_cstring(self, addr: int, max_len: int = 4096) -> str:
+        out = bytearray()
+        for i in range(max_len):
+            byte = self.coherent_read_byte(addr + i)
+            if byte == 0:
+                break
+            out.append(byte)
+        return out.decode("latin-1")
+
+    # -- reporting ---------------------------------------------------------------------
+
+    @property
+    def local_bytes(self) -> dict[str, int]:
+        return {
+            "pinned": self.pinned_bytes,
+            "dcache": self.config.dcache_size,
+            "dcache_tags": 8 * self.capacity,  # sorted tag array
+            "scache": self.config.scache_size,
+        }
+
+    def slow_hit_bound_cycles(self) -> int:
+        """Analytic worst case: the §3 guaranteed on-chip latency."""
+        steps = max(1, math.ceil(math.log2(self.capacity + 1)))
+        return (self.costs.dcache_hit_cycles
+                + steps * self.costs.dcache_slow_hit_per_step_cycles)

@@ -1,0 +1,61 @@
+"""Shared experiment infrastructure: cached native runs and traces.
+
+Native fetch traces are expensive (one interpreter pass per workload),
+so every figure that consumes them (Table 1, Figs 6, 7, 9) shares one
+trace per (workload, scale) through this module's cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..asm.image import Image
+from ..sim.machine import Machine
+from ..workloads import build_workload
+
+
+@dataclass
+class TraceRun:
+    """A native run with its full instruction fetch trace."""
+
+    workload: str
+    scale: float
+    image: Image
+    trace: np.ndarray          # uint32 fetch addresses
+    instructions: int
+    cycles: int
+    output: str
+    exit_code: int
+
+    @property
+    def dynamic_text_bytes(self) -> int:
+        return 4 * int(np.unique(self.trace).size)
+
+
+_trace_cache: dict[tuple[str, float, bool], TraceRun] = {}
+
+
+def native_trace(workload: str, scale: float = 1.0, *,
+                 arm_profile: bool = False,
+                 max_instructions: int = 200_000_000) -> TraceRun:
+    """Run *workload* natively with a fetch trace (memoized)."""
+    key = (workload, scale, arm_profile)
+    run = _trace_cache.get(key)
+    if run is not None:
+        return run
+    image = build_workload(workload, scale, arm_profile=arm_profile)
+    machine = Machine(image)
+    exit_code, trace = machine.run_traced(max_instructions)
+    run = TraceRun(
+        workload=workload, scale=scale, image=image,
+        trace=np.frombuffer(trace, dtype=np.uint32).copy(),
+        instructions=machine.cpu.icount, cycles=machine.cpu.cycles,
+        output=machine.output_text, exit_code=exit_code)
+    _trace_cache[key] = run
+    return run
+
+
+def clear_trace_cache() -> None:
+    _trace_cache.clear()

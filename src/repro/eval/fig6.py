@@ -1,0 +1,58 @@
+"""Figure 6: hardware I-cache miss rate versus cache size.
+
+Direct-mapped, 16-byte blocks, swept over sizes 0.1KB..100KB for the
+four SPARC benchmarks.  The working set is read off the knee of each
+curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hwcache import CacheResult, sweep_direct_mapped, working_set_knee
+from ..workloads import SPARC_BENCHMARKS
+from .common import native_trace
+from .render import ascii_table
+
+#: Cache sizes matching the figure's log axis (bytes).
+DEFAULT_SIZES = (128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768,
+                 65536)
+
+
+@dataclass
+class Fig6Curve:
+    workload: str
+    results: list[CacheResult]
+
+    @property
+    def knee_bytes(self) -> int | None:
+        return working_set_knee(self.results)
+
+
+def fig6(scale: float = 0.3, sizes: tuple[int, ...] = DEFAULT_SIZES,
+         workloads: tuple[str, ...] = SPARC_BENCHMARKS,
+         block_size: int = 16) -> list[Fig6Curve]:
+    curves = []
+    for name in workloads:
+        run = native_trace(name, scale)
+        results = sweep_direct_mapped(run.trace, list(sizes), block_size)
+        curves.append(Fig6Curve(workload=name, results=results))
+    return curves
+
+
+def render_fig6(curves: list[Fig6Curve]) -> str:
+    sizes = [r.size_bytes for r in curves[0].results]
+    headers = ["size"] + [c.workload for c in curves]
+    rows = []
+    for i, size in enumerate(sizes):
+        row = [f"{size / 1024:.2f}KB"]
+        for curve in curves:
+            row.append(f"{100 * curve.results[i].miss_rate:.3f}%")
+        rows.append(row)
+    knees = ["knee"] + [
+        (f"{c.knee_bytes / 1024:.2f}KB" if c.knee_bytes else ">max")
+        for c in curves]
+    rows.append(knees)
+    return ascii_table(headers, rows,
+                       title="Figure 6: HW I-cache miss rate vs size "
+                             "(direct-mapped, 16B blocks)")

@@ -1,0 +1,70 @@
+"""Figure 7: software tcache miss rate versus tcache size.
+
+Miss rate = basic blocks translated / instructions executed (the
+figure's caption), swept over tcache sizes for the four SPARC
+benchmarks via block-trace replay.  The headline comparison with
+Figure 6: "the cache size required to capture the working set appears
+similar for the software cache as for a hardware cache".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..workloads import SPARC_BENCHMARKS
+from .common import native_trace
+from .render import ascii_table
+from .tcache_replay import ReplayResult, sweep_tcache
+
+DEFAULT_SIZES = (256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536)
+
+
+@dataclass
+class Fig7Curve:
+    workload: str
+    results: list[ReplayResult]
+
+    def knee_bytes(self, slack: float = 1.10) -> int | None:
+        """Smallest tcache whose miss rate is within *slack* of the
+        compulsory floor (the rate of the largest cache swept).
+
+        Unlike hardware miss rates, software translation rates bottom
+        out at the cold-translation floor, so the knee is defined
+        relative to that floor rather than by an absolute threshold.
+        """
+        ordered = sorted(self.results, key=lambda r: r.tcache_size)
+        floor = ordered[-1].miss_rate
+        for result in ordered:
+            if result.miss_rate <= slack * floor + 1e-12:
+                return result.tcache_size
+        return None
+
+
+def fig7(scale: float = 0.3, sizes: tuple[int, ...] = DEFAULT_SIZES,
+         workloads: tuple[str, ...] = SPARC_BENCHMARKS,
+         granularity: str = "block",
+         policy: str = "fifo") -> list[Fig7Curve]:
+    curves = []
+    for name in workloads:
+        run = native_trace(name, scale)
+        results = sweep_tcache(run.image, run.trace, list(sizes),
+                               granularity=granularity, policy=policy)
+        curves.append(Fig7Curve(workload=name, results=results))
+    return curves
+
+
+def render_fig7(curves: list[Fig7Curve]) -> str:
+    sizes = [r.tcache_size for r in curves[0].results]
+    headers = ["size"] + [c.workload for c in curves]
+    rows = []
+    for i, size in enumerate(sizes):
+        row = [f"{size / 1024:.2f}KB"]
+        for curve in curves:
+            row.append(f"{100 * curve.results[i].miss_rate:.4f}%")
+        rows.append(row)
+    rows.append(["knee"] + [
+        (f"{c.knee_bytes() / 1024:.2f}KB" if c.knee_bytes() else ">max")
+        for c in curves])
+    return ascii_table(headers, rows,
+                       title="Figure 7: SW tcache miss rate vs size "
+                             "(blocks translated / instructions)")

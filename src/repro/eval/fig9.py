@@ -1,0 +1,60 @@
+"""Figure 9: normalized dynamic footprint (hot code / program size).
+
+The paper profiles adpcm encode/decode, gzip and cjpeg with gprof,
+takes the functions covering >=90% of runtime as the hot code, and
+reports hot/static ratios of 0.09, 0.07, 0.09, 0.13 — "a 7-14X
+reduction compared to the full program size".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..profiling import Profile, profile_image
+from ..workloads import ARM_BENCHMARKS, build_workload
+from .render import ascii_table
+
+#: Paper's Figure 9 bars.
+PAPER_FIG9 = {"adpcm_enc": 0.09, "adpcm_dec": 0.07, "gzip": 0.09,
+              "cjpeg": 0.13}
+
+
+@dataclass
+class Fig9Bar:
+    workload: str
+    hot_bytes: int
+    static_bytes: int
+    normalized_footprint: float
+    reduction_factor: float
+    hot_functions: list[str]
+    profile: Profile
+
+
+def fig9(scale: float = 0.3, threshold: float = 0.90,
+         workloads: tuple[str, ...] = ARM_BENCHMARKS) -> list[Fig9Bar]:
+    bars = []
+    for name in workloads:
+        image = build_workload(name, scale, arm_profile=True)
+        profile = profile_image(image)
+        hot = profile.hot_code_bytes(threshold)
+        static = image.static_text_size
+        bars.append(Fig9Bar(
+            workload=name, hot_bytes=hot, static_bytes=static,
+            normalized_footprint=hot / static,
+            reduction_factor=static / hot if hot else float("inf"),
+            hot_functions=[e.name for e in profile.hot_procs(threshold)],
+            profile=profile))
+    return bars
+
+
+def render_fig9(bars: list[Fig9Bar]) -> str:
+    rows = [[b.workload, b.hot_bytes, b.static_bytes,
+             f"{b.normalized_footprint:.3f}",
+             f"{b.reduction_factor:.1f}x",
+             ",".join(b.hot_functions[:4])] for b in bars]
+    return ascii_table(
+        ["app", "hot bytes", "static bytes", "normalized", "reduction",
+         "hot functions"],
+        rows,
+        title="Figure 9: normalized dynamic footprint "
+              "(gprof-90% hot code / static size)")

@@ -1,0 +1,129 @@
+"""Smaller quantitative results of the paper, reproduced:
+
+* §2.4's "60 application bytes" of network overhead per chunk;
+* §2.2/Fig 6's "tags for 32-bit addresses would add an extra 11-18%";
+* §2.2's "two new instructions per translated basic block ... could be
+  optimized away" — the block vs EBB ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hwcache import overhead_band, tag_overhead
+from ..net import LOCAL_LINK
+from ..sim.machine import Machine
+from ..softcache import SoftCacheConfig, SoftCacheSystem
+from ..workloads import build_workload
+from .render import ascii_table
+
+
+# -- network overhead ---------------------------------------------------------
+
+@dataclass
+class NetCostResult:
+    exchanges: int
+    overhead_per_exchange: float
+    payload_bytes: int
+    total_bytes: int
+    mean_chunk_payload: float
+
+
+def netcost(workload: str = "adpcm_enc", scale: float = 0.1,
+            tcache_size: int = 48 * 1024) -> NetCostResult:
+    image = build_workload(workload, scale)
+    system = SoftCacheSystem(image, SoftCacheConfig(
+        tcache_size=tcache_size, record_timeline=False))
+    system.run(200_000_000)
+    stats = system.link_stats
+    return NetCostResult(
+        exchanges=stats.exchanges,
+        overhead_per_exchange=stats.overhead_per_exchange(),
+        payload_bytes=stats.payload_bytes,
+        total_bytes=stats.total_bytes,
+        mean_chunk_payload=(stats.payload_bytes / stats.exchanges
+                            if stats.exchanges else 0.0))
+
+
+def render_netcost(result: NetCostResult) -> str:
+    rows = [["chunk exchanges", result.exchanges],
+            ["overhead / exchange", f"{result.overhead_per_exchange:.0f}B"
+             " (paper: 60B)"],
+            ["mean chunk payload", f"{result.mean_chunk_payload:.0f}B"],
+            ["total app bytes", result.total_bytes]]
+    return ascii_table(["metric", "value"], rows,
+                       title="§2.4: network overhead per chunk")
+
+
+# -- hardware tag space --------------------------------------------------------
+
+def tagspace(sizes: tuple[int, ...] = tuple(1 << k for k in
+                                            range(10, 18)),
+             block_size: int = 16) -> list[tuple[int, float]]:
+    """Tag+valid overhead percent per cache size (the 11-18% claim)."""
+    return [(size,
+             tag_overhead(size, block_size).overhead_percent)
+            for size in sizes]
+
+
+def render_tagspace(rows: list[tuple[int, float]]) -> str:
+    lo, hi = overhead_band([r[0] for r in rows])
+    table_rows = [[f"{size // 1024}KB", f"{pct:.1f}%"]
+                  for size, pct in rows]
+    table_rows.append(["band", f"{lo:.1f}% - {hi:.1f}% (paper: 11-18%)"])
+    return ascii_table(["cache size", "tag overhead"], table_rows,
+                       title="HW tag-array space overhead "
+                             "(32-bit addrs, 16B blocks)")
+
+
+# -- extra-instruction ablation ---------------------------------------------------
+
+@dataclass
+class AblationRow:
+    granularity: str
+    relative_time: float
+    extra_instr_per_chunk: float
+    translations: int
+    words_installed: int
+
+
+def extra_instruction_ablation(workload: str = "compress95",
+                               scale: float = 0.15,
+                               tcache_size: int = 48 * 1024,
+                               max_instructions: int = 400_000_000
+                               ) -> list[AblationRow]:
+    """Block chunking (with added jumps/continuation slots) versus EBB
+    chunking (optimized away), both with a fitting tcache."""
+    image = build_workload(workload, scale)
+    native = Machine(image)
+    native.run(max_instructions)
+    ideal = native.cpu.cycles
+    rows = []
+    for granularity in ("block", "ebb"):
+        config = SoftCacheConfig(tcache_size=tcache_size,
+                                 granularity=granularity,
+                                 link=LOCAL_LINK,
+                                 record_timeline=False)
+        system = SoftCacheSystem(image, config)
+        report = system.run(max_instructions)
+        assert report.output == native.output_text
+        stats = system.stats
+        rows.append(AblationRow(
+            granularity=granularity,
+            relative_time=report.cycles / ideal,
+            extra_instr_per_chunk=stats.extra_instructions_per_translation(),
+            translations=stats.translations,
+            words_installed=stats.words_installed))
+    return rows
+
+
+def render_ablation(rows: list[AblationRow]) -> str:
+    table_rows = [[r.granularity, f"{r.relative_time:.3f}",
+                   f"{r.extra_instr_per_chunk:.2f}", r.translations,
+                   r.words_installed] for r in rows]
+    return ascii_table(
+        ["chunker", "rel. time", "extra instr/chunk", "translations",
+         "words installed"],
+        table_rows,
+        title="§2.2 ablation: rewriting-added instructions "
+              "(block) vs optimized traces (EBB)")

@@ -1,0 +1,42 @@
+"""Plain-text rendering of experiment results."""
+
+from __future__ import annotations
+
+
+def ascii_table(headers: list[str], rows: list[list], title: str = "",
+                ) -> str:
+    """Render rows as a fixed-width text table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def series_plot(xs: list, ys: list[float], *, width: int = 50,
+                label: str = "", fmt: str = "{:.2f}") -> str:
+    """A simple horizontal-bar text plot of a series."""
+    if not ys:
+        return f"{label}: (empty)"
+    peak = max(ys) or 1.0
+    lines = [label] if label else []
+    for x, y in zip(xs, ys):
+        bar = "#" * max(0, round(width * y / peak))
+        lines.append(f"{str(x):>10}  {fmt.format(y):>9}  {bar}")
+    return "\n".join(lines)
+
+
+def fmt_bytes(n: int) -> str:
+    if n >= 1024 * 1024:
+        return f"{n / (1024 * 1024):.1f}MB"
+    if n >= 1024:
+        return f"{n / 1024:.1f}KB"
+    return f"{n}B"

@@ -1,0 +1,66 @@
+"""One-shot experiment report: every table and figure in one run.
+
+``generate_report()`` executes all drivers at a given scale and
+returns one markdown-ish text document (also exposed as
+``python -m repro report``).  Useful for refreshing EXPERIMENTS.md
+after changing the cost model, the workloads or the rewriter.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .dcache_eval import dcache_eval, render_dcache
+from .fig5 import fig5, render_fig5
+from .fig6 import fig6, render_fig6
+from .fig7 import fig7, render_fig7
+from .fig8 import fig8, render_fig8
+from .fig9 import fig9, render_fig9
+from .misc import (
+    extra_instruction_ablation,
+    netcost,
+    render_ablation,
+    render_netcost,
+    render_tagspace,
+    tagspace,
+)
+from .table1 import render_table1, table1
+
+_SECTIONS = (
+    ("Table 1", lambda s: render_table1(table1(scale=s))),
+    ("Figure 5", lambda s: render_fig5(fig5(scale=s * 0.75))),
+    ("Figure 6", lambda s: render_fig6(fig6(scale=s))),
+    ("Figure 7", lambda s: render_fig7(fig7(scale=s))),
+    ("Figure 8", lambda s: render_fig8(fig8(scale=s))),
+    ("Figure 9", lambda s: render_fig9(fig9(scale=s))),
+    ("Net overhead (§2.4)", lambda s: render_netcost(
+        netcost(scale=s / 2))),
+    ("Tag space (§2.2)", lambda s: render_tagspace(tagspace())),
+    ("Extra-instruction ablation (§2.2)",
+     lambda s: render_ablation(extra_instruction_ablation(scale=s / 2))),
+    ("Data cache (§3)", lambda s: render_dcache(
+        dcache_eval(scale=s / 4))),
+)
+
+
+def generate_report(scale: float = 0.2,
+                    sections: list[str] | None = None) -> str:
+    """Run every experiment and return the combined text report."""
+    parts = [f"# SoftCache reproduction report (scale={scale})", ""]
+    for title, runner in _SECTIONS:
+        if sections is not None and title not in sections:
+            continue
+        started = time.time()
+        body = runner(scale)
+        elapsed = time.time() - started
+        parts.append(f"## {title}  ({elapsed:.1f}s)")
+        parts.append("")
+        parts.append("```")
+        parts.append(body)
+        parts.append("```")
+        parts.append("")
+    return "\n".join(parts)
+
+
+def section_titles() -> list[str]:
+    return [title for title, _ in _SECTIONS]

@@ -1,0 +1,10 @@
+"""repro.fleet — the Figure-1 deployment: one server, many devices.
+
+:func:`simulate_fleet` runs a fleet of identical embedded clients
+against one shared memory controller and uplink, reporting server-side
+chunk-cache sharing, link utilization and queueing delay.
+"""
+
+from .fleet import ClientResult, FleetResult, simulate_fleet
+
+__all__ = ["ClientResult", "FleetResult", "simulate_fleet"]

@@ -1,0 +1,173 @@
+"""Fleet simulation: the paper's Figure-1 deployment.
+
+"Two examples of this class include a distributed network of low-cost
+sensors with embedded processing and distributed cell phones which
+communicate with cell towers" — one server (MC) feeds many embedded
+clients (CCs) over a shared uplink.
+
+Each client is a full :class:`~repro.softcache.SoftCacheSystem`; the
+fleet shares one server-side memory controller (so chunk rewriting is
+done once per chunk, not once per client) and one uplink.  Clients run
+staggered in time; after the per-client runs, the merged miss-request
+timeline is pushed through a FIFO single-server queue to estimate link
+utilization and the queueing delay a real shared uplink would add.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..asm.image import Image
+from ..net import LinkModel
+from ..softcache import (
+    MemoryController,
+    RunReport,
+    SoftCacheConfig,
+    SoftCacheSystem,
+)
+
+
+@dataclass
+class ClientResult:
+    """One device's run within the fleet."""
+
+    client_id: int
+    start_s: float
+    report: RunReport
+    translations: int
+    bytes_requested: int
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.report.seconds
+
+
+@dataclass
+class FleetResult:
+    """Aggregate outcome of a fleet simulation."""
+
+    n_clients: int
+    link: LinkModel
+    clients: list[ClientResult]
+    #: chunks rewritten server-side vs requests served: sharing factor
+    mc_requests: int
+    mc_chunks_built: int
+    #: shared-uplink queue analysis
+    total_transfer_s: float
+    makespan_s: float
+    mean_queue_delay_s: float
+    max_queue_delay_s: float
+    delayed_requests: int
+
+    @property
+    def link_utilization(self) -> float:
+        """Busy fraction of the shared uplink over the makespan."""
+        return (self.total_transfer_s / self.makespan_s
+                if self.makespan_s else 0.0)
+
+    @property
+    def chunk_cache_sharing(self) -> float:
+        """Fraction of requests served from the MC's chunk cache
+        (work the server did once instead of once per client)."""
+        if not self.mc_requests:
+            return 0.0
+        return 1.0 - self.mc_chunks_built / self.mc_requests
+
+
+def simulate_fleet(image: Image, n_clients: int,
+                   config: SoftCacheConfig | None = None, *,
+                   stagger_s: float = 0.0,
+                   max_instructions: int = 400_000_000) -> FleetResult:
+    """Run *n_clients* identical devices against one server.
+
+    *stagger_s* offsets each client's boot time; 0 means all devices
+    power on together (worst case for the shared uplink, e.g. after a
+    region-wide reset of a sensor network).
+    """
+    if n_clients < 1:
+        raise ValueError("need at least one client")
+    config = config or SoftCacheConfig()
+    shared_mc = MemoryController(image, granularity=config.granularity,
+                                 ebb_limit=config.ebb_limit)
+    clients: list[ClientResult] = []
+    events: list[tuple[float, float]] = []  # (arrival_s, service_s)
+    link = config.link
+    # devices are identical and deterministic: simulate two against
+    # the shared MC (the second exercises the chunk-cache-hit path and
+    # must behave identically), then replicate the timeline
+    reference: ClientResult | None = None
+    for client_id in range(n_clients):
+        start = client_id * stagger_s
+        if client_id < 2 or reference is None:
+            system = SoftCacheSystem(image, config,
+                                     shared_mc=shared_mc)
+            report = system.run(max_instructions)
+            result = ClientResult(
+                client_id=client_id, start_s=start, report=report,
+                translations=system.stats.translations,
+                bytes_requested=system.link_stats.payload_bytes)
+            if reference is not None and (
+                    report.output != reference.report.output
+                    or result.translations != reference.translations):
+                raise AssertionError(
+                    "chunk-cache-served client diverged from the "
+                    "first client")
+            reference = reference or result
+            timeline = [
+                (config.costs.cycles_to_seconds(cycle), payload)
+                for cycle, payload in zip(
+                    system.stats.translation_timestamps,
+                    _per_request_payloads(system))]
+        else:
+            result = ClientResult(
+                client_id=client_id, start_s=start,
+                report=reference.report,
+                translations=reference.translations,
+                bytes_requested=reference.bytes_requested)
+            shared_mc.stats.requests += reference.translations
+            shared_mc.stats.chunk_cache_hits += reference.translations
+        clients.append(result)
+        for offset, payload in timeline:
+            service = (payload + link.exchange_overhead_bytes) * 8 \
+                / link.bandwidth_bps
+            events.append((start + offset, service))
+
+    events.sort()
+    busy_until = 0.0
+    total_delay = 0.0
+    max_delay = 0.0
+    delayed = 0
+    total_service = 0.0
+    for arrival, service in events:
+        begin = max(arrival, busy_until)
+        delay = begin - arrival
+        if delay > 0:
+            delayed += 1
+        total_delay += delay
+        max_delay = max(max_delay, delay)
+        busy_until = begin + service
+        total_service += service
+
+    makespan = max((c.end_s for c in clients), default=0.0)
+    makespan = max(makespan, busy_until)
+    return FleetResult(
+        n_clients=n_clients, link=link, clients=clients,
+        mc_requests=shared_mc.stats.requests,
+        mc_chunks_built=shared_mc.stats.chunks_built,
+        total_transfer_s=total_service,
+        makespan_s=makespan,
+        mean_queue_delay_s=(total_delay / len(events)) if events else 0.0,
+        max_queue_delay_s=max_delay,
+        delayed_requests=delayed)
+
+
+def _per_request_payloads(system: SoftCacheSystem) -> list[int]:
+    """Approximate per-request payload sizes for the queue model.
+
+    The channel records only totals; spreading the total evenly over
+    the requests keeps the queue analysis first-order while preserving
+    total transfer time exactly.
+    """
+    stats = system.link_stats
+    n = stats.exchanges or 1
+    return [stats.payload_bytes // n] * stats.exchanges

@@ -1,0 +1,23 @@
+"""repro.hwcache — trace-driven hardware cache baselines.
+
+The comparison system of the paper's evaluation: a direct-mapped L1
+I-cache with 16-byte blocks (:func:`simulate_direct_mapped`, Figure 6),
+associative variants for ablations, and the tag-array space-overhead
+calculator behind the "tags would add 11-18%" claim.
+"""
+
+from .assoc import simulate_fully_associative, simulate_set_associative
+from .direct import (
+    CacheResult,
+    simulate_direct_mapped,
+    sweep_direct_mapped,
+    working_set_knee,
+)
+from .tags import TagOverhead, overhead_band, tag_bits, tag_overhead
+
+__all__ = [
+    "CacheResult", "TagOverhead", "overhead_band",
+    "simulate_direct_mapped", "simulate_fully_associative",
+    "simulate_set_associative", "sweep_direct_mapped", "tag_bits",
+    "tag_overhead", "working_set_knee",
+]

@@ -1,0 +1,65 @@
+"""Hardware tag-array space overhead (the paper's 11-18% estimate).
+
+Figure 6's caption: "The cache size is the size of data only — tags
+for 32-bit addresses would add an extra 11-18%."  These helpers make
+that estimate precise for any geometry, and the benchmark sweeps the
+figure's size range to confirm the quoted band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def tag_bits(cache_size: int, block_size: int, ways: int = 1,
+             addr_bits: int = 32) -> int:
+    """Tag width in bits for one cache block."""
+    if cache_size % (block_size * ways):
+        raise ValueError("inconsistent geometry")
+    nsets = cache_size // (block_size * ways)
+    offset_bits = block_size.bit_length() - 1
+    index_bits = nsets.bit_length() - 1
+    return addr_bits - offset_bits - index_bits
+
+
+@dataclass(frozen=True)
+class TagOverhead:
+    """Space overhead of the tag array for one cache geometry."""
+
+    cache_size: int
+    block_size: int
+    ways: int
+    tag_bits: int
+    metadata_bits: int  # valid (+ dirty for D-caches)
+
+    @property
+    def bits_per_block(self) -> int:
+        return self.tag_bits + self.metadata_bits
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Tag+metadata bits as a fraction of data bits."""
+        return self.bits_per_block / (self.block_size * 8)
+
+    @property
+    def overhead_percent(self) -> float:
+        return 100.0 * self.overhead_fraction
+
+
+def tag_overhead(cache_size: int, block_size: int = 16, ways: int = 1,
+                 addr_bits: int = 32, valid_bit: bool = True,
+                 dirty_bit: bool = False) -> TagOverhead:
+    """Compute the tag-array overhead for a cache geometry."""
+    meta = (1 if valid_bit else 0) + (1 if dirty_bit else 0)
+    return TagOverhead(
+        cache_size=cache_size, block_size=block_size, ways=ways,
+        tag_bits=tag_bits(cache_size, block_size, ways, addr_bits),
+        metadata_bits=meta)
+
+
+def overhead_band(sizes: list[int], block_size: int = 16,
+                  addr_bits: int = 32) -> tuple[float, float]:
+    """(min%, max%) tag overhead across *sizes* — the 11-18% band."""
+    percents = [tag_overhead(s, block_size, addr_bits=addr_bits)
+                .overhead_percent for s in sizes]
+    return min(percents), max(percents)

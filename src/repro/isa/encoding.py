@@ -1,0 +1,180 @@
+"""Binary encoding and decoding of repro ISA instructions.
+
+Every instruction is one 32-bit little-endian word.  The SoftCache
+memory controller and cache controller manipulate these words directly
+— relocating them, patching branch displacement fields and splicing in
+trap stubs — so encode/decode round-tripping is load-bearing for the
+whole system and is covered by property-based tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .instructions import Fmt, Op, SPECS
+
+MASK32 = 0xFFFFFFFF
+IMM16_MIN = -(1 << 15)
+IMM16_MAX = (1 << 15) - 1
+UIMM16_MAX = (1 << 16) - 1
+TARGET26_MAX = (1 << 26) - 1
+IMM20_MAX = (1 << 20) - 1
+
+
+class EncodingError(ValueError):
+    """A field value does not fit its encoding slot."""
+
+
+def sign_extend16(value: int) -> int:
+    """Sign-extend a 16-bit field to a Python int."""
+    value &= 0xFFFF
+    return value - 0x10000 if value & 0x8000 else value
+
+
+def to_signed32(value: int) -> int:
+    """Interpret the low 32 bits of *value* as a signed integer."""
+    value &= MASK32
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+@dataclass(frozen=True, slots=True)
+class Insn:
+    """A decoded instruction.
+
+    Field meaning depends on format:
+
+    * R: ``rd``, ``rs1``, ``rs2``
+    * I: ``rd``, ``rs1``, ``imm`` (sign- or zero-extended per spec)
+    * B: ``rs1``, ``rs2``, ``imm`` = signed word displacement
+    * J: ``imm`` = absolute word target (26 bits)
+    * T: ``rd`` = trap code, ``imm`` = 20-bit operand
+    """
+
+    op: Op
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+    @property
+    def fmt(self) -> Fmt:
+        return SPECS[self.op].fmt
+
+
+def encode(insn: Insn) -> int:
+    """Encode *insn* into a 32-bit word.
+
+    Raises :class:`EncodingError` if any field is out of range.
+    """
+    op = insn.op
+    fmt = SPECS[op].fmt
+    word = int(op) << 26
+    if fmt is Fmt.R:
+        _check_reg(insn.rd), _check_reg(insn.rs1), _check_reg(insn.rs2)
+        word |= (insn.rd << 21) | (insn.rs1 << 16) | (insn.rs2 << 11)
+    elif fmt is Fmt.I:
+        _check_reg(insn.rd), _check_reg(insn.rs1)
+        imm = insn.imm
+        if SPECS[op].signed_imm:
+            if not IMM16_MIN <= imm <= IMM16_MAX:
+                raise EncodingError(f"imm16 out of range for {op.name}: {imm}")
+        else:
+            if not 0 <= imm <= UIMM16_MAX:
+                raise EncodingError(f"uimm16 out of range for {op.name}: {imm}")
+        word |= (insn.rd << 21) | (insn.rs1 << 16) | (imm & 0xFFFF)
+    elif fmt is Fmt.B:
+        _check_reg(insn.rs1), _check_reg(insn.rs2)
+        if not IMM16_MIN <= insn.imm <= IMM16_MAX:
+            raise EncodingError(f"branch disp out of range: {insn.imm}")
+        word |= (insn.rs1 << 21) | (insn.rs2 << 16) | (insn.imm & 0xFFFF)
+    elif fmt is Fmt.J:
+        if not 0 <= insn.imm <= TARGET26_MAX:
+            raise EncodingError(f"jump target out of range: {insn.imm:#x}")
+        word |= insn.imm
+    elif fmt is Fmt.T:
+        if not 0 <= insn.rd < 64:
+            raise EncodingError(f"trap code out of range: {insn.rd}")
+        if not 0 <= insn.imm <= IMM20_MAX:
+            raise EncodingError(f"trap operand out of range: {insn.imm}")
+        word |= (insn.rd << 20) | insn.imm
+    else:  # pragma: no cover - exhaustive over Fmt
+        raise AssertionError(fmt)
+    return word
+
+
+_OP_BY_NUM: dict[int, Op] = {int(op): op for op in SPECS}
+
+
+class DecodeError(ValueError):
+    """The word does not decode to a valid instruction."""
+
+
+def decode(word: int) -> Insn:
+    """Decode a 32-bit word into an :class:`Insn`.
+
+    Raises :class:`DecodeError` for undefined opcodes.
+    """
+    word &= MASK32
+    opnum = word >> 26
+    op = _OP_BY_NUM.get(opnum)
+    if op is None:
+        raise DecodeError(f"undefined opcode {opnum:#x} in word {word:#010x}")
+    fmt = SPECS[op].fmt
+    if fmt is Fmt.R:
+        return Insn(op, rd=(word >> 21) & 31, rs1=(word >> 16) & 31,
+                    rs2=(word >> 11) & 31)
+    if fmt is Fmt.I:
+        imm = word & 0xFFFF
+        if SPECS[op].signed_imm:
+            imm = sign_extend16(imm)
+        return Insn(op, rd=(word >> 21) & 31, rs1=(word >> 16) & 31, imm=imm)
+    if fmt is Fmt.B:
+        return Insn(op, rs1=(word >> 21) & 31, rs2=(word >> 16) & 31,
+                    imm=sign_extend16(word & 0xFFFF))
+    if fmt is Fmt.J:
+        return Insn(op, imm=word & 0x03FFFFFF)
+    # Fmt.T
+    return Insn(op, rd=(word >> 20) & 0x3F, imm=word & 0xFFFFF)
+
+
+def _check_reg(r: int) -> None:
+    if not 0 <= r < 32:
+        raise EncodingError(f"register number out of range: {r}")
+
+
+# ---------------------------------------------------------------------------
+# Field patching helpers used by the rewriter.  These operate on raw words
+# so the rewriter never needs a full decode/re-encode cycle on hot paths.
+# ---------------------------------------------------------------------------
+
+def patch_branch_disp(word: int, site_pc: int, target_addr: int) -> int:
+    """Return *word* (a B-format branch) retargeted at *target_addr*.
+
+    The displacement is computed relative to ``site_pc + 4`` in words.
+    Raises :class:`EncodingError` if the displacement does not fit.
+    """
+    disp = (target_addr - (site_pc + 4)) >> 2
+    if not IMM16_MIN <= disp <= IMM16_MAX:
+        raise EncodingError(
+            f"branch at {site_pc:#x} cannot reach {target_addr:#x}")
+    return (word & 0xFFFF0000) | (disp & 0xFFFF)
+
+
+def patch_jump_target(word: int, target_addr: int) -> int:
+    """Return *word* (a J-format jump/call) retargeted at *target_addr*."""
+    if target_addr & 3:
+        raise EncodingError(f"jump target not word aligned: {target_addr:#x}")
+    t26 = target_addr >> 2
+    if not 0 <= t26 <= TARGET26_MAX:
+        raise EncodingError(f"jump target out of range: {target_addr:#x}")
+    return (word & 0xFC000000) | t26
+
+
+def branch_target(word: int, site_pc: int) -> int:
+    """Compute the byte target of a B-format branch word at *site_pc*."""
+    return site_pc + 4 + (sign_extend16(word & 0xFFFF) << 2)
+
+
+def jump_target(word: int) -> int:
+    """Compute the byte target of a J-format word."""
+    return (word & 0x03FFFFFF) << 2

@@ -1,0 +1,82 @@
+"""Register file specification and ABI conventions for the repro RISC ISA.
+
+The ISA has 32 general-purpose 32-bit registers.  ``r0`` is hardwired to
+zero.  The ABI below mirrors the conventions the paper relies on: the
+return address lives in a unique, known register (``ra``) and the stack
+layout is fixed, so the SoftCache runtime can always identify procedure
+return addresses (Section 2.1, "Procedure return addresses must be
+identifiable to the runtime system at all times").
+"""
+
+from __future__ import annotations
+
+NUM_REGS = 32
+
+# Canonical ABI names, indexed by register number.
+REG_NAMES: tuple[str, ...] = (
+    "zero",  # r0  - hardwired zero
+    "ra",    # r1  - return address (written by jal/jalr)
+    "sp",    # r2  - stack pointer
+    "fp",    # r3  - frame pointer (frames are linked through saved fp)
+    "a0",    # r4  - argument 0 / return value
+    "a1",    # r5  - argument 1
+    "a2",    # r6  - argument 2
+    "a3",    # r7  - argument 3
+    "t0",    # r8  - caller-saved temporaries
+    "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+    "s0",    # r16 - callee-saved
+    "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+    "x0",    # r24 - extra caller-saved temporaries
+    "x1", "x2", "x3", "x4",
+    "gp",    # r29 - global pointer (unused by the compiler, reserved)
+    "at",    # r30 - assembler temporary (li/la expansion)
+    "kt",    # r31 - kernel temporary, reserved for the SoftCache runtime
+)
+
+assert len(REG_NAMES) == NUM_REGS
+
+# Numeric indices for the named registers.
+ZERO = 0
+RA = 1
+SP = 2
+FP = 3
+A0, A1, A2, A3 = 4, 5, 6, 7
+T0 = 8
+S0 = 16
+GP = 29
+AT = 30
+KT = 31
+
+#: Registers used to pass the first arguments of a call.
+ARG_REGS = (A0, A1, A2, A3)
+
+#: Caller-saved registers (clobbered by calls).
+CALLER_SAVED = tuple(range(T0, T0 + 8)) + tuple(range(24, 29)) + ARG_REGS + (RA,)
+
+#: Callee-saved registers (preserved across calls).
+CALLEE_SAVED = tuple(range(S0, S0 + 8)) + (SP, FP)
+
+_NAME_TO_NUM = {name: i for i, name in enumerate(REG_NAMES)}
+# rNN aliases are always accepted.
+for _i in range(NUM_REGS):
+    _NAME_TO_NUM[f"r{_i}"] = _i
+
+
+def reg_num(name: str) -> int:
+    """Map a register name (ABI alias or ``rNN``) to its number.
+
+    Raises ``KeyError`` for unknown names.
+    """
+    return _NAME_TO_NUM[name.lower()]
+
+
+def reg_name(num: int) -> str:
+    """Map a register number to its canonical ABI name."""
+    if not 0 <= num < NUM_REGS:
+        raise ValueError(f"register number out of range: {num}")
+    return REG_NAMES[num]
+
+
+def is_reg_name(name: str) -> bool:
+    """Return True if *name* names a register (ABI alias or rNN)."""
+    return name.lower() in _NAME_TO_NUM

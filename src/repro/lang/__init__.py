@@ -1,0 +1,24 @@
+"""repro.lang — MinC, the reproduction's C-like systems language.
+
+The workloads are written in MinC and compiled by this package to
+repro assembly.  The compiler's calling convention *is* the paper's
+programming-model contract: unique call/return instructions, return
+address always at ``fp - 4``, frames linked through ``fp - 8``.
+
+Public surface: :func:`compile_program` (source → linked image),
+:func:`compile_to_asm` / :func:`compile_to_object` for single units,
+and :func:`parse` for tooling.
+"""
+
+from .codegen import CodeGen, CompileError
+from .compiler import compile_program, compile_to_asm, compile_to_object
+from .lexer import LexError, tokenize
+from .parser import ParseError, parse
+from .runtime import runtime_source
+from .types import CHAR, INT, Type, VOID
+
+__all__ = [
+    "CHAR", "CodeGen", "CompileError", "INT", "LexError", "ParseError",
+    "Type", "VOID", "compile_program", "compile_to_asm",
+    "compile_to_object", "parse", "runtime_source", "tokenize",
+]

@@ -1,0 +1,179 @@
+"""AST node definitions for MinC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .types import Type
+
+
+@dataclass(slots=True)
+class Node:
+    line: int = 0
+
+
+# --- expressions -----------------------------------------------------------
+
+@dataclass(slots=True)
+class IntLit(Node):
+    value: int = 0
+
+
+@dataclass(slots=True)
+class CharLit(Node):
+    value: int = 0
+
+
+@dataclass(slots=True)
+class StrLit(Node):
+    value: str = ""
+
+
+@dataclass(slots=True)
+class Ident(Node):
+    name: str = ""
+
+
+@dataclass(slots=True)
+class Unary(Node):
+    op: str = ""           # '-' '!' '~' '*' '&'
+    operand: Node | None = None
+
+
+@dataclass(slots=True)
+class Binary(Node):
+    op: str = ""
+    left: Node | None = None
+    right: Node | None = None
+
+
+@dataclass(slots=True)
+class Assign(Node):
+    op: str = "="          # '=' '+=' '-=' ...
+    target: Node | None = None
+    value: Node | None = None
+
+
+@dataclass(slots=True)
+class IncDec(Node):
+    op: str = "++"
+    target: Node | None = None
+    prefix: bool = True
+
+
+@dataclass(slots=True)
+class Ternary(Node):
+    cond: Node | None = None
+    then: Node | None = None
+    other: Node | None = None
+
+
+@dataclass(slots=True)
+class Call(Node):
+    callee: Node | None = None   # Ident (direct or through variable)
+    args: list[Node] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class Index(Node):
+    base: Node | None = None
+    index: Node | None = None
+
+
+# --- statements ----------------------------------------------------------------
+
+@dataclass(slots=True)
+class ExprStmt(Node):
+    expr: Node | None = None
+
+
+@dataclass(slots=True)
+class Declare(Node):
+    name: str = ""
+    type: Type | None = None
+    init: Node | None = None     # scalar initializer
+    init_list: list[Node] | None = None  # array initializer
+
+
+@dataclass(slots=True)
+class Block(Node):
+    body: list[Node] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class If(Node):
+    cond: Node | None = None
+    then: Node | None = None
+    other: Node | None = None
+
+
+@dataclass(slots=True)
+class While(Node):
+    cond: Node | None = None
+    body: Node | None = None
+    is_do: bool = False
+
+
+@dataclass(slots=True)
+class For(Node):
+    init: Node | None = None
+    cond: Node | None = None
+    step: Node | None = None
+    body: Node | None = None
+
+
+@dataclass(slots=True)
+class Break(Node):
+    pass
+
+
+@dataclass(slots=True)
+class Continue(Node):
+    pass
+
+
+@dataclass(slots=True)
+class Return(Node):
+    value: Node | None = None
+
+
+@dataclass(slots=True)
+class SwitchCase(Node):
+    values: list[int] = field(default_factory=list)  # empty = default
+    body: list[Node] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class Switch(Node):
+    expr: Node | None = None
+    cases: list[SwitchCase] = field(default_factory=list)
+
+
+# --- top level ----------------------------------------------------------------------
+
+@dataclass(slots=True)
+class Param(Node):
+    name: str = ""
+    type: Type | None = None
+
+
+@dataclass(slots=True)
+class Function(Node):
+    name: str = ""
+    ret: Type | None = None
+    params: list[Param] = field(default_factory=list)
+    body: Block | None = None
+
+
+@dataclass(slots=True)
+class GlobalVar(Node):
+    name: str = ""
+    type: Type | None = None
+    init: Node | None = None
+    init_list: list[Node] | None = None
+    extern: bool = False
+
+
+@dataclass(slots=True)
+class Program(Node):
+    items: list[Node] = field(default_factory=list)

@@ -1,0 +1,1119 @@
+"""MinC code generator: AST → repro assembly text.
+
+The generated code deliberately follows the idioms the paper's
+programming-model restrictions assume a compiler produces (§2.1):
+
+* calls and returns use the unique ``jal``/``jalr``/``ret``
+  instructions — never a raw ``jr`` to a return address;
+* every function builds a full frame with the return address at
+  ``fp - 4`` and the saved frame pointer at ``fp - 8``, so the
+  SoftCache runtime can always walk the stack and identify return
+  addresses;
+* computed control flow appears only as ``switch`` jump tables and
+  calls through variables (``jalr``), the *ambiguous pointers* the
+  SoftCache resolves through its hash-table fallback.  Compiling with
+  ``indirect_ok=False`` (the ARM-prototype profile) removes both.
+
+Code quality is intentionally simple — expression temporaries live in
+a register stack (``t0..t7, x0..x3``) with spill slots in the frame,
+and variables always live in memory — because the evaluation depends
+on control-flow shape, not on scalar optimization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import ast
+from .types import CHAR, INT, Type
+
+#: Expression-stack registers, in stack order.
+TEMPS = ("t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+         "x0", "x1", "x2", "x3")
+NT = len(TEMPS)
+#: Scratch registers never used for the expression stack.
+SCRATCH0 = "at"
+SCRATCH1 = "x4"
+
+_INTRINSICS = {
+    "__putint": ("putint", 1, False),
+    "__putchar": ("putchar", 1, False),
+    "__puts": ("puts", 1, False),
+    "__writehex": ("writehex", 1, False),
+    "__halt": ("exit", 1, False),
+    "__cycles": ("getcycles", 0, True),
+    "__invalidate": ("invalidate", 2, False),
+}
+
+_CMP = {"==": "seq", "!=": "sne", "<": "slt", "<=": "sle",
+        ">": "sgt", ">=": "sge"}
+
+_ALU = {"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+        "&": "and", "|": "or", "^": "xor", "<<": "sll", ">>": "sra"}
+
+
+class CompileError(ValueError):
+    def __init__(self, message: str, line: int = 0):
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.line = line
+
+
+@dataclass
+class _Global:
+    name: str
+    type: Type
+    kind: str  # 'var' | 'func' | 'extern'
+
+
+@dataclass
+class _FuncCtx:
+    name: str
+    ret: Type
+    lines: list[str] = field(default_factory=list)
+    depth: int = 0
+    max_depth: int = 0
+    local_off: int = 0        # grows downward from fp-8
+    locals_total: int = 0     # pre-scanned total local bytes
+    scopes: list[dict] = field(default_factory=list)
+    label_n: int = 0
+    break_stack: list[str] = field(default_factory=list)
+    continue_stack: list[str] = field(default_factory=list)
+
+
+class CodeGen:
+    """One compilation unit (translation unit) of MinC."""
+
+    def __init__(self, program: ast.Program, unit: str = "unit",
+                 indirect_ok: bool = True, switch_table_min: int = 6):
+        self.program = program
+        self.unit = unit
+        self.indirect_ok = indirect_ok
+        self.switch_table_min = switch_table_min
+        self.globals: dict[str, _Global] = {}
+        self.text: list[str] = []
+        self.data: list[str] = []
+        self.bss: list[str] = []
+        self.str_labels: dict[str, str] = {}
+        self._str_n = 0
+        self.fn: _FuncCtx | None = None
+
+    # ==================================================================
+    # top level
+    # ==================================================================
+
+    def generate(self) -> str:
+        for item in self.program.items:
+            if isinstance(item, ast.Function):
+                self.globals[item.name] = _Global(item.name, item.ret,
+                                                  "func")
+        for item in self.program.items:
+            if isinstance(item, ast.GlobalVar):
+                self.gen_global(item)
+        for item in self.program.items:
+            if isinstance(item, ast.Function):
+                self.gen_function(item)
+        parts = [f"; MinC unit {self.unit}", "    .text"]
+        parts += self.text
+        if self.data:
+            parts.append("    .data")
+            parts += self.data
+        if self.bss:
+            parts.append("    .bss")
+            parts += self.bss
+        return "\n".join(parts) + "\n"
+
+    def gen_global(self, g: ast.GlobalVar) -> None:
+        if g.name in self.globals:
+            raise CompileError(f"duplicate global {g.name!r}", g.line)
+        self.globals[g.name] = _Global(
+            g.name, g.type, "extern" if g.extern else "var")
+        if g.extern:
+            return
+        gtype = g.type
+        if g.init_list is not None:
+            words = [self.const_value(e) for e in g.init_list]
+            if len(words) > (gtype.array_len or 0):
+                raise CompileError(
+                    f"too many initializers for {g.name!r}", g.line)
+            self.data.append(f"    .global {g.name}")
+            self.data.append(f"{g.name}:")
+            if gtype.element_size == 1:
+                for w in words:
+                    self.data.append(f"    .byte {self._const_text(w)}")
+                pad = gtype.array_len - len(words)
+                if pad:
+                    self.data.append(f"    .space {pad}")
+                self.data.append("    .align 4")
+            else:
+                for w in words:
+                    self.data.append(f"    .word {self._const_text(w)}")
+                pad = gtype.array_len - len(words)
+                if pad:
+                    self.data.append(f"    .space {4 * pad}")
+        elif g.init is not None:
+            value = self.const_value(g.init)
+            self.data.append(f"    .global {g.name}")
+            self.data.append(f"{g.name}:")
+            if gtype.size == 1:
+                self.data.append(f"    .byte {self._const_text(value)}")
+                self.data.append("    .align 4")
+            else:
+                self.data.append(f"    .word {self._const_text(value)}")
+        else:
+            size = (gtype.size + 3) & ~3
+            self.bss.append("    .align 4")
+            self.bss.append(f"    .global {g.name}")
+            self.bss.append(f"{g.name}:")
+            self.bss.append(f"    .space {size}")
+
+    def const_value(self, node: ast.Node):
+        """Fold a constant initializer; returns int or symbol name."""
+        value = self._try_const(node)
+        if value is None:
+            raise CompileError("initializer must be constant", node.line)
+        return value
+
+    def _const_text(self, value) -> str:
+        return value if isinstance(value, str) else str(value)
+
+    def _try_const(self, node: ast.Node):
+        if isinstance(node, ast.IntLit):
+            return node.value
+        if isinstance(node, ast.CharLit):
+            return node.value
+        if isinstance(node, ast.StrLit):
+            return self.string_label(node.value)
+        if isinstance(node, ast.Unary):
+            if node.op == "&" and isinstance(node.operand, ast.Ident):
+                name = node.operand.name
+                g = self.globals.get(name)
+                if g is not None and g.kind == "func":
+                    if not self.indirect_ok:
+                        raise CompileError(
+                            "function pointers disabled in this profile",
+                            node.line)
+                    return name
+                return name  # address of a global variable
+            inner = self._try_const(node.operand)
+            if isinstance(inner, int):
+                if node.op == "-":
+                    return -inner & 0xFFFFFFFF
+                if node.op == "~":
+                    return ~inner & 0xFFFFFFFF
+                if node.op == "!":
+                    return 0 if inner else 1
+        if isinstance(node, ast.Binary):
+            left = self._try_const(node.left)
+            right = self._try_const(node.right)
+            if isinstance(left, int) and isinstance(right, int):
+                try:
+                    return _fold(node.op, left, right)
+                except ZeroDivisionError:
+                    raise CompileError("division by zero in constant",
+                                       node.line) from None
+        if isinstance(node, ast.Ident):
+            g = self.globals.get(node.name)
+            if g is not None and g.kind == "func":
+                return node.name
+        return None
+
+    def string_label(self, value: str) -> str:
+        label = self.str_labels.get(value)
+        if label is None:
+            label = f".Lstr_{self.unit}_{self._str_n}"
+            self._str_n += 1
+            self.str_labels[value] = label
+            escaped = (value.replace("\\", "\\\\").replace('"', '\\"')
+                       .replace("\n", "\\n").replace("\t", "\\t")
+                       .replace("\r", "\\r").replace("\0", "\\0"))
+            self.data.append(f"{label}:")
+            self.data.append(f'    .asciiz "{escaped}"')
+            self.data.append("    .align 4")
+        return label
+
+    # ==================================================================
+    # functions
+    # ==================================================================
+
+    def gen_function(self, f: ast.Function) -> None:
+        ctx = self.fn = _FuncCtx(name=f.name, ret=f.ret)
+        ctx.locals_total = (_scan_local_bytes(f.body)
+                            + 4 * min(4, len(f.params)))
+        ctx.scopes.append({})
+        # parameters: first four arrive in a0..a3 and get local slots,
+        # the rest live at fp + 4*(i-4) where the caller stored them
+        reg_params: list[tuple[str, int]] = []
+        for i, param in enumerate(f.params):
+            ptype = param.type.decay()
+            if i < 4:
+                off = self._alloc_local(4)
+                ctx.scopes[-1][param.name] = ("frame", off, ptype)
+                reg_params.append((f"a{i}", off))
+            else:
+                ctx.scopes[-1][param.name] = ("frame", 4 * (i - 4), ptype)
+        for stmt in f.body.body:
+            self.gen_stmt(stmt)
+        ctx.scopes.pop()
+
+        frame = 8 + ctx.locals_total + 4 * ctx.max_depth
+        frame = (frame + 7) & ~7
+        out = self.text
+        out.append(f"    .global {f.name}")
+        out.append(f"    .proc {f.name}")
+        out.append(f"{f.name}:")
+        out.append(f"    addi sp, sp, -{frame}")
+        out.append(f"    sw   ra, {frame - 4}(sp)")
+        out.append(f"    sw   fp, {frame - 8}(sp)")
+        out.append(f"    addi fp, sp, {frame}")
+        for reg, off in reg_params:
+            out.append(f"    sw   {reg}, {off}(fp)")
+        out.extend(ctx.lines)
+        out.append(f".Lret_{f.name}:")
+        out.append("    lw   ra, -4(fp)")
+        out.append(f"    lw   {SCRATCH0}, -8(fp)")
+        out.append("    mv   sp, fp")
+        out.append(f"    mv   fp, {SCRATCH0}")
+        out.append("    ret")
+        self.fn = None
+
+    # -- frame helpers -----------------------------------------------------
+
+    def _alloc_local(self, size: int) -> int:
+        ctx = self.fn
+        size = (size + 3) & ~3
+        ctx.local_off += size
+        if ctx.local_off > ctx.locals_total:
+            raise CompileError(
+                f"local allocation overflow in {ctx.name}")  # pragma: no cover
+        return -(8 + ctx.local_off)
+
+    def _spill_off(self, pos: int) -> int:
+        return -(8 + self.fn.locals_total + 4 * (pos + 1))
+
+    def emit(self, line: str) -> None:
+        self.fn.lines.append("    " + line)
+
+    def emit_label(self, label: str) -> None:
+        self.fn.lines.append(f"{label}:")
+
+    def new_label(self, hint: str = "L") -> str:
+        ctx = self.fn
+        ctx.label_n += 1
+        return f".L{hint}_{ctx.name}_{ctx.label_n}"
+
+    # -- expression-stack helpers ---------------------------------------------
+
+    def _push(self) -> int:
+        ctx = self.fn
+        pos = ctx.depth
+        ctx.depth += 1
+        ctx.max_depth = max(ctx.max_depth, ctx.depth)
+        return pos
+
+    def _pop(self) -> int:
+        self.fn.depth -= 1
+        return self.fn.depth
+
+    def _load(self, pos: int, scratch: str = SCRATCH0) -> str:
+        """Get the register holding position *pos* (loading if spilt)."""
+        if pos < NT:
+            return TEMPS[pos]
+        self.emit(f"lw   {scratch}, {self._spill_off(pos)}(fp)")
+        return scratch
+
+    def _store(self, pos: int, reg: str) -> None:
+        """Move *reg* into position *pos*."""
+        if pos < NT:
+            if reg != TEMPS[pos]:
+                self.emit(f"mv   {TEMPS[pos]}, {reg}")
+        else:
+            self.emit(f"sw   {reg}, {self._spill_off(pos)}(fp)")
+
+    def _dest(self, pos: int) -> str:
+        """Register a result for *pos* may be computed into."""
+        return TEMPS[pos] if pos < NT else SCRATCH0
+
+    def _commit(self, pos: int, reg: str) -> None:
+        """Finish computing position *pos* in *reg* (spill if needed)."""
+        if pos >= NT:
+            self.emit(f"sw   {reg}, {self._spill_off(pos)}(fp)")
+
+    def _flush_live(self, upto: int) -> None:
+        """Spill in-register positions below *upto* (around calls)."""
+        for pos in range(min(upto, NT)):
+            self.emit(f"sw   {TEMPS[pos]}, {self._spill_off(pos)}(fp)")
+
+    def _restore_live(self, upto: int) -> None:
+        for pos in range(min(upto, NT)):
+            self.emit(f"lw   {TEMPS[pos]}, {self._spill_off(pos)}(fp)")
+
+    # ==================================================================
+    # statements
+    # ==================================================================
+
+    def gen_stmt(self, node: ast.Node) -> None:
+        ctx = self.fn
+        if isinstance(node, ast.Block):
+            ctx.scopes.append({})
+            for stmt in node.body:
+                self.gen_stmt(stmt)
+            ctx.scopes.pop()
+        elif isinstance(node, ast.Declare):
+            self.gen_declare(node)
+        elif isinstance(node, ast.ExprStmt):
+            self.gen_expr(node.expr)
+            self._pop()
+        elif isinstance(node, ast.If):
+            self.gen_if(node)
+        elif isinstance(node, ast.While):
+            self.gen_while(node)
+        elif isinstance(node, ast.For):
+            self.gen_for(node)
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                self.gen_expr(node.value)
+                reg = self._load(self._pop())
+                self.emit(f"mv   a0, {reg}")
+            self.emit(f"j    .Lret_{ctx.name}")
+        elif isinstance(node, ast.Break):
+            if not ctx.break_stack:
+                raise CompileError("break outside loop/switch", node.line)
+            self.emit(f"j    {ctx.break_stack[-1]}")
+        elif isinstance(node, ast.Continue):
+            if not ctx.continue_stack:
+                raise CompileError("continue outside loop", node.line)
+            self.emit(f"j    {ctx.continue_stack[-1]}")
+        elif isinstance(node, ast.Switch):
+            self.gen_switch(node)
+        else:
+            raise CompileError(f"unhandled statement {type(node).__name__}",
+                               node.line)
+
+    def gen_declare(self, node: ast.Declare) -> None:
+        ctx = self.fn
+        dtype = node.type
+        off = self._alloc_local(dtype.size)
+        ctx.scopes[-1][node.name] = ("frame", off, dtype)
+        if node.init is not None:
+            self.gen_expr(node.init)
+            reg = self._load(self._pop())
+            if dtype.size == 1 and not dtype.is_pointer:
+                self.emit(f"sb   {reg}, {off}(fp)")
+            else:
+                self.emit(f"sw   {reg}, {off}(fp)")
+        elif node.init_list is not None:
+            esize = dtype.element_size
+            for i, expr in enumerate(node.init_list):
+                self.gen_expr(expr)
+                reg = self._load(self._pop())
+                op = "sb" if esize == 1 else "sw"
+                self.emit(f"{op}   {reg}, {off + i * esize}(fp)")
+
+    def gen_if(self, node: ast.If) -> None:
+        label_else = self.new_label("else")
+        label_end = self.new_label("endif")
+        self.gen_expr(node.cond)
+        reg = self._load(self._pop())
+        self.emit(f"beqz {reg}, {label_else}")
+        self.gen_stmt(node.then)
+        if node.other is not None:
+            self.emit(f"j    {label_end}")
+        self.emit_label(label_else)
+        if node.other is not None:
+            self.gen_stmt(node.other)
+            self.emit_label(label_end)
+
+    def gen_while(self, node: ast.While) -> None:
+        ctx = self.fn
+        label_top = self.new_label("while")
+        label_cond = self.new_label("whilec")
+        label_end = self.new_label("endwhile")
+        ctx.break_stack.append(label_end)
+        ctx.continue_stack.append(label_cond)
+        if not node.is_do:
+            self.emit(f"j    {label_cond}")
+        self.emit_label(label_top)
+        self.gen_stmt(node.body)
+        self.emit_label(label_cond)
+        self.gen_expr(node.cond)
+        reg = self._load(self._pop())
+        self.emit(f"bnez {reg}, {label_top}")
+        self.emit_label(label_end)
+        ctx.break_stack.pop()
+        ctx.continue_stack.pop()
+
+    def gen_for(self, node: ast.For) -> None:
+        ctx = self.fn
+        ctx.scopes.append({})
+        label_top = self.new_label("for")
+        label_step = self.new_label("forstep")
+        label_end = self.new_label("endfor")
+        if node.init is not None:
+            self.gen_stmt(node.init)
+        ctx.break_stack.append(label_end)
+        ctx.continue_stack.append(label_step)
+        self.emit_label(label_top)
+        if node.cond is not None:
+            self.gen_expr(node.cond)
+            reg = self._load(self._pop())
+            self.emit(f"beqz {reg}, {label_end}")
+        self.gen_stmt(node.body)
+        self.emit_label(label_step)
+        if node.step is not None:
+            self.gen_expr(node.step)
+            self._pop()
+        self.emit(f"j    {label_top}")
+        self.emit_label(label_end)
+        ctx.break_stack.pop()
+        ctx.continue_stack.pop()
+        ctx.scopes.pop()
+
+    # -- switch ------------------------------------------------------------------
+
+    def gen_switch(self, node: ast.Switch) -> None:
+        ctx = self.fn
+        label_end = self.new_label("endsw")
+        ctx.break_stack.append(label_end)
+        case_labels: list[tuple[ast.SwitchCase, str]] = [
+            (case, self.new_label("case")) for case in node.cases]
+        default_label = label_end
+        values: list[tuple[int, str]] = []
+        for case, label in case_labels:
+            if not case.values:
+                default_label = label
+            for v in case.values:
+                values.append((v, label))
+        self.gen_expr(node.expr)
+        pos = self._pop()
+        reg = self._load(pos)
+        if self._switch_wants_table(values):
+            self._emit_switch_table(reg, values, default_label)
+        else:
+            for v, label in values:
+                self.emit(f"li   {SCRATCH1}, {v}")
+                self.emit(f"beq  {reg}, {SCRATCH1}, {label}")
+            self.emit(f"j    {default_label}")
+        for case, label in case_labels:
+            self.emit_label(label)
+            for stmt in case.body:
+                self.gen_stmt(stmt)
+        self.emit_label(label_end)
+        ctx.break_stack.pop()
+
+    def _switch_wants_table(self, values: list[tuple[int, str]]) -> bool:
+        if not self.indirect_ok or len(values) < self.switch_table_min:
+            return False
+        lo = min(v for v, _ in values)
+        hi = max(v for v, _ in values)
+        span = hi - lo + 1
+        return span <= 3 * len(values) and span <= 1024
+
+    def _emit_switch_table(self, reg: str, values: list[tuple[int, str]],
+                           default_label: str) -> None:
+        lo = min(v for v, _ in values)
+        hi = max(v for v, _ in values)
+        table = {v: label for v, label in values}
+        table_label = self.new_label("swtab")
+        if lo:
+            self.emit(f"addi {SCRATCH0}, {reg}, {-lo}")
+        else:
+            self.emit(f"mv   {SCRATCH0}, {reg}")
+        self.emit(f"li   {SCRATCH1}, {hi - lo + 1}")
+        self.emit(f"bgeu {SCRATCH0}, {SCRATCH1}, {default_label}")
+        self.emit(f"slli {SCRATCH0}, {SCRATCH0}, 2")
+        self.emit(f"la   {SCRATCH1}, {table_label}")
+        self.emit(f"add  {SCRATCH0}, {SCRATCH0}, {SCRATCH1}")
+        self.emit(f"lw   {SCRATCH0}, 0({SCRATCH0})")
+        self.emit(f"jr   {SCRATCH0}")
+        self.data.append(f"{table_label}:")
+        for v in range(lo, hi + 1):
+            self.data.append(f"    .word {table.get(v, default_label)}")
+
+    # ==================================================================
+    # expressions — each gen_expr pushes exactly one stack position and
+    # returns the value's type.
+    # ==================================================================
+
+    def gen_expr(self, node: ast.Node) -> Type:
+        if isinstance(node, ast.IntLit):
+            pos = self._push()
+            dest = self._dest(pos)
+            self.emit(f"li   {dest}, {node.value}")
+            self._commit(pos, dest)
+            return INT
+        if isinstance(node, ast.CharLit):
+            pos = self._push()
+            dest = self._dest(pos)
+            self.emit(f"li   {dest}, {node.value}")
+            self._commit(pos, dest)
+            return INT
+        if isinstance(node, ast.StrLit):
+            label = self.string_label(node.value)
+            pos = self._push()
+            dest = self._dest(pos)
+            self.emit(f"la   {dest}, {label}")
+            self._commit(pos, dest)
+            return CHAR.pointer_to()
+        if isinstance(node, ast.Ident):
+            return self.gen_ident(node)
+        if isinstance(node, ast.Unary):
+            return self.gen_unary(node)
+        if isinstance(node, ast.Binary):
+            return self.gen_binary(node)
+        if isinstance(node, ast.Assign):
+            return self.gen_assign(node)
+        if isinstance(node, ast.IncDec):
+            return self.gen_incdec(node)
+        if isinstance(node, ast.Ternary):
+            return self.gen_ternary(node)
+        if isinstance(node, ast.Call):
+            return self.gen_call(node)
+        if isinstance(node, ast.Index):
+            lv = self.gen_lvalue(node)
+            return self.gen_load_lvalue(lv)
+        raise CompileError(f"unhandled expression {type(node).__name__}",
+                           node.line)
+
+    def gen_ident(self, node: ast.Ident) -> Type:
+        loc = self._lookup(node.name)
+        if loc is not None:
+            where, off, vtype = loc
+            pos = self._push()
+            dest = self._dest(pos)
+            if vtype.is_array:
+                self.emit(f"addi {dest}, fp, {off}")
+                self._commit(pos, dest)
+                return vtype.decay()
+            op = "lbu" if (vtype.size == 1 and not vtype.is_pointer) \
+                else "lw"
+            self.emit(f"{op}   {dest}, {off}(fp)")
+            self._commit(pos, dest)
+            return vtype
+        g = self.globals.get(node.name)
+        if g is None:
+            raise CompileError(f"undefined identifier {node.name!r}",
+                               node.line)
+        pos = self._push()
+        dest = self._dest(pos)
+        if g.kind == "func":
+            if not self.indirect_ok:
+                raise CompileError(
+                    "function pointers disabled in this profile",
+                    node.line)
+            self.emit(f"la   {dest}, {node.name}")
+            self._commit(pos, dest)
+            return INT
+        if g.type.is_array:
+            self.emit(f"la   {dest}, {node.name}")
+            self._commit(pos, dest)
+            return g.type.decay()
+        self.emit(f"la   {dest}, {node.name}")
+        op = "lbu" if (g.type.size == 1 and not g.type.is_pointer) else "lw"
+        self.emit(f"{op}   {dest}, 0({dest})")
+        self._commit(pos, dest)
+        return g.type
+
+    # -- lvalues ------------------------------------------------------------------
+
+    def gen_lvalue(self, node: ast.Node):
+        """Evaluate an lvalue.  Returns one of:
+
+        * ``('frame', offset, type)`` — no stack position used;
+        * ``('global', name, type)`` — no stack position used;
+        * ``('mem', type)`` — address pushed on the expression stack.
+        """
+        if isinstance(node, ast.Ident):
+            loc = self._lookup(node.name)
+            if loc is not None:
+                where, off, vtype = loc
+                if vtype.is_array:
+                    raise CompileError("array is not assignable",
+                                       node.line)
+                return ("frame", off, vtype)
+            g = self.globals.get(node.name)
+            if g is None or g.kind == "func":
+                raise CompileError(f"cannot assign to {node.name!r}",
+                                   node.line)
+            if g.type.is_array:
+                raise CompileError("array is not assignable", node.line)
+            return ("global", node.name, g.type)
+        if isinstance(node, ast.Unary) and node.op == "*":
+            ptype = self.gen_expr(node.operand)
+            if not ptype.is_pointer:
+                raise CompileError("dereference of non-pointer",
+                                   node.line)
+            return ("mem", ptype.deref())
+        if isinstance(node, ast.Index):
+            btype = self.gen_expr(node.base)
+            btype = btype.decay()
+            if not btype.is_pointer:
+                raise CompileError("indexing a non-pointer", node.line)
+            self.gen_expr(node.index)
+            ipos = self._pop()
+            bpos = self.fn.depth - 1
+            ireg = self._load(ipos, SCRATCH1)
+            esize = btype.element_size
+            breg = self._load(bpos, SCRATCH0)
+            dest = self._dest(bpos)
+            if esize == 4:
+                self.emit(f"slli {SCRATCH1}, {ireg}, 2")
+                self.emit(f"add  {dest}, {breg}, {SCRATCH1}")
+            else:
+                self.emit(f"add  {dest}, {breg}, {ireg}")
+            self._commit(bpos, dest)
+            return ("mem", btype.deref())
+        raise CompileError("expression is not an lvalue", node.line)
+
+    def gen_load_lvalue(self, lv) -> Type:
+        kind = lv[0]
+        if kind == "frame":
+            _, off, vtype = lv
+            pos = self._push()
+            dest = self._dest(pos)
+            op = "lbu" if (vtype.size == 1 and not vtype.is_pointer) \
+                else "lw"
+            self.emit(f"{op}   {dest}, {off}(fp)")
+            self._commit(pos, dest)
+            return vtype
+        if kind == "global":
+            _, name, vtype = lv
+            pos = self._push()
+            dest = self._dest(pos)
+            self.emit(f"la   {dest}, {name}")
+            op = "lbu" if (vtype.size == 1 and not vtype.is_pointer) \
+                else "lw"
+            self.emit(f"{op}   {dest}, 0({dest})")
+            self._commit(pos, dest)
+            return vtype
+        # 'mem': address already on the stack; replace it by the value
+        _, vtype = lv
+        pos = self.fn.depth - 1
+        reg = self._load(pos)
+        dest = self._dest(pos)
+        op = "lbu" if (vtype.size == 1 and not vtype.is_pointer) else "lw"
+        self.emit(f"{op}   {dest}, 0({reg})")
+        self._commit(pos, dest)
+        return vtype
+
+    def gen_store_lvalue(self, lv, value_reg: str) -> None:
+        """Store *value_reg* through the lvalue.
+
+        For ``mem`` lvalues the address is at the top of the stack and
+        is popped.
+        """
+        kind = lv[0]
+        if kind == "frame":
+            _, off, vtype = lv
+            op = "sb" if (vtype.size == 1 and not vtype.is_pointer) \
+                else "sw"
+            self.emit(f"{op}   {value_reg}, {off}(fp)")
+        elif kind == "global":
+            _, name, vtype = lv
+            scratch = SCRATCH1 if value_reg != SCRATCH1 else SCRATCH0
+            self.emit(f"la   {scratch}, {name}")
+            op = "sb" if (vtype.size == 1 and not vtype.is_pointer) \
+                else "sw"
+            self.emit(f"{op}   {value_reg}, 0({scratch})")
+        else:
+            _, vtype = lv
+            apos = self._pop()
+            scratch = SCRATCH1 if value_reg != SCRATCH1 else SCRATCH0
+            areg = self._load(apos, scratch)
+            op = "sb" if (vtype.size == 1 and not vtype.is_pointer) \
+                else "sw"
+            self.emit(f"{op}   {value_reg}, 0({areg})")
+
+    # -- operators ----------------------------------------------------------------
+
+    def gen_unary(self, node: ast.Unary) -> Type:
+        op = node.op
+        if op == "*":
+            lv = self.gen_lvalue(node)
+            return self.gen_load_lvalue(lv)
+        if op == "&":
+            return self.gen_addr_of(node)
+        vtype = self.gen_expr(node.operand)
+        pos = self.fn.depth - 1
+        reg = self._load(pos)
+        dest = self._dest(pos)
+        if op == "-":
+            self.emit(f"neg  {dest}, {reg}")
+        elif op == "~":
+            self.emit(f"not  {dest}, {reg}")
+        elif op == "!":
+            self.emit(f"seqz {dest}, {reg}")
+            vtype = INT
+        else:  # pragma: no cover
+            raise CompileError(f"bad unary {op}", node.line)
+        self._commit(pos, dest)
+        return vtype
+
+    def gen_addr_of(self, node: ast.Unary) -> Type:
+        target = node.operand
+        if isinstance(target, ast.Ident):
+            loc = self._lookup(target.name)
+            if loc is not None:
+                _, off, vtype = loc
+                pos = self._push()
+                dest = self._dest(pos)
+                self.emit(f"addi {dest}, fp, {off}")
+                self._commit(pos, dest)
+                return (vtype.decay() if vtype.is_array
+                        else vtype.pointer_to())
+            g = self.globals.get(target.name)
+            if g is None:
+                raise CompileError(f"undefined {target.name!r}",
+                                   node.line)
+            pos = self._push()
+            dest = self._dest(pos)
+            self.emit(f"la   {dest}, {target.name}")
+            self._commit(pos, dest)
+            if g.kind == "func":
+                if not self.indirect_ok:
+                    raise CompileError(
+                        "function pointers disabled in this profile",
+                        node.line)
+                return INT
+            return (g.type.decay() if g.type.is_array
+                    else g.type.pointer_to())
+        lv = self.gen_lvalue(target)
+        if lv[0] == "mem":
+            return lv[1].pointer_to()  # address already on the stack
+        raise CompileError("cannot take this address", node.line)
+
+    def gen_binary(self, node: ast.Binary) -> Type:
+        op = node.op
+        if op in ("&&", "||"):
+            return self.gen_logical(node)
+        ltype = self.gen_expr(node.left).decay()
+        rtype = self.gen_expr(node.right).decay()
+        rpos = self._pop()
+        lpos = self.fn.depth - 1
+        rreg = self._load(rpos, SCRATCH1)
+        lreg = self._load(lpos, SCRATCH0)
+        dest = self._dest(lpos)
+        if op in _CMP:
+            unsigned = ltype.is_pointer or rtype.is_pointer
+            self._emit_compare(op, dest, lreg, rreg, unsigned)
+            self._commit(lpos, dest)
+            return INT
+        result = INT
+        if op == "+":
+            if ltype.is_pointer and rtype.is_integer:
+                rreg = self._scale(rreg, ltype.element_size)
+                result = ltype
+            elif rtype.is_pointer and ltype.is_integer:
+                lreg = self._scale_into(lreg, rtype.element_size,
+                                        SCRATCH0)
+                result = rtype
+            self.emit(f"add  {dest}, {lreg}, {rreg}")
+        elif op == "-":
+            if ltype.is_pointer and rtype.is_pointer:
+                self.emit(f"sub  {dest}, {lreg}, {rreg}")
+                if ltype.element_size == 4:
+                    self.emit(f"srai {dest}, {dest}, 2")
+                self._commit(lpos, dest)
+                return INT
+            if ltype.is_pointer and rtype.is_integer:
+                rreg = self._scale(rreg, ltype.element_size)
+                result = ltype
+            self.emit(f"sub  {dest}, {lreg}, {rreg}")
+        else:
+            self.emit(f"{_ALU[op]}  {dest}, {lreg}, {rreg}")
+        self._commit(lpos, dest)
+        return result
+
+    def _scale(self, reg: str, esize: int) -> str:
+        """Scale an index register for pointer arithmetic (rhs)."""
+        if esize == 1:
+            return reg
+        self.emit(f"slli {SCRATCH1}, {reg}, 2")
+        return SCRATCH1
+
+    def _scale_into(self, reg: str, esize: int, scratch: str) -> str:
+        if esize == 1:
+            return reg
+        self.emit(f"slli {scratch}, {reg}, 2")
+        return scratch
+
+    def _emit_compare(self, op: str, dest: str, a: str, b: str,
+                      unsigned: bool) -> None:
+        slt = "sltu" if unsigned else "slt"
+        if op == "==":
+            self.emit(f"sub  {dest}, {a}, {b}")
+            self.emit(f"seqz {dest}, {dest}")
+        elif op == "!=":
+            self.emit(f"sub  {dest}, {a}, {b}")
+            self.emit(f"snez {dest}, {dest}")
+        elif op == "<":
+            self.emit(f"{slt} {dest}, {a}, {b}")
+        elif op == ">":
+            self.emit(f"{slt} {dest}, {b}, {a}")
+        elif op == "<=":
+            self.emit(f"{slt} {dest}, {b}, {a}")
+            self.emit(f"xori {dest}, {dest}, 1")
+        elif op == ">=":
+            self.emit(f"{slt} {dest}, {a}, {b}")
+            self.emit(f"xori {dest}, {dest}, 1")
+
+    def gen_logical(self, node: ast.Binary) -> Type:
+        label_end = self.new_label("sc")
+        self.gen_expr(node.left)
+        pos = self.fn.depth - 1
+        reg = self._load(pos)
+        dest = self._dest(pos)
+        self.emit(f"snez {dest}, {reg}")
+        self._commit(pos, dest)
+        branch = "beqz" if node.op == "&&" else "bnez"
+        check = self._load(pos)
+        self.emit(f"{branch} {check}, {label_end}")
+        self._pop()
+        self.gen_expr(node.right)
+        rpos = self.fn.depth - 1
+        rreg = self._load(rpos)
+        rdest = self._dest(rpos)
+        self.emit(f"snez {rdest}, {rreg}")
+        self._commit(rpos, rdest)
+        self.emit_label(label_end)
+        return INT
+
+    def gen_ternary(self, node: ast.Ternary) -> Type:
+        label_else = self.new_label("terne")
+        label_end = self.new_label("ternx")
+        self.gen_expr(node.cond)
+        reg = self._load(self._pop())
+        self.emit(f"beqz {reg}, {label_else}")
+        depth_before = self.fn.depth
+        ttype = self.gen_expr(node.then)
+        self.emit(f"j    {label_end}")
+        self.fn.depth = depth_before
+        self.emit_label(label_else)
+        self.gen_expr(node.other)
+        self.emit_label(label_end)
+        return ttype
+
+    def gen_assign(self, node: ast.Assign) -> Type:
+        if node.op == "=":
+            lv = self.gen_lvalue(node.target)
+            vtype = self.gen_expr(node.value)
+            vpos = self.fn.depth - 1
+            vreg = self._load(vpos)
+            # keep the value on the stack as the expression result; for
+            # 'mem' lvalues the address sits *below* the value
+            if lv[0] == "mem":
+                value_pos = self._pop()
+                vreg = self._load(value_pos, SCRATCH0)
+                self.gen_store_lvalue(lv, vreg)
+                rpos = self._push()
+                self._store(rpos, vreg)
+            else:
+                self.gen_store_lvalue(lv, vreg)
+            return lv[-1] if lv[0] != "mem" else lv[1]
+        # compound assignment: load, op, store
+        binop = node.op[:-1]
+        lv = self.gen_lvalue(node.target)
+        if lv[0] == "mem":
+            # duplicate the address so we can load then store
+            apos = self.fn.depth - 1
+            areg = self._load(apos)
+            dpos = self._push()
+            self._store(dpos, areg)
+            vtype = self.gen_load_lvalue(lv)  # consumes the duplicate
+        else:
+            vtype = self.gen_load_lvalue(lv)
+        rtype = self.gen_expr(node.value)
+        rpos = self._pop()
+        vpos = self.fn.depth - 1
+        rreg = self._load(rpos, SCRATCH1)
+        vreg = self._load(vpos, SCRATCH0)
+        dest = self._dest(vpos)
+        if binop in ("+", "-") and vtype.decay().is_pointer \
+                and rtype.is_integer:
+            rreg = self._scale(rreg, vtype.decay().element_size)
+        if binop == ">>":
+            self.emit(f"sra  {dest}, {vreg}, {rreg}")
+        else:
+            self.emit(f"{_ALU[binop]}  {dest}, {vreg}, {rreg}")
+        self._commit(vpos, dest)
+        value_reg = self._load(vpos)
+        if lv[0] == "mem":
+            # stack: [address, value] — store value through address
+            vpos2 = self._pop()
+            vreg2 = self._load(vpos2, SCRATCH0)
+            self.gen_store_lvalue(lv, vreg2)
+            rpos2 = self._push()
+            self._store(rpos2, vreg2)
+        else:
+            self.gen_store_lvalue(lv, value_reg)
+        return vtype
+
+    def gen_incdec(self, node: ast.IncDec) -> Type:
+        delta = 1 if node.op == "++" else -1
+        lv = self.gen_lvalue(node.target)
+        if lv[0] == "mem":
+            apos = self.fn.depth - 1
+            areg = self._load(apos)
+            dpos = self._push()
+            self._store(dpos, areg)
+            vtype = self.gen_load_lvalue(lv)
+        else:
+            vtype = self.gen_load_lvalue(lv)
+        step = delta
+        if vtype.decay().is_pointer:
+            step = delta * vtype.decay().element_size
+        vpos = self.fn.depth - 1
+        vreg = self._load(vpos)
+        if node.prefix:
+            dest = self._dest(vpos)
+            self.emit(f"addi {dest}, {vreg}, {step}")
+            self._commit(vpos, dest)
+            new_reg = self._load(vpos)
+            if lv[0] == "mem":
+                npos = self._pop()
+                nreg = self._load(npos, SCRATCH0)
+                self.gen_store_lvalue(lv, nreg)
+                rpos = self._push()
+                self._store(rpos, nreg)
+            else:
+                self.gen_store_lvalue(lv, new_reg)
+        else:
+            # postfix: result is the old value
+            self.emit(f"addi {SCRATCH1}, {vreg}, {step}")
+            if lv[0] == "mem":
+                # stack: [address, old]; store new through address
+                old_pos = self._pop()
+                old_reg = self._load(old_pos, SCRATCH0)
+                # careful: SCRATCH1 holds new value; store via address
+                apos = self._pop()
+                areg = self._load(apos, SCRATCH0)
+                optext = "sb" if (vtype.size == 1 and
+                                  not vtype.is_pointer) else "sw"
+                self.emit(f"{optext}   {SCRATCH1}, 0({areg})")
+                rpos = self._push()
+                old_reg = self._load(old_pos) if old_pos < NT else None
+                if old_pos < NT:
+                    self._store(rpos, TEMPS[old_pos])
+                else:
+                    self.emit(
+                        f"lw   {SCRATCH0}, {self._spill_off(old_pos)}(fp)")
+                    self._store(rpos, SCRATCH0)
+            else:
+                self.gen_store_lvalue(lv, SCRATCH1)
+        return vtype
+
+    # -- calls --------------------------------------------------------------------
+
+    def gen_call(self, node: ast.Call) -> Type:
+        callee = node.callee
+        if not isinstance(callee, ast.Ident):
+            raise CompileError("call target must be a name", node.line)
+        name = callee.name
+        if name in _INTRINSICS:
+            return self.gen_intrinsic(node, name)
+        loc = self._lookup(name)
+        g = self.globals.get(name)
+        indirect = loc is not None or (g is not None and g.kind != "func")
+        if indirect and not self.indirect_ok:
+            raise CompileError(
+                "indirect calls disabled in this profile", node.line)
+        if not indirect and g is None:
+            # assume an extern function (resolved at link time)
+            self.globals[name] = _Global(name, INT, "func")
+        depth_before = self.fn.depth
+        target_pos = None
+        if indirect:
+            self.gen_expr(ast.Ident(line=node.line, name=name))
+            target_pos = self.fn.depth - 1
+        arg_types = [self.gen_expr(arg) for arg in node.args]
+        nargs = len(node.args)
+        base = depth_before + (1 if indirect else 0)
+        # flush every live position (args included) to spill slots
+        self._flush_live(self.fn.depth)
+        nextra = max(0, nargs - 4)
+        if nextra:
+            self.emit(f"addi sp, sp, -{4 * nextra}")
+            for i in range(4, nargs):
+                self.emit(f"lw   {SCRATCH0}, "
+                          f"{self._spill_off(base + i)}(fp)")
+                self.emit(f"sw   {SCRATCH0}, {4 * (i - 4)}(sp)")
+        for i in range(min(4, nargs)):
+            self.emit(f"lw   a{i}, {self._spill_off(base + i)}(fp)")
+        if indirect:
+            self.emit(f"lw   {SCRATCH0}, "
+                      f"{self._spill_off(target_pos)}(fp)")
+            self.emit(f"jalr ra, {SCRATCH0}")
+        else:
+            self.emit(f"jal  {name}")
+        if nextra:
+            self.emit(f"addi sp, sp, {4 * nextra}")
+        # drop args (and target) from the stack, restore live temps
+        self.fn.depth = depth_before
+        self._restore_live(depth_before)
+        rpos = self._push()
+        self._store(rpos, "a0")
+        if not indirect and g is not None:
+            return g.type if g.kind == "func" else INT
+        return INT
+
+    def gen_intrinsic(self, node: ast.Call, name: str) -> Type:
+        service, nargs, has_result = _INTRINSICS[name]
+        if len(node.args) != nargs:
+            raise CompileError(
+                f"{name} expects {nargs} argument(s)", node.line)
+        depth_before = self.fn.depth
+        for arg in node.args:
+            self.gen_expr(arg)
+        self._flush_live(self.fn.depth)
+        for i in range(nargs):
+            self.emit(f"lw   a{i}, "
+                      f"{self._spill_off(depth_before + i)}(fp)")
+        self.emit(f"syscall {service}")
+        self.fn.depth = depth_before
+        self._restore_live(depth_before)
+        rpos = self._push()
+        if has_result:
+            self._store(rpos, "a0")
+        else:
+            reg = self._dest(rpos)
+            self.emit(f"li   {reg}, 0")
+            self._commit(rpos, reg)
+        return INT
+
+    # -- scope ----------------------------------------------------------------------
+
+    def _lookup(self, name: str):
+        for scope in reversed(self.fn.scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+
+def _fold(op: str, a: int, b: int) -> int:
+    table = {
+        "+": a + b, "-": a - b, "*": a * b,
+        "&": a & b, "|": a | b, "^": a ^ b,
+        "<<": a << (b & 31), ">>": a >> (b & 31),
+        "==": int(a == b), "!=": int(a != b), "<": int(a < b),
+        "<=": int(a <= b), ">": int(a > b), ">=": int(a >= b),
+        "&&": int(bool(a) and bool(b)), "||": int(bool(a) or bool(b)),
+    }
+    if op == "/":
+        return int(a / b) if b else 0  # trunc toward zero
+    if op == "%":
+        return a - b * int(a / b) if b else 0
+    return table[op] & 0xFFFFFFFF
+
+
+def _scan_local_bytes(node) -> int:
+    """Total frame bytes needed for all local declarations (no reuse)."""
+    total = 0
+    if isinstance(node, ast.Declare):
+        total += (node.type.size + 3) & ~3
+    for attr in ("body", "then", "other", "init", "cases"):
+        child = getattr(node, attr, None)
+        if isinstance(child, list):
+            for sub in child:
+                total += _scan_local_bytes(sub)
+        elif isinstance(child, ast.Node):
+            total += _scan_local_bytes(child)
+    return total

@@ -1,0 +1,130 @@
+"""Tokenizer for MinC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class LexError(ValueError):
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str     # 'int' 'char' 'str' 'ident' 'kw' 'punct' 'eof'
+    text: str
+    value: int | str | None
+    line: int
+
+
+KEYWORDS = frozenset({
+    "int", "char", "void", "if", "else", "while", "do", "for", "return",
+    "break", "continue", "switch", "case", "default", "extern",
+})
+
+# longest first so the scanner is greedy
+PUNCTUATION = (
+    "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+    "(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+)
+
+_ESCAPES = {"n": 10, "t": 9, "0": 0, "r": 13, "\\": 92, "'": 39,
+            '"': 34}
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize MinC source; raises :class:`LexError` on bad input."""
+    tokens: list[Token] = []
+    i, line, n = 0, 1, len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            j = source.find("\n", i)
+            i = n if j < 0 else j
+            continue
+        if source.startswith("/*", i):
+            j = source.find("*/", i + 2)
+            if j < 0:
+                raise LexError("unterminated comment", line)
+            line += source.count("\n", i, j)
+            i = j + 2
+            continue
+        if ch.isdigit():
+            j = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+                value = int(source[i:j], 16)
+            else:
+                while j < n and source[j].isdigit():
+                    j += 1
+                value = int(source[i:j])
+            tokens.append(Token("int", source[i:j], value, line))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, text, line))
+            i = j
+            continue
+        if ch == "'":
+            j = i + 1
+            if j < n and source[j] == "\\":
+                if j + 1 >= n or source[j + 1] not in _ESCAPES:
+                    raise LexError("bad escape in char literal", line)
+                value = _ESCAPES[source[j + 1]]
+                j += 2
+            elif j < n:
+                value = ord(source[j])
+                j += 1
+            else:
+                raise LexError("unterminated char literal", line)
+            if j >= n or source[j] != "'":
+                raise LexError("unterminated char literal", line)
+            tokens.append(Token("char", source[i:j + 1], value, line))
+            i = j + 1
+            continue
+        if ch == '"':
+            j = i + 1
+            out = []
+            while j < n and source[j] != '"':
+                if source[j] == "\\":
+                    if j + 1 >= n or source[j + 1] not in _ESCAPES:
+                        raise LexError("bad escape in string", line)
+                    out.append(chr(_ESCAPES[source[j + 1]]))
+                    j += 2
+                elif source[j] == "\n":
+                    raise LexError("newline in string literal", line)
+                else:
+                    out.append(source[j])
+                    j += 1
+            if j >= n:
+                raise LexError("unterminated string literal", line)
+            tokens.append(Token("str", source[i:j + 1], "".join(out), line))
+            i = j + 1
+            continue
+        for punct in PUNCTUATION:
+            if source.startswith(punct, i):
+                tokens.append(Token("punct", punct, punct, line))
+                i += len(punct)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line)
+    tokens.append(Token("eof", "", None, line))
+    return tokens

@@ -1,0 +1,415 @@
+"""libextra — the cold bulk of the statically linked runtime.
+
+Table 1's point is that statically linked images are far larger than
+the code a run actually touches ("the static .text size is an
+overestimate"): the paper's binaries carry all of libc.  This unit
+plays that role: a plausible embedded-systems utility library —
+fixed-point math, CRC/encoding, filters, formatting, containers —
+linked into every program whether used or not.  Nothing here is on
+any workload's hot path.
+"""
+
+LIBEXTRA_MINC = r"""
+// ===================================================================
+// fixed-point math (Q16.16)
+// ===================================================================
+
+int fx_mul(int a, int b) {
+    int ah = a >> 16;
+    int al = a & 65535;
+    int bh = b >> 16;
+    int bl = b & 65535;
+    return (ah * bh << 16) + ah * bl + al * bh + ((al * bl) >> 16);
+}
+
+int fx_div(int a, int b) {
+    int sign = 0;
+    int q;
+    int r;
+    int frac = 0;
+    int i;
+    if (a < 0) { a = -a; sign = 1 - sign; }
+    if (b < 0) { b = -b; sign = 1 - sign; }
+    if (b == 0) return 2147483647;
+    q = (a / b) << 16;
+    r = a % b;
+    // shift-subtract for 16 fraction bits; all intermediates stay
+    // below b, so nothing overflows 32-bit arithmetic
+    for (i = 0; i < 16; i++) {
+        frac <<= 1;
+        if (r >= b - r) {
+            r = r - (b - r);
+            frac |= 1;
+        } else {
+            r = r + r;
+        }
+    }
+    q |= frac;
+    return sign ? -q : q;
+}
+
+int LOG2_TABLE[17] = {
+    0, 5732, 11136, 16248, 21098, 25711, 30109, 34312, 38336,
+    42196, 45904, 49472, 52911, 56229, 59434, 62534, 65536
+};
+
+int fx_log2(int x) {
+    int shift = 0;
+    int idx;
+    int frac;
+    int base;
+    if (x <= 0) return -2147483647;
+    while (x >= (2 << 16)) { x >>= 1; shift++; }
+    while (x < (1 << 16)) { x <<= 1; shift--; }
+    idx = (x - (1 << 16)) >> 12;
+    frac = (x - (1 << 16)) & 4095;
+    base = LOG2_TABLE[idx];
+    base += ((LOG2_TABLE[idx + 1] - base) * frac) >> 12;
+    return (shift << 16) + base;
+}
+
+int fx_exp2_int(int n) {
+    if (n < 0) return 0;
+    if (n > 30) return 2147483647;
+    return 1 << n;
+}
+
+int ipow(int base, int e) {
+    int r = 1;
+    while (e > 0) {
+        if (e & 1) r *= base;
+        base *= base;
+        e >>= 1;
+    }
+    return r;
+}
+
+int gcd(int a, int b) {
+    if (a < 0) a = -a;
+    if (b < 0) b = -b;
+    while (b) {
+        int t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+
+// ===================================================================
+// CRC32 + checksums
+// ===================================================================
+
+int __crc_table[256];
+int __crc_table_ready = 0;
+
+void crc32_init(void) {
+    int i;
+    for (i = 0; i < 256; i++) {
+        int c = i;
+        int k;
+        for (k = 0; k < 8; k++) {
+            if (c & 1) c = (c >> 1 & 2147483647) ^ (-306674912);
+            else c = c >> 1 & 2147483647;
+        }
+        __crc_table[i] = c;
+    }
+    __crc_table_ready = 1;
+}
+
+int crc32(char *buf, int n) {
+    int crc = -1;
+    int i;
+    if (!__crc_table_ready) crc32_init();
+    for (i = 0; i < n; i++) {
+        crc = __crc_table[(crc ^ buf[i]) & 255] ^ (crc >> 8 & 16777215);
+    }
+    return ~crc;
+}
+
+int fletcher16(char *buf, int n) {
+    int a = 0;
+    int b = 0;
+    int i;
+    for (i = 0; i < n; i++) {
+        a = (a + buf[i]) % 255;
+        b = (b + a) % 255;
+    }
+    return (b << 8) | a;
+}
+
+// ===================================================================
+// base64 / hex encoding
+// ===================================================================
+
+char B64_ALPHABET[65] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+int base64_encode(char *in, int n, char *out) {
+    int i = 0;
+    int o = 0;
+    while (i + 2 < n) {
+        int v = (in[i] << 16) | (in[i + 1] << 8) | in[i + 2];
+        out[o] = B64_ALPHABET[(v >> 18) & 63];
+        out[o + 1] = B64_ALPHABET[(v >> 12) & 63];
+        out[o + 2] = B64_ALPHABET[(v >> 6) & 63];
+        out[o + 3] = B64_ALPHABET[v & 63];
+        i += 3;
+        o += 4;
+    }
+    if (i < n) {
+        int v = in[i] << 16;
+        if (i + 1 < n) v |= in[i + 1] << 8;
+        out[o] = B64_ALPHABET[(v >> 18) & 63];
+        out[o + 1] = B64_ALPHABET[(v >> 12) & 63];
+        out[o + 2] = (i + 1 < n) ? B64_ALPHABET[(v >> 6) & 63] : '=';
+        out[o + 3] = '=';
+        o += 4;
+    }
+    out[o] = 0;
+    return o;
+}
+
+char HEXD[17] = "0123456789abcdef";
+
+void hex_dump_line(char *buf, int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        __putchar(HEXD[(buf[i] >> 4) & 15]);
+        __putchar(HEXD[buf[i] & 15]);
+        if ((i & 3) == 3) __putchar(32);
+    }
+    __putchar(10);
+}
+
+// ===================================================================
+// signal-processing utilities
+// ===================================================================
+
+int fir_filter(int *x, int *coef, int ntaps) {
+    int acc = 0;
+    int i;
+    for (i = 0; i < ntaps; i++) acc += x[i] * coef[i];
+    return acc >> 15;
+}
+
+int moving_average(int *window, int n, int sample, int *state) {
+    int i;
+    int sum = 0;
+    window[*state % n] = sample;
+    *state = *state + 1;
+    for (i = 0; i < n; i++) sum += window[i];
+    return sum / n;
+}
+
+int median3(int a, int b, int c) {
+    if (a > b) { int t = a; a = b; b = t; }
+    if (b > c) { int t = b; b = c; c = t; }
+    if (a > b) { int t = a; a = b; b = t; }
+    return b;
+}
+
+int envelope_detect(int *x, int n, int decay) {
+    int env = 0;
+    int i;
+    for (i = 0; i < n; i++) {
+        int v = x[i] < 0 ? -x[i] : x[i];
+        if (v > env) env = v;
+        else env = (env * decay) >> 8;
+    }
+    return env;
+}
+
+// ===================================================================
+// containers: heap, ring buffer
+// ===================================================================
+
+void heap_push(int *heap, int *size, int value) {
+    int i = *size;
+    heap[i] = value;
+    *size = i + 1;
+    while (i > 0) {
+        int parent = (i - 1) / 2;
+        if (heap[parent] <= heap[i]) break;
+        { int t = heap[parent]; heap[parent] = heap[i]; heap[i] = t; }
+        i = parent;
+    }
+}
+
+int heap_pop(int *heap, int *size) {
+    int top = heap[0];
+    int n = *size - 1;
+    int i = 0;
+    heap[0] = heap[n];
+    *size = n;
+    while (1) {
+        int l = 2 * i + 1;
+        int r = l + 1;
+        int m = i;
+        if (l < n && heap[l] < heap[m]) m = l;
+        if (r < n && heap[r] < heap[m]) m = r;
+        if (m == i) break;
+        { int t = heap[m]; heap[m] = heap[i]; heap[i] = t; }
+        i = m;
+    }
+    return top;
+}
+
+int ring_put(int *ring, int cap, int *head, int *count, int value) {
+    if (*count >= cap) return 0;
+    ring[(*head + *count) % cap] = value;
+    *count = *count + 1;
+    return 1;
+}
+
+int ring_get(int *ring, int cap, int *head, int *count) {
+    int v;
+    if (*count == 0) return -1;
+    v = ring[*head];
+    *head = (*head + 1) % cap;
+    *count = *count - 1;
+    return v;
+}
+
+// ===================================================================
+// formatting / parsing (cold reporting paths)
+// ===================================================================
+
+int itoa10(int value, char *out) {
+    char tmp[12];
+    int n = 0;
+    int o = 0;
+    int neg = 0;
+    if (value < 0) { neg = 1; value = -value; }
+    if (value == 0) { tmp[n] = '0'; n++; }
+    while (value > 0) {
+        tmp[n] = '0' + value % 10;
+        value /= 10;
+        n++;
+    }
+    if (neg) { out[o] = '-'; o++; }
+    while (n > 0) {
+        n--;
+        out[o] = tmp[n];
+        o++;
+    }
+    out[o] = 0;
+    return o;
+}
+
+int atoi10(char *s) {
+    int v = 0;
+    int i = 0;
+    int neg = 0;
+    if (s[0] == '-') { neg = 1; i = 1; }
+    while (s[i] >= '0' && s[i] <= '9') {
+        v = v * 10 + (s[i] - '0');
+        i++;
+    }
+    return neg ? -v : v;
+}
+
+void print_table_row(char *name, int a, int b, int c) {
+    __puts(name);
+    __putchar(9);
+    __putint(a);
+    __putchar(9);
+    __putint(b);
+    __putchar(9);
+    __putint(c);
+    __putchar(10);
+}
+
+void print_progress_bar(int done, int total) {
+    int i;
+    int filled = total ? (done * 20) / total : 0;
+    __putchar('[');
+    for (i = 0; i < 20; i++) {
+        if (i < filled) __putchar('#');
+        else __putchar('.');
+    }
+    __putchar(']');
+    __putchar(10);
+}
+
+// ===================================================================
+// calendar / BCD utilities (classic embedded dead weight)
+// ===================================================================
+
+int DAYS_IN_MONTH[12] = { 31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31 };
+
+int is_leap_year(int y) {
+    if (y % 400 == 0) return 1;
+    if (y % 100 == 0) return 0;
+    return (y % 4) == 0;
+}
+
+int day_of_year(int y, int m, int d) {
+    int i;
+    int doy = d;
+    for (i = 0; i < m - 1; i++) doy += DAYS_IN_MONTH[i];
+    if (m > 2 && is_leap_year(y)) doy++;
+    return doy;
+}
+
+int to_bcd(int v) { return ((v / 10) << 4) | (v % 10); }
+int from_bcd(int v) { return (v >> 4) * 10 + (v & 15); }
+
+// ===================================================================
+// error handling / diagnostics (cold by construction)
+// ===================================================================
+
+int __error_count = 0;
+int __last_error = 0;
+
+void report_error(char *subsystem, int code) {
+    __error_count++;
+    __last_error = code;
+    __puts("ERROR[");
+    __puts(subsystem);
+    __puts("]: code ");
+    __putint(code);
+    __putchar(10);
+    if (__error_count > 100) {
+        __puts("too many errors, aborting\n");
+        __halt(70);
+    }
+}
+
+void assert_true(int cond, char *what) {
+    if (!cond) {
+        __puts("assertion failed: ");
+        __puts(what);
+        __putchar(10);
+        __halt(71);
+    }
+}
+
+int self_test(void) {
+    int heap[8];
+    int hsize = 0;
+    int ring[4];
+    int rhead = 0;
+    int rcount = 0;
+    char buf[16];
+    assert_true(gcd(12, 18) == 6, "gcd");
+    assert_true(ipow(3, 4) == 81, "ipow");
+    assert_true(median3(3, 1, 2) == 2, "median3");
+    assert_true(to_bcd(45) == 69, "bcd");
+    assert_true(from_bcd(69) == 45, "bcd2");
+    assert_true(day_of_year(2001, 3, 1) == 60, "doy");
+    heap_push(heap, &hsize, 5);
+    heap_push(heap, &hsize, 1);
+    heap_push(heap, &hsize, 3);
+    assert_true(heap_pop(heap, &hsize) == 1, "heap");
+    ring_put(ring, 4, &rhead, &rcount, 9);
+    assert_true(ring_get(ring, 4, &rhead, &rcount) == 9, "ring");
+    itoa10(-470, buf);
+    assert_true(atoi10(buf) == -470, "itoa");
+    return 0;
+}
+"""
+
+
+def libextra_source() -> str:
+    """MinC source of the cold utility library."""
+    return LIBEXTRA_MINC

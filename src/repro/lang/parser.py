@@ -1,0 +1,449 @@
+"""Recursive-descent parser for MinC."""
+
+from __future__ import annotations
+
+from . import ast
+from .lexer import Token, tokenize
+from .types import CHAR, INT, Type, VOID
+
+
+class ParseError(ValueError):
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+# binary operator precedence (higher binds tighter)
+_BINOPS: dict[str, int] = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ASSIGN_OPS = frozenset({"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+                         "^=", "<<=", ">>="})
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ---------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def accept(self, text: str) -> bool:
+        tok = self.peek()
+        if tok.kind in ("punct", "kw") and tok.text == text:
+            self.next()
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        tok = self.peek()
+        if tok.kind in ("punct", "kw") and tok.text == text:
+            return self.next()
+        raise ParseError(f"expected {text!r}, found {tok.text!r}", tok.line)
+
+    def expect_ident(self) -> Token:
+        tok = self.peek()
+        if tok.kind != "ident":
+            raise ParseError(f"expected identifier, found {tok.text!r}",
+                             tok.line)
+        return self.next()
+
+    # -- types ----------------------------------------------------------------
+
+    def at_type(self) -> bool:
+        return self.peek().kind == "kw" and self.peek().text in (
+            "int", "char", "void")
+
+    def parse_base_type(self) -> Type:
+        tok = self.next()
+        base = {"int": INT, "char": CHAR, "void": VOID}[tok.text]
+        while self.accept("*"):
+            base = base.pointer_to()
+        return base
+
+    def parse_const_int(self) -> int | None:
+        """Parse a constant integer expression (array lengths).
+
+        Returns None when the next token is ``]`` (length inferred from
+        the initializer).  Only literal arithmetic is allowed — no
+        identifiers.
+        """
+        if self.peek().text == "]":
+            return None
+        expr = self.parse_ternary()
+        value = _fold_literal(expr)
+        if value is None:
+            raise ParseError("array length must be a constant expression",
+                             expr.line)
+        return value
+
+    # -- top level ----------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        program = ast.Program()
+        while self.peek().kind != "eof":
+            program.items.append(self.parse_top_item())
+        return program
+
+    def parse_top_item(self) -> ast.Node:
+        line = self.peek().line
+        extern = self.accept("extern")
+        if not self.at_type():
+            raise ParseError(
+                f"expected declaration, found {self.peek().text!r}", line)
+        base = self.parse_base_type()
+        name = self.expect_ident().text
+        if self.peek().text == "(" and not extern:
+            return self.parse_function(base, name, line)
+        return self.parse_global(base, name, line, extern)
+
+    def parse_function(self, ret: Type, name: str,
+                       line: int) -> ast.Function:
+        self.expect("(")
+        params: list[ast.Param] = []
+        if not self.accept(")"):
+            if self.peek().text == "void" and self.peek(1).text == ")":
+                self.next()
+            else:
+                while True:
+                    ptype = self.parse_base_type()
+                    pname = self.expect_ident().text
+                    if self.accept("["):
+                        self.expect("]")
+                        ptype = ptype.pointer_to()  # array param decays
+                    params.append(ast.Param(line=line, name=pname,
+                                            type=ptype))
+                    if not self.accept(","):
+                        break
+            self.expect(")")
+        body = self.parse_block()
+        return ast.Function(line=line, name=name, ret=ret, params=params,
+                            body=body)
+
+    def parse_global(self, base: Type, name: str, line: int,
+                     extern: bool) -> ast.GlobalVar:
+        gtype = base
+        init = None
+        init_list = None
+        if self.accept("["):
+            length = self.parse_const_int()
+            self.expect("]")
+            if self.accept("="):
+                if self.peek().kind == "str" and base.kind == "char":
+                    text = self.next().value
+                    init_list = [ast.CharLit(line=line, value=ord(c))
+                                 for c in text] + [ast.CharLit(line=line,
+                                                               value=0)]
+                    if length is None:
+                        length = len(init_list)
+                else:
+                    self.expect("{")
+                    init_list = []
+                    while not self.accept("}"):
+                        init_list.append(self.parse_expr())
+                        if not self.accept(","):
+                            self.expect("}")
+                            break
+                    if length is None:
+                        length = len(init_list)
+            if length is None:
+                raise ParseError(f"array {name!r} needs a length", line)
+            gtype = Type(base.kind, base.ptr, length)
+        elif self.accept("="):
+            init = self.parse_expr()
+        self.expect(";")
+        return ast.GlobalVar(line=line, name=name, type=gtype, init=init,
+                             init_list=init_list, extern=extern)
+
+    # -- statements -------------------------------------------------------------------
+
+    def parse_block(self) -> ast.Block:
+        line = self.expect("{").line
+        block = ast.Block(line=line)
+        while not self.accept("}"):
+            block.body.append(self.parse_statement())
+        return block
+
+    def parse_statement(self) -> ast.Node:
+        tok = self.peek()
+        line = tok.line
+        if tok.text == "{":
+            return self.parse_block()
+        if self.at_type():
+            return self.parse_local_decl()
+        if self.accept("if"):
+            self.expect("(")
+            cond = self.parse_expr()
+            self.expect(")")
+            then = self.parse_statement()
+            other = self.parse_statement() if self.accept("else") else None
+            return ast.If(line=line, cond=cond, then=then, other=other)
+        if self.accept("while"):
+            self.expect("(")
+            cond = self.parse_expr()
+            self.expect(")")
+            return ast.While(line=line, cond=cond,
+                             body=self.parse_statement())
+        if self.accept("do"):
+            body = self.parse_statement()
+            self.expect("while")
+            self.expect("(")
+            cond = self.parse_expr()
+            self.expect(")")
+            self.expect(";")
+            return ast.While(line=line, cond=cond, body=body, is_do=True)
+        if self.accept("for"):
+            self.expect("(")
+            init = None
+            if not self.accept(";"):
+                if self.at_type():
+                    init = self.parse_local_decl()
+                else:
+                    init = ast.ExprStmt(line=line, expr=self.parse_expr())
+                    self.expect(";")
+            cond = None
+            if not self.accept(";"):
+                cond = self.parse_expr()
+                self.expect(";")
+            step = None
+            if self.peek().text != ")":
+                step = self.parse_expr()
+            self.expect(")")
+            return ast.For(line=line, init=init, cond=cond, step=step,
+                           body=self.parse_statement())
+        if self.accept("return"):
+            value = None
+            if not self.accept(";"):
+                value = self.parse_expr()
+                self.expect(";")
+            return ast.Return(line=line, value=value)
+        if self.accept("break"):
+            self.expect(";")
+            return ast.Break(line=line)
+        if self.accept("continue"):
+            self.expect(";")
+            return ast.Continue(line=line)
+        if self.accept("switch"):
+            return self.parse_switch(line)
+        if self.accept(";"):
+            return ast.Block(line=line)  # empty statement
+        expr = self.parse_expr()
+        self.expect(";")
+        return ast.ExprStmt(line=line, expr=expr)
+
+    def parse_local_decl(self) -> ast.Declare:
+        line = self.peek().line
+        base = self.parse_base_type()
+        name = self.expect_ident().text
+        dtype = base
+        init = None
+        init_list = None
+        if self.accept("["):
+            length = self.parse_const_int()
+            self.expect("]")
+            if self.accept("="):
+                if self.peek().kind == "str" and base.kind == "char":
+                    text = self.next().value
+                    init_list = [ast.CharLit(line=line, value=ord(c))
+                                 for c in text]
+                    if length is None or length > len(text):
+                        init_list.append(ast.CharLit(line=line, value=0))
+                    if length is None:
+                        length = len(init_list)
+                else:
+                    self.expect("{")
+                    init_list = []
+                    while not self.accept("}"):
+                        init_list.append(self.parse_expr())
+                        if not self.accept(","):
+                            self.expect("}")
+                            break
+                    if length is None:
+                        length = len(init_list)
+            if length is None:
+                raise ParseError(f"array {name!r} needs a length", line)
+            dtype = Type(base.kind, base.ptr, length)
+        elif self.accept("="):
+            init = self.parse_expr()
+        self.expect(";")
+        return ast.Declare(line=line, name=name, type=dtype, init=init,
+                           init_list=init_list)
+
+    def parse_switch(self, line: int) -> ast.Switch:
+        self.expect("(")
+        expr = self.parse_expr()
+        self.expect(")")
+        self.expect("{")
+        switch = ast.Switch(line=line, expr=expr)
+        current: ast.SwitchCase | None = None
+        while not self.accept("}"):
+            tok = self.peek()
+            if self.accept("case"):
+                value_tok = self.next()
+                if value_tok.kind not in ("int", "char"):
+                    raise ParseError("case label must be a constant",
+                                     value_tok.line)
+                self.expect(":")
+                if current is None or current.body:
+                    current = ast.SwitchCase(line=tok.line)
+                    switch.cases.append(current)
+                current.values.append(value_tok.value)
+            elif self.accept("default"):
+                self.expect(":")
+                if current is None or current.body or current.values:
+                    current = ast.SwitchCase(line=tok.line)
+                    switch.cases.append(current)
+            else:
+                if current is None:
+                    raise ParseError("statement before first case",
+                                     tok.line)
+                current.body.append(self.parse_statement())
+        return switch
+
+    # -- expressions -----------------------------------------------------------------
+
+    def parse_expr(self) -> ast.Node:
+        return self.parse_assign()
+
+    def parse_assign(self) -> ast.Node:
+        left = self.parse_ternary()
+        tok = self.peek()
+        if tok.kind == "punct" and tok.text in _ASSIGN_OPS:
+            self.next()
+            value = self.parse_assign()
+            return ast.Assign(line=tok.line, op=tok.text, target=left,
+                              value=value)
+        return left
+
+    def parse_ternary(self) -> ast.Node:
+        cond = self.parse_binary(1)
+        if self.accept("?"):
+            then = self.parse_expr()
+            self.expect(":")
+            other = self.parse_ternary()
+            return ast.Ternary(line=cond.line, cond=cond, then=then,
+                               other=other)
+        return cond
+
+    def parse_binary(self, min_prec: int) -> ast.Node:
+        left = self.parse_unary()
+        while True:
+            tok = self.peek()
+            prec = _BINOPS.get(tok.text) if tok.kind == "punct" else None
+            if prec is None or prec < min_prec:
+                return left
+            self.next()
+            right = self.parse_binary(prec + 1)
+            left = ast.Binary(line=tok.line, op=tok.text, left=left,
+                              right=right)
+
+    def parse_unary(self) -> ast.Node:
+        tok = self.peek()
+        if tok.kind == "punct":
+            if tok.text in ("-", "!", "~", "*", "&"):
+                self.next()
+                operand = self.parse_unary()
+                return ast.Unary(line=tok.line, op=tok.text,
+                                 operand=operand)
+            if tok.text in ("++", "--"):
+                self.next()
+                target = self.parse_unary()
+                return ast.IncDec(line=tok.line, op=tok.text,
+                                  target=target, prefix=True)
+            if tok.text == "+":
+                self.next()
+                return self.parse_unary()
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Node:
+        node = self.parse_primary()
+        while True:
+            tok = self.peek()
+            if self.accept("["):
+                index = self.parse_expr()
+                self.expect("]")
+                node = ast.Index(line=tok.line, base=node, index=index)
+            elif self.accept("("):
+                args: list[ast.Node] = []
+                if not self.accept(")"):
+                    while True:
+                        args.append(self.parse_expr())
+                        if not self.accept(","):
+                            break
+                    self.expect(")")
+                node = ast.Call(line=tok.line, callee=node, args=args)
+            elif tok.text in ("++", "--") and tok.kind == "punct":
+                self.next()
+                node = ast.IncDec(line=tok.line, op=tok.text, target=node,
+                                  prefix=False)
+            else:
+                return node
+
+    def parse_primary(self) -> ast.Node:
+        tok = self.next()
+        if tok.kind == "int":
+            return ast.IntLit(line=tok.line, value=tok.value)
+        if tok.kind == "char":
+            return ast.CharLit(line=tok.line, value=tok.value)
+        if tok.kind == "str":
+            return ast.StrLit(line=tok.line, value=tok.value)
+        if tok.kind == "ident":
+            return ast.Ident(line=tok.line, name=tok.text)
+        if tok.text == "(":
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        raise ParseError(f"unexpected token {tok.text!r}", tok.line)
+
+
+def _fold_literal(node: ast.Node) -> int | None:
+    """Fold a literal-only constant expression (no identifiers)."""
+    if isinstance(node, (ast.IntLit, ast.CharLit)):
+        return node.value
+    if isinstance(node, ast.Unary):
+        inner = _fold_literal(node.operand)
+        if inner is None:
+            return None
+        if node.op == "-":
+            return -inner
+        if node.op == "~":
+            return ~inner
+        if node.op == "!":
+            return int(not inner)
+        return None
+    if isinstance(node, ast.Binary):
+        left = _fold_literal(node.left)
+        right = _fold_literal(node.right)
+        if left is None or right is None:
+            return None
+        try:
+            return {
+                "+": left + right, "-": left - right, "*": left * right,
+                "/": left // right if right else None,
+                "%": left % right if right else None,
+                "<<": left << right, ">>": left >> right,
+                "&": left & right, "|": left | right, "^": left ^ right,
+            }.get(node.op)
+        except (ValueError, TypeError):  # pragma: no cover
+            return None
+    return None
+
+
+def parse(source: str) -> ast.Program:
+    """Parse MinC source text into an AST."""
+    return Parser(tokenize(source)).parse_program()

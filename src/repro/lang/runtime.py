@@ -1,0 +1,214 @@
+"""The MinC runtime library ("libc") linked into every program.
+
+Like the statically linked ``gcc -O4`` binaries of Table 1, every
+program image carries the full library whether it uses it or not — the
+linker performs no dead-code elimination — which is what makes static
+text a big overestimate of the dynamic working set.  The library is
+written in MinC itself so it goes through the same compiler, plus a
+few leaf routines in assembly.
+"""
+
+RUNTIME_MINC = r"""
+// ---- memory ---------------------------------------------------------
+
+void memcpy(char *dst, char *src, int n) {
+    int i;
+    for (i = 0; i < n; i++) dst[i] = src[i];
+}
+
+void memset(char *dst, int value, int n) {
+    int i;
+    for (i = 0; i < n; i++) dst[i] = value;
+}
+
+int memcmp(char *a, char *b, int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        if (a[i] != b[i]) return a[i] - b[i];
+    }
+    return 0;
+}
+
+void memmove(char *dst, char *src, int n) {
+    int i;
+    if (dst < src) {
+        for (i = 0; i < n; i++) dst[i] = src[i];
+    } else {
+        for (i = n - 1; i >= 0; i--) dst[i] = src[i];
+    }
+}
+
+// ---- strings ----------------------------------------------------------
+
+int strlen(char *s) {
+    int n = 0;
+    while (s[n]) n++;
+    return n;
+}
+
+int strcmp(char *a, char *b) {
+    int i = 0;
+    while (a[i] && a[i] == b[i]) i++;
+    return a[i] - b[i];
+}
+
+void strcpy(char *dst, char *src) {
+    int i = 0;
+    while (src[i]) { dst[i] = src[i]; i++; }
+    dst[i] = 0;
+}
+
+// ---- integer helpers ------------------------------------------------------
+
+int abs_i(int x) { return x < 0 ? -x : x; }
+int min_i(int a, int b) { return a < b ? a : b; }
+int max_i(int a, int b) { return a > b ? a : b; }
+
+int clamp_i(int x, int lo, int hi) {
+    if (x < lo) return lo;
+    if (x > hi) return hi;
+    return x;
+}
+
+// integer square root (Newton)
+int isqrt(int x) {
+    int r;
+    int prev;
+    if (x <= 0) return 0;
+    r = x;
+    prev = 0;
+    while (r != prev) {
+        prev = r;
+        r = (r + x / r) / 2;
+    }
+    while (r * r > x) r--;
+    return r;
+}
+
+// ---- pseudo-random numbers (deterministic LCG) ------------------------------
+
+int __rand_state = 12345;
+
+void srand(int seed) { __rand_state = seed; }
+
+int rand(void) {
+    __rand_state = __rand_state * 1103515245 + 12345;
+    return (__rand_state >> 16) & 32767;
+}
+
+int rand_range(int n) { return rand() % n; }
+
+// ---- formatted output (cold code in most workloads) ------------------------------
+
+void print_str(char *s) { __puts(s); }
+
+void print_int(int x) { __putint(x); }
+
+void print_hex(int x) { __writehex(x); }
+
+void println(void) { __putchar(10); }
+
+void print_labeled(char *label, int value) {
+    __puts(label);
+    __putint(value);
+    __putchar(10);
+}
+
+void print_pair(char *label, int a, int b) {
+    __puts(label);
+    __putint(a);
+    __putchar(32);
+    __putint(b);
+    __putchar(10);
+}
+
+// pad a decimal into a field (rarely-used cold path)
+void print_int_width(int x, int width) {
+    int digits = 1;
+    int t = x < 0 ? -x : x;
+    while (t >= 10) { t = t / 10; digits++; }
+    if (x < 0) digits++;
+    while (digits < width) { __putchar(32); digits++; }
+    __putint(x);
+}
+
+// ---- sorting / searching (library bulk, mostly cold) --------------------------------
+
+void sort_ints(int *a, int n) {
+    int i; int j; int key;
+    for (i = 1; i < n; i++) {
+        key = a[i];
+        j = i - 1;
+        while (j >= 0 && a[j] > key) {
+            a[j + 1] = a[j];
+            j = j - 1;
+        }
+        a[j + 1] = key;
+    }
+}
+
+int bsearch_int(int *a, int n, int key) {
+    int lo = 0;
+    int hi = n - 1;
+    while (lo <= hi) {
+        int mid = (lo + hi) / 2;
+        if (a[mid] == key) return mid;
+        if (a[mid] < key) lo = mid + 1;
+        else hi = mid - 1;
+    }
+    return -1;
+}
+
+// ---- checksums ------------------------------------------------------------------------
+
+int checksum(char *buf, int n) {
+    int acc = 0;
+    int i;
+    for (i = 0; i < n; i++) {
+        acc = (acc * 31 + buf[i]) & 16777215;
+    }
+    return acc;
+}
+
+int adler32(char *buf, int n) {
+    int a = 1;
+    int b = 0;
+    int i;
+    for (i = 0; i < n; i++) {
+        a = (a + buf[i]) % 65521;
+        b = (b + a) % 65521;
+    }
+    return (b << 16) | a;
+}
+
+// ---- fixed-point trig tables (cold library ballast used by codecs) ------------------------
+
+int sin_q15(int angle256) {
+    // quarter-wave table lookup, angle in 1/256ths of a circle
+    int a = angle256 & 255;
+    int quadrant = a >> 6;
+    int idx = a & 63;
+    int v;
+    if (quadrant == 1 || quadrant == 3) idx = 63 - idx;
+    v = __SIN_TABLE[idx];
+    if (quadrant >= 2) v = -v;
+    return v;
+}
+
+int cos_q15(int angle256) { return sin_q15(angle256 + 64); }
+
+int __SIN_TABLE[64] = {
+    0, 804, 1608, 2410, 3212, 4011, 4808, 5602, 6393, 7179, 7962, 8739,
+    9512, 10278, 11039, 11793, 12539, 13279, 14010, 14732, 15446, 16151,
+    16846, 17530, 18204, 18868, 19519, 20159, 20787, 21403, 22005,
+    22594, 23170, 23731, 24279, 24811, 25329, 25832, 26319, 26790,
+    27245, 27683, 28105, 28510, 28898, 29268, 29621, 29956, 30273,
+    30571, 30852, 31113, 31356, 31580, 31785, 31971, 32137, 32285,
+    32412, 32521, 32609, 32678, 32728, 32757
+};
+"""
+
+
+def runtime_source() -> str:
+    """MinC source of the runtime library."""
+    return RUNTIME_MINC

@@ -1,0 +1,93 @@
+"""Type system of MinC, the reproduction's small C-like language.
+
+MinC has ``int`` (32-bit signed), ``char`` (8-bit unsigned), ``void``,
+pointers to any depth, and one-dimensional arrays.  Function names used
+without a call evaluate to the function's address (our stand-in for
+function pointers; calling through a variable emits ``jalr``, the
+*ambiguous pointer* case the SoftCache handles via its hash-table
+fallback).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Type:
+    """A MinC type: base kind + pointer depth (+ array length)."""
+
+    kind: str            # 'int' | 'char' | 'void' | 'func'
+    ptr: int = 0         # pointer depth
+    array_len: int | None = None  # None unless a declared array
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("int", "char", "void", "func"):
+            raise ValueError(f"bad type kind {self.kind}")
+
+    # -- constructors ----------------------------------------------------
+
+    def pointer_to(self) -> "Type":
+        return Type(self.kind, self.ptr + 1)
+
+    def deref(self) -> "Type":
+        if self.ptr == 0:
+            raise TypeError(f"cannot dereference non-pointer {self}")
+        return Type(self.kind, self.ptr - 1)
+
+    def decay(self) -> "Type":
+        """Array-to-pointer decay."""
+        if self.array_len is not None:
+            return Type(self.kind, self.ptr + 1)
+        return self
+
+    # -- predicates -------------------------------------------------------
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.ptr > 0 and self.array_len is None
+
+    @property
+    def is_array(self) -> bool:
+        return self.array_len is not None
+
+    @property
+    def is_integer(self) -> bool:
+        return self.ptr == 0 and self.array_len is None and \
+            self.kind in ("int", "char")
+
+    # -- sizes ----------------------------------------------------------------
+
+    @property
+    def element_size(self) -> int:
+        """Size of the pointed-to / element type in bytes."""
+        if self.ptr > 1 or (self.ptr >= 1 and self.array_len is not None):
+            return 4
+        if self.ptr == 1 or self.array_len is not None:
+            return 1 if self.kind == "char" else 4
+        raise TypeError(f"{self} has no element type")
+
+    @property
+    def size(self) -> int:
+        """Storage size in bytes of a value of this type."""
+        if self.array_len is not None:
+            return self.element_size * self.array_len
+        if self.ptr > 0:
+            return 4
+        if self.kind == "char":
+            return 1
+        if self.kind == "void":
+            raise TypeError("void has no size")
+        return 4
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        text = self.kind + "*" * self.ptr
+        if self.array_len is not None:
+            text += f"[{self.array_len}]"
+        return text
+
+
+INT = Type("int")
+CHAR = Type("char")
+VOID = Type("void")
+FUNC = Type("func")

@@ -1,0 +1,43 @@
+"""Address-space layout shared by the linker, simulator and SoftCache.
+
+The embedded client owns a small **local RAM** at ``LOCAL_BASE``; the
+server holds the full program image (text + data) in **remote memory**
+at ``TEXT_BASE``/``DATA_BASE``.  In the instruction-cache-only system
+(the paper's SPARC prototype) data and stack stay at their original
+remote addresses — "the rewritten code accesses data objects in the
+same memory locations as it would have if it had not been rewritten"
+— and only code is staged into the local translation cache.
+
+Everything lives below ``0x1000_0000`` so 26-bit absolute jump targets
+(word-addressed, 256 MB reach) cover the entire map.
+"""
+
+from __future__ import annotations
+
+#: Base of the embedded client's local RAM (tcache, stubs, runtime).
+LOCAL_BASE = 0x0001_0000
+#: Maximum size of local RAM the machine will map.
+LOCAL_MAX_SIZE = 0x0100_0000
+
+#: Base address of the program text segment (remote/server memory).
+TEXT_BASE = 0x0800_0000
+#: Base address of the data segment (globals + heap).
+DATA_BASE = 0x0900_0000
+#: Initial stack pointer; the stack grows down from here.
+STACK_TOP = 0x0A00_0000
+#: Default size of the stack region.
+STACK_SIZE = 0x0010_0000
+
+#: Highest mappable address + 1 (26-bit word jump reach).
+ADDR_LIMIT = 0x1000_0000
+
+#: Sentinel frame pointer marking the outermost stack frame; the
+#: SoftCache stack walker stops when it sees a saved fp equal to this.
+FP_SENTINEL = 0
+
+
+def align(value: int, alignment: int) -> int:
+    """Round *value* up to a multiple of *alignment* (a power of two)."""
+    if alignment & (alignment - 1):
+        raise ValueError(f"alignment not a power of two: {alignment}")
+    return (value + alignment - 1) & ~(alignment - 1)

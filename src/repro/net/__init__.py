@@ -1,0 +1,16 @@
+"""repro.net — the CC<->MC interconnect models.
+
+A parameterized bandwidth/latency/overhead link (:class:`LinkModel`),
+an accounting RPC channel (:class:`Channel`), the zero-cost
+:data:`LOCAL_LINK` of the SPARC prototype, and a two-hop
+:class:`HubChannel` with a mid-tier chunk cache (the paper's
+multilevel-caching remark).  Defaults match the paper's testbed:
+10 Mbps Ethernet, 60 application bytes of protocol overhead per chunk
+exchange.
+"""
+
+from .hub import HubChannel, HubStats, with_hub
+from .link import Channel, LOCAL_LINK, LinkModel, LinkStats
+
+__all__ = ["Channel", "HubChannel", "HubStats", "LOCAL_LINK",
+           "LinkModel", "LinkStats", "with_hub"]

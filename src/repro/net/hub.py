@@ -1,0 +1,104 @@
+"""A mid-tier chunk cache: the paper's multilevel-caching remark.
+
+"Software caching may be used to implement a particular level in a
+multilevel caching system" (§1).  In the cell-phone scenario the cell
+tower can keep a chunk cache so that most misses are served one fast
+hop away instead of across the backhaul to the origin server.
+
+:class:`HubChannel` wraps the CC's channel: an exchange first costs
+the near link; on a hub miss the far link is traversed too and the
+chunk (keyed by original address) is cached at the hub with LRU
+replacement.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from .link import Channel, LinkModel
+
+
+@dataclass
+class HubStats:
+    requests: int = 0
+    hub_hits: int = 0
+    origin_fetches: int = 0
+    hub_bytes: int = 0
+    origin_bytes: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hub_hits / self.requests if self.requests else 0.0
+
+
+class HubChannel(Channel):
+    """A two-hop channel with an LRU chunk cache at the near hop.
+
+    Drop-in replacement for :class:`~repro.net.Channel`: the
+    SoftCacheSystem is constructed normally and its ``channel`` is
+    swapped for a HubChannel (see ``with_hub``).  Only ``chunk``
+    exchanges are cached; data traffic always goes to the origin.
+    """
+
+    def __init__(self, near: LinkModel, far: LinkModel,
+                 capacity_bytes: int = 64 * 1024):
+        super().__init__(near)
+        self.far = far
+        self.capacity = capacity_bytes
+        self.hub_stats = HubStats()
+        self._cache: OrderedDict[int, int] = OrderedDict()  # key->bytes
+        self._cached_bytes = 0
+        #: set per-request by the CC wrapper; identifies the chunk
+        self.next_key: int | None = None
+
+    def exchange(self, kind: str, payload_bytes: int) -> float:
+        if kind != "chunk" or self.next_key is None:
+            seconds = super().exchange(kind, payload_bytes)
+            return seconds + self.far.exchange_time(payload_bytes)
+        key = self.next_key
+        self.next_key = None
+        self.hub_stats.requests += 1
+        seconds = super().exchange(kind, payload_bytes)  # near hop
+        if key in self._cache:
+            self._cache.move_to_end(key)
+            self.hub_stats.hub_hits += 1
+            self.hub_stats.hub_bytes += payload_bytes
+            return seconds
+        # hub miss: fetch from the origin over the far link and cache
+        self.hub_stats.origin_fetches += 1
+        self.hub_stats.origin_bytes += payload_bytes
+        seconds += self.far.exchange_time(payload_bytes)
+        self._cached_bytes += payload_bytes
+        self._cache[key] = payload_bytes
+        while self._cached_bytes > self.capacity and self._cache:
+            _, evicted = self._cache.popitem(last=False)
+            self._cached_bytes -= evicted
+            self.hub_stats.evictions += 1
+        return seconds
+
+
+def with_hub(system, near: LinkModel | None = None,
+             far: LinkModel | None = None,
+             capacity_bytes: int = 64 * 1024) -> HubChannel:
+    """Insert a hub cache between *system*'s CC and its MC.
+
+    Returns the installed :class:`HubChannel` (whose ``hub_stats``
+    report hit rates).  Call before ``system.run()``.
+    """
+    near = near or LinkModel()
+    far = far or LinkModel(bandwidth_bps=2e6, latency_s=5e-3)
+    hub = HubChannel(near, far, capacity_bytes)
+    system.channel = hub
+    system.cc.channel = hub
+
+    mc = system.mc
+    original = mc.serve_chunk
+
+    def serving(orig_addr: int):
+        hub.next_key = orig_addr
+        return original(orig_addr)
+
+    mc.serve_chunk = serving
+    return hub

@@ -1,0 +1,28 @@
+"""repro.power — §4 novel capabilities: power and banking.
+
+* :func:`bank_power_analysis` — SRAM bank power gating: the fully
+  associative SoftCache concentrates live code into as few banks as
+  the working set needs, and idle banks sleep (StrongARM power
+  fractions from the paper's reference [10]).
+* :func:`parallel_access_analysis` — multi-bank parallel data access:
+  the SoftCache chooses where cached data blocks live, so it can
+  separate frequently adjacent blocks into different banks.
+"""
+
+from .banks import (
+    BankPowerResult,
+    StrongARMPower,
+    bank_power_analysis,
+    power_sweep,
+)
+from .parallel import (
+    ParallelAccessResult,
+    greedy_bank_placement,
+    parallel_access_analysis,
+)
+
+__all__ = [
+    "BankPowerResult", "ParallelAccessResult", "StrongARMPower",
+    "bank_power_analysis", "greedy_bank_placement",
+    "parallel_access_analysis", "power_sweep",
+]

@@ -1,0 +1,144 @@
+"""Execution profiling over the simulator (the reproduction's gprof).
+
+Figure 9's methodology: "The hot code was initially identified by
+using gprof to determine which functions constituted at least 90% of
+the application run time."  Our equivalent runs the program natively
+with a full fetch trace and attributes every executed instruction to
+its containing procedure — *exact* flat profiling, plus a dynamic
+call-graph built from the execution counts of call sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..asm.image import Image, ProcSpan
+from ..isa import Op, decode, jump_target
+from ..sim.machine import Machine, MachineConfig
+
+
+@dataclass(frozen=True)
+class ProcProfile:
+    """Flat profile entry for one procedure."""
+
+    proc: ProcSpan
+    instructions: int
+    fraction: float
+
+    @property
+    def name(self) -> str:
+        return self.proc.name
+
+
+@dataclass
+class Profile:
+    """Result of profiling one run."""
+
+    image: Image
+    total_instructions: int
+    entries: list[ProcProfile]
+    #: bytes of text executed at least once (Table 1 "Dynamic .text")
+    dynamic_text_bytes: int
+    #: dynamic call counts: (caller, callee) -> times executed
+    call_counts: dict[tuple[str, str], int] = field(default_factory=dict)
+    output: str = ""
+    exit_code: int = 0
+
+    def hot_procs(self, threshold: float = 0.90) -> list[ProcProfile]:
+        """Smallest prefix of the flat profile covering *threshold* of
+        all executed instructions — the paper's 90% rule."""
+        out: list[ProcProfile] = []
+        covered = 0
+        for entry in self.entries:
+            if covered >= threshold * self.total_instructions:
+                break
+            out.append(entry)
+            covered += entry.instructions
+        return out
+
+    def hot_code_bytes(self, threshold: float = 0.90) -> int:
+        """Static size of the hot procedures (Fig 8's CC sizing)."""
+        return sum(e.proc.size for e in self.hot_procs(threshold))
+
+    def normalized_dynamic_footprint(self,
+                                     threshold: float = 0.90) -> float:
+        """Hot-code size over static text size (Figure 9's metric)."""
+        return self.hot_code_bytes(threshold) / self.image.static_text_size
+
+    def entry_named(self, name: str) -> ProcProfile:
+        for entry in self.entries:
+            if entry.name == name:
+                return entry
+        raise KeyError(name)
+
+    def report(self, top: int = 12) -> str:
+        """Human-readable flat profile (gprof-style)."""
+        lines = [f"{'%':>6} {'cum%':>6} {'instrs':>10}  name",
+                 "-" * 44]
+        cum = 0
+        for entry in self.entries[:top]:
+            cum += entry.instructions
+            lines.append(
+                f"{100 * entry.fraction:6.2f} "
+                f"{100 * cum / self.total_instructions:6.2f} "
+                f"{entry.instructions:10d}  {entry.name}")
+        return "\n".join(lines)
+
+
+def profile_image(image: Image, *, config: MachineConfig | None = None,
+                  max_instructions: int = 200_000_000) -> Profile:
+    """Run *image* natively with a fetch trace and build its profile."""
+    machine = Machine(image, config)
+    _, trace = machine.run_traced(max_instructions)
+    addrs = np.frombuffer(trace, dtype=np.uint32)
+    unique_pcs, counts = np.unique(addrs, return_counts=True)
+    total = int(addrs.size)
+
+    # attribute instruction counts to procedures by span search
+    starts = np.array([p.addr for p in image.procs], dtype=np.uint64)
+    idx = np.searchsorted(starts, unique_pcs.astype(np.uint64),
+                          side="right") - 1
+    per_proc: dict[str, int] = {}
+    for pc_i, count, proc_i in zip(unique_pcs, counts, idx):
+        if proc_i < 0:
+            continue
+        proc = image.procs[int(proc_i)]
+        if not proc.contains(int(pc_i)):
+            continue
+        per_proc[proc.name] = per_proc.get(proc.name, 0) + int(count)
+
+    entries = sorted(
+        (ProcProfile(image.proc_named(name), n, n / total)
+         for name, n in per_proc.items()),
+        key=lambda e: e.instructions, reverse=True)
+
+    # dynamic call graph from call-site execution counts
+    count_at = dict(zip((int(a) for a in unique_pcs),
+                        (int(c) for c in counts)))
+    call_counts: dict[tuple[str, str], int] = {}
+    for pc, executed in count_at.items():
+        if not image.in_text(pc):
+            continue
+        word = image.word_at(pc)
+        if (word >> 26) != int(Op.JAL):
+            continue
+        ins = decode(word)
+        assert ins.op is Op.JAL
+        caller = image.proc_at(pc)
+        callee = image.proc_at(jump_target(word))
+        if caller is None or callee is None:
+            continue
+        key = (caller.name, callee.name)
+        call_counts[key] = call_counts.get(key, 0) + executed
+
+    return Profile(
+        image=image,
+        total_instructions=total,
+        entries=entries,
+        dynamic_text_bytes=4 * int(unique_pcs.size),
+        call_counts=call_counts,
+        output=machine.output_text,
+        exit_code=machine.cpu.exit_code or 0,
+    )

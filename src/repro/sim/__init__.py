@@ -1,0 +1,28 @@
+"""repro.sim — the embedded-client CPU simulator.
+
+A closure-caching interpreter for the repro ISA (:mod:`repro.sim.cpu`),
+region-based memory with executable permissions and code-write hooks
+(:mod:`repro.sim.memory`), the centralized cost model
+(:mod:`repro.sim.costs`) and the machine/syscall layer
+(:mod:`repro.sim.machine`).
+"""
+
+from .costs import DEFAULT_COSTS, CostModel
+from .cpu import CPU, HaltExecution
+from .errors import (
+    BreakHit,
+    CycleLimitExceeded,
+    FetchFault,
+    IllegalInstruction,
+    MemoryFault,
+    SimError,
+)
+from .machine import Machine, MachineConfig, run_native
+from .memory import Memory, Region
+
+__all__ = [
+    "BreakHit", "CPU", "CostModel", "CycleLimitExceeded", "DEFAULT_COSTS",
+    "FetchFault", "HaltExecution", "IllegalInstruction", "Machine",
+    "MachineConfig", "Memory", "MemoryFault", "Region", "SimError",
+    "run_native",
+]

@@ -1,0 +1,528 @@
+"""The repro RISC CPU: a closure-caching interpreter.
+
+Each instruction word is decoded once into a specialized Python closure
+stored in a per-address decode cache; the run loop is then just
+``pc = closure(pc)``.  Writes into executable regions (i.e. dynamic
+binary rewriting by the SoftCache) invalidate the affected decode-cache
+entries, so patched branch words take effect exactly like they would on
+real hardware with coherent fetch.
+
+The CPU knows nothing about caching.  The SoftCache hooks in through
+two narrow interfaces:
+
+* ``trap_hook(cpu, code, operand, pc) -> next_pc`` — invoked by TRAP
+  instructions (miss stubs, dcache ops);
+* the executable-region permissions — in SoftCache mode only local RAM
+  is executable, so any escape from the translation cache raises
+  :class:`~repro.sim.errors.FetchFault` instead of silently running
+  untranslated code.
+
+Cycle accounting: every closure bumps an (instruction, cycle) stats
+cell; runtime components charge additional cycles through
+:meth:`CPU.add_cycles`.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Callable
+
+from ..isa import Op, Trap, decode, to_signed32
+from ..isa.registers import RA
+from .costs import DEFAULT_COSTS, CostModel
+from .errors import (
+    BreakHit,
+    CycleLimitExceeded,
+    FetchFault,
+    IllegalInstruction,
+    SimError,
+)
+from .memory import Memory
+
+MASK32 = 0xFFFFFFFF
+_SIGN_FLIP = 0x80000000
+
+
+class HaltExecution(Exception):
+    """Raised internally to unwind the run loop on HALT/exit."""
+
+
+TrapHook = Callable[["CPU", int, int, int], int]
+SysHook = Callable[["CPU", int, int], int]
+
+
+class CPU:
+    """A single in-order core executing the repro ISA."""
+
+    def __init__(self, memory: Memory, costs: CostModel = DEFAULT_COSTS):
+        self.mem = memory
+        self.costs = costs
+        self.regs: list[int] = [0] * 32
+        self.pc = 0
+        self.exit_code: int | None = None
+        #: [instructions executed, cycles consumed]
+        self.stats = [0, 0]
+        self.trap_hook: TrapHook | None = None
+        self.sys_hook: SysHook | None = None
+        self._decoded: dict[int, Callable[[int], int]] = {}
+        memory.code_write_hooks.append(self._invalidate_decoded)
+
+    # -- public accounting ------------------------------------------------
+
+    @property
+    def icount(self) -> int:
+        """Instructions executed so far."""
+        return self.stats[0]
+
+    @property
+    def cycles(self) -> int:
+        """Cycles consumed so far (instructions + runtime charges)."""
+        return self.stats[1]
+
+    def add_cycles(self, n: int) -> None:
+        """Charge *n* runtime cycles (CC/MC work, link transfer time)."""
+        self.stats[1] += n
+
+    def halt(self, exit_code: int = 0) -> None:
+        """Stop execution at the end of the current instruction."""
+        self.exit_code = exit_code
+        raise HaltExecution
+
+    # -- register helpers (used by the SoftCache runtime) -----------------
+
+    def get_reg(self, num: int) -> int:
+        return self.regs[num]
+
+    def set_reg(self, num: int, value: int) -> None:
+        if num != 0:
+            self.regs[num] = value & MASK32
+
+    # -- decode cache -------------------------------------------------------
+
+    def _invalidate_decoded(self, addr: int, length: int) -> None:
+        decoded = self._decoded
+        for a in range(addr & ~3, addr + length, 4):
+            decoded.pop(a, None)
+
+    def invalidate_all_decoded(self) -> None:
+        """Drop every cached closure (tcache flush)."""
+        self._decoded.clear()
+
+    def _decode_at(self, pc: int) -> Callable[[int], int]:
+        region = self.mem.region_at(pc)  # raises MemoryFault if unmapped
+        if not region.executable:
+            raise FetchFault(pc, f"region '{region.name}' not executable")
+        if pc & 3:
+            raise FetchFault(pc, "misaligned pc")
+        off = pc - region.base
+        word = int.from_bytes(region.buf[off:off + 4], "little")
+        try:
+            ins = decode(word)
+        except Exception as exc:
+            raise IllegalInstruction(pc, word) from exc
+        factory = _FACTORIES.get(ins.op)
+        if factory is None:  # pragma: no cover - table is exhaustive
+            raise IllegalInstruction(pc, word)
+        fn = factory(self, ins, pc)
+        self._decoded[pc] = fn
+        return fn
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, max_instructions: int = 2_000_000_000) -> int:
+        """Run until HALT/exit; returns the exit code.
+
+        Raises :class:`CycleLimitExceeded` if *max_instructions* is hit
+        (runaway-loop guard for tests).
+        """
+        decoded = self._decoded
+        decode_at = self._decode_at
+        stats = self.stats
+        pc = self.pc
+        try:
+            while True:
+                for _ in range(16384):
+                    fn = decoded.get(pc)
+                    if fn is None:
+                        fn = decode_at(pc)
+                    pc = fn(pc)
+                if stats[0] > max_instructions:
+                    self.pc = pc
+                    raise CycleLimitExceeded(max_instructions)
+        except HaltExecution:
+            self.pc = pc
+        except Exception:
+            self.pc = pc
+            raise
+        return self.exit_code if self.exit_code is not None else 0
+
+    def run_traced(self, trace: array,
+                   max_instructions: int = 2_000_000_000) -> int:
+        """Like :meth:`run` but appends every executed pc to *trace*.
+
+        *trace* should be ``array('I')``; it becomes the instruction
+        fetch trace consumed by the hardware-cache simulator (Fig 6)
+        and the block-trace extractor (Fig 7).
+        """
+        decoded = self._decoded
+        decode_at = self._decode_at
+        append = trace.append
+        stats = self.stats
+        pc = self.pc
+        try:
+            while True:
+                for _ in range(16384):
+                    fn = decoded.get(pc)
+                    if fn is None:
+                        fn = decode_at(pc)
+                    append(pc)
+                    pc = fn(pc)
+                if stats[0] > max_instructions:
+                    self.pc = pc
+                    raise CycleLimitExceeded(max_instructions)
+        except HaltExecution:
+            self.pc = pc
+        except Exception:
+            self.pc = pc
+            raise
+        return self.exit_code if self.exit_code is not None else 0
+
+    def step(self) -> None:
+        """Execute exactly one instruction (debugger granularity)."""
+        fn = self._decoded.get(self.pc)
+        if fn is None:
+            fn = self._decode_at(self.pc)
+        try:
+            self.pc = fn(self.pc)
+        except HaltExecution:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Closure factories, one per opcode.  Each returns ``fn(pc) -> next_pc``.
+# The factories aggressively specialize: rd == zero becomes a pure nop
+# with correct cost, constants are folded into the closure.
+# ---------------------------------------------------------------------------
+
+_Factory = Callable[["CPU", object, int], Callable[[int], int]]
+_FACTORIES: dict[Op, _Factory] = {}
+
+
+def _register(op: Op):
+    def deco(fn: _Factory) -> _Factory:
+        _FACTORIES[op] = fn
+        return fn
+    return deco
+
+
+def _alu_factory(op: Op, compute):
+    """Build a factory for a 3-register ALU op with semantics *compute*."""
+    def factory(cpu: CPU, ins, pc: int):
+        regs = cpu.regs
+        st = cpu.stats
+        cost = cpu.costs.op_cycles[op]
+        rd, rs1, rs2 = ins.rd, ins.rs1, ins.rs2
+        if rd == 0:
+            def ex(pc: int) -> int:
+                st[0] += 1
+                st[1] += cost
+                return pc + 4
+            return ex
+
+        def ex(pc: int) -> int:
+            st[0] += 1
+            st[1] += cost
+            regs[rd] = compute(regs[rs1], regs[rs2])
+            return pc + 4
+        return ex
+    _FACTORIES[op] = factory
+    return factory
+
+
+def _sdiv(a: int, b: int) -> int:
+    if b == 0:
+        return MASK32  # divide by zero -> -1 (RISC-V convention)
+    sa, sb = to_signed32(a), to_signed32(b)
+    q = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        q = -q
+    return q & MASK32
+
+
+def _srem(a: int, b: int) -> int:
+    if b == 0:
+        return a
+    sa, sb = to_signed32(a), to_signed32(b)
+    r = abs(sa) % abs(sb)
+    if sa < 0:
+        r = -r
+    return r & MASK32
+
+
+_alu_factory(Op.ADD, lambda a, b: (a + b) & MASK32)
+_alu_factory(Op.SUB, lambda a, b: (a - b) & MASK32)
+_alu_factory(Op.AND, lambda a, b: a & b)
+_alu_factory(Op.OR, lambda a, b: a | b)
+_alu_factory(Op.XOR, lambda a, b: a ^ b)
+_alu_factory(Op.NOR, lambda a, b: ~(a | b) & MASK32)
+_alu_factory(Op.SLT,
+             lambda a, b: 1 if (a ^ _SIGN_FLIP) < (b ^ _SIGN_FLIP) else 0)
+_alu_factory(Op.SLTU, lambda a, b: 1 if a < b else 0)
+_alu_factory(Op.SLL, lambda a, b: (a << (b & 31)) & MASK32)
+_alu_factory(Op.SRL, lambda a, b: a >> (b & 31))
+_alu_factory(Op.SRA,
+             lambda a, b: (to_signed32(a) >> (b & 31)) & MASK32)
+_alu_factory(Op.MUL, lambda a, b: (a * b) & MASK32)
+_alu_factory(Op.DIV, _sdiv)
+_alu_factory(Op.REM, _srem)
+
+
+def _alui_factory(op: Op, compute):
+    """Factory builder for register-immediate ALU ops."""
+    def factory(cpu: CPU, ins, pc: int):
+        regs = cpu.regs
+        st = cpu.stats
+        cost = cpu.costs.op_cycles[op]
+        rd, rs1, imm = ins.rd, ins.rs1, ins.imm
+        if rd == 0:
+            def ex(pc: int) -> int:
+                st[0] += 1
+                st[1] += cost
+                return pc + 4
+            return ex
+
+        def ex(pc: int) -> int:
+            st[0] += 1
+            st[1] += cost
+            regs[rd] = compute(regs[rs1], imm)
+            return pc + 4
+        return ex
+    _FACTORIES[op] = factory
+    return factory
+
+
+_alui_factory(Op.ADDI, lambda a, i: (a + i) & MASK32)
+_alui_factory(Op.ANDI, lambda a, i: a & i)
+_alui_factory(Op.ORI, lambda a, i: a | i)
+_alui_factory(Op.XORI, lambda a, i: a ^ i)
+_alui_factory(Op.SLTI,
+              lambda a, i: 1 if (a ^ _SIGN_FLIP) < ((i & MASK32) ^ _SIGN_FLIP)
+              else 0)
+_alui_factory(Op.SLTIU, lambda a, i: 1 if a < i else 0)
+_alui_factory(Op.SLLI, lambda a, i: (a << (i & 31)) & MASK32)
+_alui_factory(Op.SRLI, lambda a, i: a >> (i & 31))
+_alui_factory(Op.SRAI, lambda a, i: (to_signed32(a) >> (i & 31)) & MASK32)
+_alui_factory(Op.LUI, lambda a, i: (i << 16) & MASK32)
+
+
+def _load_factory(op: Op, reader_name: str, sign_bits: int | None):
+    def factory(cpu: CPU, ins, pc: int):
+        regs = cpu.regs
+        st = cpu.stats
+        mem = cpu.mem
+        cost = cpu.costs.op_cycles[op]
+        rd, rs1, imm = ins.rd, ins.rs1, ins.imm
+        read = getattr(mem, reader_name)
+        if sign_bits is None:
+            def ex(pc: int) -> int:
+                st[0] += 1
+                st[1] += cost
+                value = read((regs[rs1] + imm) & MASK32)
+                if rd:
+                    regs[rd] = value
+                return pc + 4
+        else:
+            flip = 1 << (sign_bits - 1)
+            wrap = 1 << sign_bits
+
+            def ex(pc: int) -> int:
+                st[0] += 1
+                st[1] += cost
+                value = read((regs[rs1] + imm) & MASK32)
+                if value & flip:
+                    value = (value - wrap) & MASK32
+                if rd:
+                    regs[rd] = value
+                return pc + 4
+        return ex
+    _FACTORIES[op] = factory
+
+
+_load_factory(Op.LW, "read_word", None)
+_load_factory(Op.LH, "read_half", 16)
+_load_factory(Op.LHU, "read_half", None)
+_load_factory(Op.LB, "read_byte", 8)
+_load_factory(Op.LBU, "read_byte", None)
+
+
+def _store_factory(op: Op, writer_name: str):
+    def factory(cpu: CPU, ins, pc: int):
+        regs = cpu.regs
+        st = cpu.stats
+        mem = cpu.mem
+        cost = cpu.costs.op_cycles[op]
+        rd, rs1, imm = ins.rd, ins.rs1, ins.imm
+        write = getattr(mem, writer_name)
+
+        def ex(pc: int) -> int:
+            st[0] += 1
+            st[1] += cost
+            write((regs[rs1] + imm) & MASK32, regs[rd])
+            return pc + 4
+        return ex
+    _FACTORIES[op] = factory
+
+
+_store_factory(Op.SW, "write_word")
+_store_factory(Op.SH, "write_half")
+_store_factory(Op.SB, "write_byte")
+
+
+def _branch_factory(op: Op, test):
+    def factory(cpu: CPU, ins, pc: int):
+        regs = cpu.regs
+        st = cpu.stats
+        cost = cpu.costs.op_cycles[op]
+        rs1, rs2 = ins.rs1, ins.rs2
+        taken = pc + 4 + (ins.imm << 2)
+        fallthrough = pc + 4
+
+        def ex(pc: int) -> int:
+            st[0] += 1
+            st[1] += cost
+            return taken if test(regs[rs1], regs[rs2]) else fallthrough
+        return ex
+    _FACTORIES[op] = factory
+
+
+_branch_factory(Op.BEQ, lambda a, b: a == b)
+_branch_factory(Op.BNE, lambda a, b: a != b)
+_branch_factory(Op.BLT, lambda a, b: (a ^ _SIGN_FLIP) < (b ^ _SIGN_FLIP))
+_branch_factory(Op.BGE, lambda a, b: (a ^ _SIGN_FLIP) >= (b ^ _SIGN_FLIP))
+_branch_factory(Op.BLTU, lambda a, b: a < b)
+_branch_factory(Op.BGEU, lambda a, b: a >= b)
+
+
+@_register(Op.J)
+def _f_j(cpu: CPU, ins, pc: int):
+    st = cpu.stats
+    cost = cpu.costs.op_cycles[Op.J]
+    target = ins.imm << 2
+
+    def ex(pc: int) -> int:
+        st[0] += 1
+        st[1] += cost
+        return target
+    return ex
+
+
+@_register(Op.JAL)
+def _f_jal(cpu: CPU, ins, pc: int):
+    regs = cpu.regs
+    st = cpu.stats
+    cost = cpu.costs.op_cycles[Op.JAL]
+    target = ins.imm << 2
+    link = pc + 4
+
+    def ex(pc: int) -> int:
+        st[0] += 1
+        st[1] += cost
+        regs[RA] = link
+        return target
+    return ex
+
+
+@_register(Op.JR)
+def _f_jr(cpu: CPU, ins, pc: int):
+    regs = cpu.regs
+    st = cpu.stats
+    cost = cpu.costs.op_cycles[Op.JR]
+    rs1 = ins.rs1
+
+    def ex(pc: int) -> int:
+        st[0] += 1
+        st[1] += cost
+        return regs[rs1]
+    return ex
+
+
+@_register(Op.JALR)
+def _f_jalr(cpu: CPU, ins, pc: int):
+    regs = cpu.regs
+    st = cpu.stats
+    cost = cpu.costs.op_cycles[Op.JALR]
+    rd, rs1 = ins.rd, ins.rs1
+    link = pc + 4
+
+    def ex(pc: int) -> int:
+        st[0] += 1
+        st[1] += cost
+        target = regs[rs1]
+        if rd:
+            regs[rd] = link
+        return target
+    return ex
+
+
+@_register(Op.RET)
+def _f_ret(cpu: CPU, ins, pc: int):
+    regs = cpu.regs
+    st = cpu.stats
+    cost = cpu.costs.op_cycles[Op.RET]
+
+    def ex(pc: int) -> int:
+        st[0] += 1
+        st[1] += cost
+        return regs[RA]
+    return ex
+
+
+@_register(Op.TRAP)
+def _f_trap(cpu: CPU, ins, pc: int):
+    st = cpu.stats
+    code, operand = ins.rd, ins.imm
+
+    def ex(pc: int) -> int:
+        st[0] += 1
+        st[1] += 1
+        hook = cpu.trap_hook
+        if hook is None:
+            raise SimError(
+                f"TRAP {Trap(code).name if code in Trap._value2member_map_ else code} "
+                f"at pc={pc:#x} with no handler installed")
+        return hook(cpu, code, operand, pc)
+    return ex
+
+
+@_register(Op.SYSCALL)
+def _f_syscall(cpu: CPU, ins, pc: int):
+    st = cpu.stats
+    service = ins.imm
+
+    def ex(pc: int) -> int:
+        st[0] += 1
+        st[1] += 1
+        hook = cpu.sys_hook
+        if hook is None:
+            raise SimError(f"SYSCALL {service} with no handler installed")
+        return hook(cpu, service, pc)
+    return ex
+
+
+@_register(Op.BREAK)
+def _f_break(cpu: CPU, ins, pc: int):
+    code = ins.imm
+
+    def ex(pc: int) -> int:
+        raise BreakHit(pc, code)
+    return ex
+
+
+@_register(Op.HALT)
+def _f_halt(cpu: CPU, ins, pc: int):
+    def ex(pc: int) -> int:
+        cpu.stats[0] += 1
+        cpu.stats[1] += 1
+        cpu.halt(cpu.exit_code if cpu.exit_code is not None else 0)
+        return pc  # pragma: no cover - halt() raises
+    return ex

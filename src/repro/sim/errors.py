@@ -1,0 +1,54 @@
+"""Simulator exception hierarchy."""
+
+from __future__ import annotations
+
+
+class SimError(Exception):
+    """Base class for all simulator faults."""
+
+
+class MemoryFault(SimError):
+    """Access to an unmapped or misaligned address."""
+
+    def __init__(self, addr: int, what: str = "access"):
+        super().__init__(f"memory fault: {what} at {addr:#010x}")
+        self.addr = addr
+
+
+class FetchFault(SimError):
+    """Instruction fetch from a non-executable or unmapped address.
+
+    In SoftCache mode this fires if control ever escapes the translation
+    cache — i.e. a rewriter bug — so it is deliberately loud.
+    """
+
+    def __init__(self, pc: int, reason: str = "not executable"):
+        super().__init__(f"fetch fault at pc={pc:#010x}: {reason}")
+        self.pc = pc
+
+
+class IllegalInstruction(SimError):
+    """Undecodable instruction word reached the pipeline."""
+
+    def __init__(self, pc: int, word: int):
+        super().__init__(
+            f"illegal instruction {word:#010x} at pc={pc:#010x}")
+        self.pc = pc
+        self.word = word
+
+
+class BreakHit(SimError):
+    """A BREAK instruction executed (assertion failure in guest code)."""
+
+    def __init__(self, pc: int, code: int):
+        super().__init__(f"break {code} at pc={pc:#010x}")
+        self.pc = pc
+        self.code = code
+
+
+class CycleLimitExceeded(SimError):
+    """The run exceeded its configured cycle budget (runaway guard)."""
+
+    def __init__(self, limit: int):
+        super().__init__(f"cycle limit exceeded: {limit}")
+        self.limit = limit

@@ -1,0 +1,178 @@
+"""Byte-addressable memory built from named regions.
+
+Regions model the paper's split address space: the embedded client's
+**local RAM** (tcache + runtime), the server-resident **remote text
+and data**, and the stack.  Each region carries permissions; in
+SoftCache mode the remote text region is mapped *non-executable* so
+any fetch escaping the translation cache faults immediately instead of
+silently running untranslated code.
+
+Writes into executable regions invoke ``code_write_hooks`` so the
+CPU's decode cache can invalidate stale closures — this is what makes
+dynamic binary rewriting visible to the interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .errors import MemoryFault
+
+
+@dataclass(slots=True)
+class Region:
+    """A contiguous mapped range ``[base, base + size)``."""
+
+    name: str
+    base: int
+    size: int
+    readable: bool = True
+    writable: bool = True
+    executable: bool = False
+    buf: bytearray = field(default_factory=bytearray)
+
+    def __post_init__(self) -> None:
+        if not self.buf:
+            self.buf = bytearray(self.size)
+        elif len(self.buf) != self.size:
+            raise ValueError("buffer length != region size")
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+
+class Memory:
+    """The machine's physical memory: an ordered set of regions."""
+
+    def __init__(self) -> None:
+        self.regions: list[Region] = []
+        #: Called as ``hook(addr, length)`` after a write into any
+        #: executable region (decode-cache invalidation).
+        self.code_write_hooks: list[Callable[[int, int], None]] = []
+        self._last: Region | None = None
+
+    # -- mapping --------------------------------------------------------
+
+    def map_region(self, region: Region) -> Region:
+        """Map *region*; overlapping ranges are rejected."""
+        for existing in self.regions:
+            if region.base < existing.end and existing.base < region.end:
+                raise ValueError(
+                    f"region {region.name} overlaps {existing.name}")
+        self.regions.append(region)
+        self.regions.sort(key=lambda r: r.base)
+        return region
+
+    def region_named(self, name: str) -> Region:
+        for region in self.regions:
+            if region.name == name:
+                return region
+        raise KeyError(name)
+
+    def region_at(self, addr: int) -> Region:
+        """Find the region containing *addr* (fast path: last hit)."""
+        last = self._last
+        if last is not None and last.base <= addr < last.end:
+            return last
+        for region in self.regions:
+            if region.base <= addr < region.end:
+                self._last = region
+                return region
+        raise MemoryFault(addr, "unmapped")
+
+    # -- typed access ----------------------------------------------------
+
+    def read_word(self, addr: int) -> int:
+        if addr & 3:
+            raise MemoryFault(addr, "misaligned word read")
+        region = self.region_at(addr)
+        if not region.readable:
+            raise MemoryFault(addr, "read from non-readable region")
+        off = addr - region.base
+        return int.from_bytes(region.buf[off:off + 4], "little")
+
+    def write_word(self, addr: int, value: int) -> None:
+        if addr & 3:
+            raise MemoryFault(addr, "misaligned word write")
+        region = self.region_at(addr)
+        if not region.writable:
+            raise MemoryFault(addr, "write to read-only region")
+        off = addr - region.base
+        region.buf[off:off + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
+        if region.executable:
+            for hook in self.code_write_hooks:
+                hook(addr, 4)
+
+    def read_half(self, addr: int) -> int:
+        if addr & 1:
+            raise MemoryFault(addr, "misaligned half read")
+        region = self.region_at(addr)
+        off = addr - region.base
+        return int.from_bytes(region.buf[off:off + 2], "little")
+
+    def write_half(self, addr: int, value: int) -> None:
+        if addr & 1:
+            raise MemoryFault(addr, "misaligned half write")
+        region = self.region_at(addr)
+        if not region.writable:
+            raise MemoryFault(addr, "write to read-only region")
+        off = addr - region.base
+        region.buf[off:off + 2] = (value & 0xFFFF).to_bytes(2, "little")
+        if region.executable:
+            for hook in self.code_write_hooks:
+                hook(addr, 2)
+
+    def read_byte(self, addr: int) -> int:
+        region = self.region_at(addr)
+        return region.buf[addr - region.base]
+
+    def write_byte(self, addr: int, value: int) -> None:
+        region = self.region_at(addr)
+        if not region.writable:
+            raise MemoryFault(addr, "write to read-only region")
+        region.buf[addr - region.base] = value & 0xFF
+        if region.executable:
+            for hook in self.code_write_hooks:
+                hook(addr, 1)
+
+    # -- bulk access ------------------------------------------------------
+
+    def read_bytes(self, addr: int, length: int) -> bytes:
+        region = self.region_at(addr)
+        if addr + length > region.end:
+            raise MemoryFault(addr, f"read of {length} bytes crosses region")
+        off = addr - region.base
+        return bytes(region.buf[off:off + length])
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        region = self.region_at(addr)
+        if addr + len(data) > region.end:
+            raise MemoryFault(addr, "write crosses region")
+        if not region.writable:
+            raise MemoryFault(addr, "write to read-only region")
+        off = addr - region.base
+        region.buf[off:off + len(data)] = data
+        if region.executable:
+            for hook in self.code_write_hooks:
+                hook(addr, len(data))
+
+    def read_cstring(self, addr: int, max_len: int = 4096) -> str:
+        """Read a NUL-terminated latin-1 string (for the PUTS syscall)."""
+        out = bytearray()
+        for i in range(max_len):
+            b = self.read_byte(addr + i)
+            if b == 0:
+                break
+            out.append(b)
+        return out.decode("latin-1")
+
+    def is_executable(self, addr: int) -> bool:
+        try:
+            return self.region_at(addr).executable
+        except MemoryFault:
+            return False

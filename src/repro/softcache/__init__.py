@@ -1,0 +1,52 @@
+"""repro.softcache — the paper's contribution: an all-software
+instruction cache built on dynamic binary rewriting.
+
+Public surface:
+
+* :class:`SoftCacheSystem` / :class:`SoftCacheConfig` — build and run a
+  program under the software cache (``granularity``: ``block`` for the
+  SPARC prototype, ``ebb`` for the optimized trace variant, ``proc``
+  for the ARM prototype with redirectors).
+* :class:`MemoryController` — the server side (chunking + rewriting).
+* :class:`BlockCacheController` / :class:`ProcCacheController` — the
+  client side (tcache, miss handling, backpatching, invalidation).
+"""
+
+from .cc import (
+    BaseCacheController,
+    BlockCacheController,
+    ProcCacheController,
+    SoftCacheError,
+)
+from .debug import (
+    ConsistencyError,
+    check_consistency,
+    chunk_graph_dot,
+    dump_tcache,
+)
+from .chunks import (
+    BasicBlockChunker,
+    Chunk,
+    ChunkError,
+    EBBChunker,
+    ExitDesc,
+    ExitKind,
+    ProcedureChunker,
+)
+from .mc import MCStats, MemoryController
+from .records import ContSlot, JRSite, Link, Redirector, SiteKind, Stub, TBlock
+from .stats import SoftCacheStats
+from .system import RunReport, SoftCacheConfig, SoftCacheSystem, run_softcache
+from .tcache import TCache, TCacheFull, TCacheGeometry
+
+__all__ = [
+    "BaseCacheController", "BasicBlockChunker", "BlockCacheController",
+    "Chunk", "ChunkError", "ConsistencyError", "ContSlot", "EBBChunker",
+    "ExitDesc", "ExitKind", "JRSite", "Link", "MCStats",
+    "MemoryController", "ProcCacheController", "ProcedureChunker",
+    "Redirector", "RunReport", "SiteKind", "SoftCacheConfig",
+    "SoftCacheError", "SoftCacheStats", "SoftCacheSystem", "Stub",
+    "TBlock", "TCache", "TCacheFull", "TCacheGeometry",
+    "check_consistency", "chunk_graph_dot", "dump_tcache",
+    "run_softcache",
+]

@@ -1,0 +1,756 @@
+"""The cache controller (CC): the client half of the SoftCache.
+
+The CC owns the translation cache in the embedded client's local RAM.
+It fields the miss traps that rewritten code executes, requests chunks
+from the memory controller over the network link, installs them,
+backpatches the branch words that pointed at miss stubs ("eventually,
+if used, again rewritten to point to other blocks in the tcache",
+Fig 3), and maintains the invalidation bookkeeping: incoming-pointer
+links for every patched word plus the stack walk that fixes return
+addresses when a block with live continuations is evicted.
+
+Two controllers mirror the two prototypes:
+
+* :class:`BlockCacheController` — SPARC style (§2.1): basic-block or
+  extended-basic-block chunks, branch stubs, return-continuation
+  slots, hash-table fallback for computed jumps, stack walking at
+  invalidation time.
+* :class:`ProcCacheController` — ARM style (§2.3): whole-procedure
+  chunks, permanent per-call-site *redirectors* so that no return
+  address ever points into evictable memory, no indirect jumps.
+
+All CC work is charged to the simulated CPU through the cost model, and
+link transfer time is converted to client cycles, so the paper's
+time-shaped results (Figures 5 and 8) fall out of `cpu.cycles`.
+"""
+
+from __future__ import annotations
+
+from ..isa import Insn, Op, Trap, encode, patch_branch_disp, patch_jump_target
+from ..isa.registers import FP, RA
+from ..layout import FP_SENTINEL
+from ..net import Channel
+from ..sim.machine import Machine
+from .mc import MemoryController
+from .chunks import Chunk, ExitKind
+from .records import ContSlot, JRSite, Link, Redirector, SiteKind, Stub, TBlock
+from .stats import SoftCacheStats
+from .tcache import TCache, TCacheGeometry
+
+
+class SoftCacheError(Exception):
+    """Internal invariant violation or unrecoverable configuration."""
+
+
+class _StubExhausted(Exception):
+    """Stub area full; caller flushes and retries."""
+
+
+_BREAK_WORD = encode(Insn(Op.BREAK, imm=0xDEAD))
+
+
+class _IdAlloc:
+    """20-bit id allocator with reuse (TRAP operand space)."""
+
+    def __init__(self, limit: int = 1 << 20):
+        self._next = 0
+        self._free: list[int] = []
+        self._limit = limit
+
+    def alloc(self) -> int:
+        if self._free:
+            return self._free.pop()
+        if self._next >= self._limit:
+            raise SoftCacheError("trap id space exhausted")
+        value = self._next
+        self._next += 1
+        return value
+
+    def free(self, value: int) -> None:
+        self._free.append(value)
+
+    def reset(self) -> None:
+        self._next = 0
+        self._free.clear()
+
+
+class BaseCacheController:
+    """Machinery shared by both prototype styles."""
+
+    def __init__(self, machine: Machine, mc: MemoryController,
+                 channel: Channel, geometry: TCacheGeometry, *,
+                 policy: str = "fifo", record_timeline: bool = True,
+                 debug_poison: bool = False):
+        if policy not in ("fifo", "flush"):
+            raise ValueError(f"unknown policy {policy!r}")
+        self.machine = machine
+        self.cpu = machine.cpu
+        self.mem = machine.mem
+        self.costs = machine.config.costs
+        self.mc = mc
+        self.channel = channel
+        self.tcache = TCache(geometry)
+        self.policy = policy
+        self.record_timeline = record_timeline
+        self.debug_poison = debug_poison
+        self.stats = SoftCacheStats()
+        self.cpu.trap_hook = self._on_trap
+        machine.invalidate_hook = self.invalidate_original_range
+        #: extra trap dispatchers (the D-cache plugs in here).
+        self.extra_trap_handlers: dict[int, object] = {}
+
+    # -- cost charging -----------------------------------------------------
+
+    def _charge(self, cycles: int) -> None:
+        self.cpu.add_cycles(cycles)
+
+    def _charge_link(self, seconds: float) -> None:
+        self.cpu.add_cycles(int(seconds * self.costs.cpu_hz))
+
+    # -- trap dispatch ------------------------------------------------------
+
+    def _on_trap(self, cpu, code: int, operand: int, pc: int) -> int:
+        if code == Trap.MISS_BRANCH:
+            return self._miss_branch(operand)
+        if code == Trap.MISS_RET:
+            return self._miss_ret(operand)
+        if code == Trap.MISS_JR:
+            return self._miss_jr(operand)
+        if code == Trap.MISS_CALL:
+            return self._miss_call(operand)
+        if code == Trap.RET_LAND:
+            return self._ret_land(operand)
+        handler = self.extra_trap_handlers.get(code)
+        if handler is not None:
+            return handler(cpu, code, operand, pc)
+        raise SoftCacheError(f"unhandled trap code {code} at {pc:#x}")
+
+    def _miss_branch(self, operand: int) -> int:
+        raise SoftCacheError("MISS_BRANCH trap in this controller mode")
+
+    def _miss_ret(self, operand: int) -> int:
+        raise SoftCacheError("MISS_RET trap in this controller mode")
+
+    def _miss_jr(self, operand: int) -> int:
+        raise SoftCacheError("MISS_JR trap in this controller mode")
+
+    def _miss_call(self, operand: int) -> int:
+        raise SoftCacheError("MISS_CALL trap in this controller mode")
+
+    def _ret_land(self, operand: int) -> int:
+        raise SoftCacheError("RET_LAND trap in this controller mode")
+
+    # -- translation ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Translate the entry chunk and point the CPU at it."""
+        block = self.ensure_translated(self.machine.image.entry)
+        self.cpu.pc = block.addr
+
+    def ensure_translated(self, orig: int) -> TBlock:
+        """Return the resident block for *orig*, translating on miss."""
+        self._charge(self.costs.map_lookup_cycles)
+        block = self.tcache.lookup(orig)
+        if block is not None and block.alive:
+            self.stats.map_hits += 1
+            return block
+        chunk = self.mc.serve_chunk(orig)
+        self._charge_link(self.channel.exchange("chunk", chunk.payload_bytes))
+        self._charge(self.costs.mc_service_cycles)
+        for attempt in (0, 1):
+            try:
+                self._make_space(chunk.size)
+                addr = self.tcache.place(chunk.size)
+                block = TBlock(orig=orig, addr=addr, size=chunk.size,
+                               orig_size=chunk.orig_size,
+                               extra_words=chunk.extra_words,
+                               name=chunk.name)
+                self._install(block, chunk)
+                self.tcache.commit(block)
+                if self.debug_poison:
+                    self.tcache.assert_invariants()
+                break
+            except _StubExhausted:
+                if attempt:
+                    raise SoftCacheError(
+                        "stub area exhausted even after a flush; "
+                        "increase stub_capacity")
+                self.flush()
+        self.stats.translations += 1
+        if self.record_timeline:
+            self.stats.translation_timestamps.append(self.cpu.cycles)
+        self.stats.words_installed += len(chunk.words)
+        self.stats.extra_words_installed += chunk.extra_words
+        self._charge(self.costs.install_fixed_cycles +
+                     self.costs.install_per_word_cycles * len(chunk.words))
+        return block
+
+    def _make_space(self, nbytes: int) -> None:
+        if self.policy == "flush":
+            if self.tcache.needs_eviction(nbytes):
+                self.flush()
+        else:
+            while self.tcache.needs_eviction(nbytes):
+                self._evict_oldest()
+
+    def pin_original(self, orig: int) -> TBlock:
+        """Translate the chunk at *orig* into the permanent pinned
+        area (§4: pinning without wasting space).  Must be called
+        before the address is translated normally — typically right
+        after construction, for interrupt handlers and similar
+        latency-critical code.
+        """
+        existing = self.tcache.lookup(orig)
+        if existing is not None:
+            if existing.pinned:
+                return existing
+            raise SoftCacheError(
+                f"{orig:#x} is already resident unpinned; pin before "
+                f"running")
+        chunk = self.mc.serve_chunk(orig)
+        self._charge_link(self.channel.exchange("chunk",
+                                                chunk.payload_bytes))
+        self._charge(self.costs.mc_service_cycles)
+        addr = self.tcache.place_pinned(chunk.size)
+        block = TBlock(orig=orig, addr=addr, size=chunk.size,
+                       orig_size=chunk.orig_size,
+                       extra_words=chunk.extra_words, name=chunk.name)
+        self._install(block, chunk)
+        self.tcache.commit_pinned(block)
+        self.stats.translations += 1
+        self.stats.words_installed += len(chunk.words)
+        self._charge(self.costs.install_fixed_cycles +
+                     self.costs.install_per_word_cycles
+                     * len(chunk.words))
+        return block
+
+    def _install(self, block: TBlock, chunk: Chunk) -> None:
+        raise NotImplementedError
+
+    # -- eviction / flush -------------------------------------------------------
+
+    def _evict_oldest(self) -> None:
+        block = self.tcache.retire_oldest()
+        self._unlink_block(block)
+        if self.debug_poison:
+            self.mem.write_bytes(
+                block.addr, _BREAK_WORD.to_bytes(4, "little")
+                * (block.size // 4))
+        self.stats.evictions += 1
+        if self.record_timeline:
+            self.stats.eviction_timestamps.append(self.cpu.cycles)
+        self._charge(self.costs.evict_per_block_cycles)
+
+    def flush(self) -> None:
+        """Drop the entire tcache and repair every live code pointer."""
+        raise NotImplementedError
+
+    def _unlink_block(self, block: TBlock) -> None:
+        raise NotImplementedError
+
+    # -- word patching ------------------------------------------------------------
+
+    def _patch_site(self, site_addr: int, kind: SiteKind,
+                    target: int) -> None:
+        """Repoint the control-transfer word at *site_addr* to *target*."""
+        mem = self.mem
+        if kind is SiteKind.BRANCH:
+            word = mem.read_word(site_addr)
+            mem.write_word(site_addr,
+                           patch_branch_disp(word, site_addr, target))
+        elif kind in (SiteKind.JUMP, SiteKind.CALL):
+            word = mem.read_word(site_addr)
+            mem.write_word(site_addr, patch_jump_target(word, target))
+        elif kind is SiteKind.CONTJ:
+            mem.write_word(site_addr, encode(Insn(Op.J, imm=target >> 2)))
+        else:  # pragma: no cover
+            raise SoftCacheError(f"cannot patch site kind {kind}")
+        self.stats.patches += 1
+        self._charge(self.costs.patch_cycles)
+
+    # -- guest-visible invalidation -------------------------------------------------
+
+    def invalidate_original_range(self, addr: int, length: int) -> None:
+        """Guest declared code in [addr, addr+length) rewritten (§2.1).
+
+        Like the fast simulators the paper cites, we invalidate the
+        tcache in its entirety (infrequent by contract) and drop the
+        MC's cached chunks for the range.
+        """
+        self.stats.guest_invalidations += 1
+        self.mc.invalidate_chunks(addr, length)
+        overlaps = any(
+            b.orig < addr + length and addr < b.orig + b.orig_size
+            for b in self.tcache.order)
+        if overlaps:
+            self.flush()
+
+    # -- reporting --------------------------------------------------------------------
+
+    @property
+    def local_memory_in_use(self) -> dict[str, int]:
+        """Byte accounting of the CC's local memory areas."""
+        tc = self.tcache
+        return {
+            "tcache_capacity": tc.geom.size,
+            "tcache_used": tc.used_bytes,
+            "stub_bytes": tc.stub_bytes_in_use,
+            "redirector_bytes": tc.redirector_bytes_in_use,
+            "pinned_bytes": tc.pinned_bytes_in_use,
+            "map_bytes": tc.map_bytes,
+        }
+
+
+class BlockCacheController(BaseCacheController):
+    """SPARC-prototype CC: block/EBB chunks with full invalidation."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.stubs: dict[int, Stub] = {}
+        self.cont_slots: dict[int, ContSlot] = {}
+        self.jr_sites: dict[int, JRSite] = {}
+        self._stub_ids = _IdAlloc()
+        self._cont_ids = _IdAlloc()
+        self._jr_ids = _IdAlloc()
+        #: CONTJ links of *standalone* slots, for garbage collection.
+        self._contj_links: dict[int, Link] = {}
+
+    # -- install ---------------------------------------------------------------
+
+    _SITE_KIND = {ExitKind.TAKEN: SiteKind.BRANCH,
+                  ExitKind.JUMP: SiteKind.JUMP,
+                  ExitKind.CALL: SiteKind.CALL}
+
+    def _install(self, block: TBlock, chunk: Chunk) -> None:
+        words = list(chunk.words)
+        addr = block.addr
+        for ex in chunk.exits:
+            site = addr + 4 * ex.index
+            kind = ex.kind
+            if kind in self._SITE_KIND:
+                site_kind = self._SITE_KIND[kind]
+                if ex.target == chunk.orig:
+                    dst = block  # tight self-loop: chain immediately
+                else:
+                    dst = self.tcache.lookup(ex.target)
+                if dst is not None and dst.alive:
+                    words[ex.index] = self._retarget_word(
+                        words[ex.index], site_kind, site, dst.addr)
+                    link = Link(site, site_kind, block, dst, ex.target)
+                    block.outgoing.append(link)
+                    dst.incoming.append(link)
+                else:
+                    stub = self._new_stub(ex.target, site, site_kind, block)
+                    block.stubs.append(stub)
+                    words[ex.index] = self._retarget_word(
+                        words[ex.index], site_kind, site, stub.addr)
+            elif kind is ExitKind.CONT:
+                slot = self._new_cont_slot(site, ex.target, block, "trap")
+                words[ex.index] = encode(
+                    Insn(Op.TRAP, rd=Trap.MISS_RET, imm=slot.slot_id))
+            elif kind is ExitKind.CONT_INLINE:
+                self._new_cont_slot(site, ex.target, block, "inline")
+                # the continuation code itself sits here; word untouched
+            elif kind in (ExitKind.JR, ExitKind.JALR):
+                jr_id = self._jr_ids.alloc()
+                cont_addr = site + 4 if kind is ExitKind.JALR else 0
+                rec = JRSite(jr_id, ex.rs1, ex.rd, cont_addr, block)
+                self.jr_sites[jr_id] = rec
+                block.jr_sites.append(rec)
+                words[ex.index] = encode(
+                    Insn(Op.TRAP, rd=Trap.MISS_JR, imm=jr_id))
+            else:  # pragma: no cover
+                raise SoftCacheError(f"unexpected exit kind {kind}")
+        self.mem.write_bytes(
+            addr, b"".join(w.to_bytes(4, "little") for w in words))
+
+    @staticmethod
+    def _retarget_word(word: int, kind: SiteKind, site: int,
+                       target: int) -> int:
+        if kind is SiteKind.BRANCH:
+            return patch_branch_disp(word, site, target)
+        return patch_jump_target(word, target)
+
+    # -- stub / slot management -----------------------------------------------------
+
+    def _alloc_stub_slot(self) -> int:
+        """Allocate a stub word, garbage-collecting unreferenced
+        standalone return slots under pressure."""
+        addr = self.tcache.alloc_stub()
+        if addr is None:
+            self._gc_standalone_slots()
+            addr = self.tcache.alloc_stub()
+            if addr is None:
+                raise _StubExhausted
+        return addr
+
+    def _gc_standalone_slots(self) -> None:
+        """Free standalone return slots no live return address holds.
+
+        Standalone slots are reachable only through ra values (that is
+        their whole purpose), so one stack walk identifies the live
+        set; everything else is reclaimed.
+        """
+        live_values = {value for _, _, value
+                       in self._collect_ra_holders()}
+        for slot in list(self.cont_slots.values()):
+            if (slot.block is not None or not slot.live
+                    or slot.addr in live_values):
+                continue
+            link = self._contj_links.pop(slot.slot_id, None)
+            if link is not None and link.dst.alive:
+                try:
+                    link.dst.incoming.remove(link)
+                except ValueError:
+                    pass
+            self._free_cont_slot(slot)
+
+    def _new_stub(self, orig_target: int, site_addr: int,
+                  site_kind: SiteKind, src: TBlock | None) -> Stub:
+        slot_addr = self._alloc_stub_slot()
+        stub_id = self._stub_ids.alloc()
+        stub = Stub(stub_id, slot_addr, orig_target, site_addr,
+                    site_kind, src)
+        self.stubs[stub_id] = stub
+        self.mem.write_word(slot_addr, encode(
+            Insn(Op.TRAP, rd=Trap.MISS_BRANCH, imm=stub_id)))
+        self.stats.stubs_created += 1
+        self.stats.stubs_peak_bytes = max(
+            self.stats.stubs_peak_bytes, self.tcache.stub_bytes_in_use)
+        return stub
+
+    def _free_stub(self, stub: Stub) -> None:
+        if not stub.live:
+            return
+        stub.live = False
+        self.stubs.pop(stub.stub_id, None)
+        self._stub_ids.free(stub.stub_id)
+        self.tcache.free_stub(stub.addr)
+        if stub.src is not None:
+            try:
+                stub.src.stubs.remove(stub)
+            except ValueError:
+                pass
+
+    def _new_cont_slot(self, addr: int, orig_target: int,
+                       block: TBlock | None, state: str) -> ContSlot:
+        slot_id = self._cont_ids.alloc()
+        slot = ContSlot(slot_id, addr, orig_target, block, state)
+        self.cont_slots[slot_id] = slot
+        if block is not None:
+            block.cont_slots.append(slot)
+        return slot
+
+    def _new_standalone_slot(self, orig_target: int) -> ContSlot:
+        """A return stub in the stub area (created by stack fixing)."""
+        addr = self._alloc_stub_slot()
+        slot = self._new_cont_slot(addr, orig_target, None, "trap")
+        self.mem.write_word(addr, encode(
+            Insn(Op.TRAP, rd=Trap.MISS_RET, imm=slot.slot_id)))
+        self.stats.stubs_created += 1
+        return slot
+
+    def _free_cont_slot(self, slot: ContSlot) -> None:
+        if not slot.live:
+            return
+        slot.live = False
+        self.cont_slots.pop(slot.slot_id, None)
+        self._contj_links.pop(slot.slot_id, None)
+        self._cont_ids.free(slot.slot_id)
+        if slot.block is None:
+            self.tcache.free_stub(slot.addr)
+
+    # -- miss handlers ----------------------------------------------------------------
+
+    def _miss_branch(self, operand: int) -> int:
+        stub = self.stubs.get(operand)
+        if stub is None or not stub.live:
+            raise SoftCacheError(f"trap on dead stub id {operand}")
+        self.stats.branch_miss_traps += 1
+        self._charge(self.costs.trap_overhead_cycles)
+        target = self.ensure_translated(stub.orig_target)
+        # the source block may have been evicted while we translated
+        if stub.live and (stub.src is None or stub.src.alive):
+            self._patch_site(stub.site_addr, stub.site_kind, target.addr)
+            link = Link(stub.site_addr, stub.site_kind, stub.src, target,
+                        stub.orig_target)
+            if stub.src is not None:
+                stub.src.outgoing.append(link)
+            target.incoming.append(link)
+            self._free_stub(stub)
+        return target.addr
+
+    def _miss_ret(self, operand: int) -> int:
+        slot = self.cont_slots.get(operand)
+        if slot is None or not slot.live:
+            raise SoftCacheError(f"return to dead cont slot {operand}")
+        self.stats.ret_miss_traps += 1
+        self._charge(self.costs.trap_overhead_cycles)
+        target = self.ensure_translated(slot.orig_target)
+        if slot.live and (slot.block is None or slot.block.alive):
+            self.mem.write_word(slot.addr, encode(
+                Insn(Op.J, imm=target.addr >> 2)))
+            slot.state = "jump"
+            link = Link(slot.addr, SiteKind.CONTJ, slot.block, target,
+                        slot.orig_target, aux=slot)
+            if slot.block is not None:
+                slot.block.outgoing.append(link)
+            else:
+                self._contj_links[slot.slot_id] = link
+            target.incoming.append(link)
+            self.stats.patches += 1
+            self._charge(self.costs.patch_cycles)
+        return target.addr
+
+    def _miss_jr(self, operand: int) -> int:
+        site = self.jr_sites.get(operand)
+        if site is None or not site.live:
+            raise SoftCacheError(f"trap on dead jr site {operand}")
+        self.stats.jr_lookups += 1
+        self._charge(self.costs.trap_overhead_cycles +
+                     self.costs.map_lookup_cycles)
+        value = self.cpu.regs[site.rs1]
+        if self.tcache.in_tcache_range(value):
+            target_addr = value
+        else:
+            target_addr = self.ensure_translated(value).addr
+        if site.rd:
+            # jalr: the link register receives the continuation slot
+            self.cpu.set_reg(site.rd, site.cont_addr)
+        return target_addr
+
+    # -- invalidation --------------------------------------------------------------------
+
+    def _unlink_block(self, block: TBlock) -> None:
+        # 1. incoming pointers: repoint at fresh miss stubs / traps
+        # (iterate a snapshot: stub allocation may GC standalone slots,
+        # which mutates incoming lists)
+        for link in list(block.incoming):
+            if link.src is block:
+                continue  # self-link dies with the block
+            if link.kind is SiteKind.CONTJ:
+                slot: ContSlot = link.aux  # type: ignore[assignment]
+                if slot.live and (slot.block is None or slot.block.alive):
+                    self.mem.write_word(slot.addr, encode(
+                        Insn(Op.TRAP, rd=Trap.MISS_RET, imm=slot.slot_id)))
+                    slot.state = "trap"
+                    if slot.block is None:
+                        self._contj_links.pop(slot.slot_id, None)
+                    if (link.src is not None and link.src.alive
+                            and link in link.src.outgoing):
+                        link.src.outgoing.remove(link)
+            elif link.src is not None and link.src.alive:
+                stub = self._new_stub(link.orig_target, link.site_addr,
+                                      link.kind, link.src)
+                link.src.stubs.append(stub)
+                self._patch_site(link.site_addr, link.kind, stub.addr)
+                link.src.outgoing.remove(link)
+        block.incoming.clear()
+        # 2. outgoing pointers: drop reverse registrations
+        for link in block.outgoing:
+            if link.dst.alive:
+                try:
+                    link.dst.incoming.remove(link)
+                except ValueError:
+                    pass
+        block.outgoing.clear()
+        # 3. unresolved stubs and jr sites owned by the block
+        for stub in list(block.stubs):
+            self._free_stub(stub)
+        for site in block.jr_sites:
+            site.live = False
+            self.jr_sites.pop(site.site_id, None)
+            self._jr_ids.free(site.site_id)
+        block.jr_sites.clear()
+        # 4. return addresses pointing into the block (stack walk)
+        if block.cont_slots:
+            self._fix_ra_holders_for(block)
+            for slot in block.cont_slots:
+                self._free_cont_slot(slot)
+            block.cont_slots.clear()
+
+    def _fix_ra_holders_for(self, block: TBlock) -> None:
+        slot_by_addr = {s.addr: s for s in block.cont_slots if s.live}
+        fresh_by_value: dict[int, ContSlot] = {}
+        for kind, loc, value in self._collect_ra_holders():
+            if not block.contains(value):
+                continue
+            slot = slot_by_addr.get(value)
+            if slot is None:
+                raise SoftCacheError(
+                    f"return address {value:#x} points into block "
+                    f"{block.orig:#x} but matches no continuation slot")
+            fresh = fresh_by_value.get(value)
+            if fresh is None:
+                fresh = self._new_standalone_slot(slot.orig_target)
+                fresh_by_value[value] = fresh
+            self._write_ra_holder(kind, loc, fresh.addr)
+
+    def _collect_ra_holders(self) -> list[tuple[str, int, int]]:
+        """Find every live location holding a tcache code pointer.
+
+        By the programming-model contract (§2.1) these are exactly the
+        ``ra`` register and the per-frame return-address slot at
+        ``fp - 4``, with frames linked through ``fp - 8`` down to the
+        crt0 sentinel.
+        """
+        out: list[tuple[str, int, int]] = []
+        regs = self.cpu.regs
+        value = regs[RA]
+        if self.tcache.in_tcache_range(value):
+            out.append(("reg", RA, value))
+        fp = regs[FP]
+        mem = self.mem
+        walk_cost = self.costs.stack_walk_per_frame_cycles
+        guard = 0
+        while fp != FP_SENTINEL and guard < 1_000_000:
+            try:
+                slot_value = mem.read_word(fp - 4)
+                next_fp = mem.read_word(fp - 8)
+            except Exception:
+                break  # fp chain left the stack: stop defensively
+            if self.tcache.in_tcache_range(slot_value):
+                out.append(("mem", fp - 4, slot_value))
+            self._charge(walk_cost)
+            fp = next_fp
+            guard += 1
+        return out
+
+    def _write_ra_holder(self, kind: str, loc: int, value: int) -> None:
+        if kind == "reg":
+            self.cpu.set_reg(loc, value)
+        else:
+            self.mem.write_word(loc, value)
+        self.stats.stack_slots_fixed += 1
+
+    def flush(self) -> None:
+        """Drop every unpinned block; pinned blocks, standalone return
+        stubs and redirector-free bookkeeping survive."""
+        self.stats.flushes += 1
+        blocks = self.tcache.retire_all()
+        self.stats.blocks_flushed += len(blocks)
+        if self.record_timeline:
+            now = self.cpu.cycles
+            self.stats.eviction_timestamps.extend([now] * len(blocks))
+        try:
+            for block in blocks:
+                self._unlink_block(block)
+        except _StubExhausted:
+            raise SoftCacheError(
+                "stub area exhausted while repairing pointers during a "
+                "flush; increase stub_capacity") from None
+        self.cpu.invalidate_all_decoded()
+        self._charge(self.costs.evict_per_block_cycles * len(blocks))
+
+
+class ProcCacheController(BaseCacheController):
+    """ARM-prototype CC: procedure chunks + permanent redirectors."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.redirectors: dict[int, Redirector] = {}
+        self._redirector_by_site: dict[tuple[int, int], Redirector] = {}
+        self._rid_alloc = _IdAlloc()
+
+    # -- install -----------------------------------------------------------
+
+    def _install(self, block: TBlock, chunk: Chunk) -> None:
+        words = list(chunk.words)
+        addr = block.addr
+        for ex in chunk.exits:
+            if ex.kind is ExitKind.INTERNAL:
+                # intra-procedure absolute jump: rebase onto placement
+                words[ex.index] = patch_jump_target(
+                    words[ex.index], addr + ex.target)
+            elif ex.kind is ExitKind.CALLSITE:
+                redir = self._redirector_for(chunk.orig, ex)
+                words[ex.index] = patch_jump_target(
+                    words[ex.index], redir.addr)
+                # the permanent landing now returns into this placement
+                ret_target = addr + ex.ret_offset
+                self.mem.write_word(redir.addr + 4, encode(
+                    Insn(Op.J, imm=ret_target >> 2)))
+                link = Link(redir.addr + 4, SiteKind.LANDING, None,
+                            block, ex.target, aux=redir)
+                block.incoming.append(link)
+            else:  # pragma: no cover - chunker emits only these kinds
+                raise SoftCacheError(f"unexpected exit kind {ex.kind}")
+        self.mem.write_bytes(
+            addr, b"".join(w.to_bytes(4, "little") for w in words))
+
+    def _redirector_for(self, caller_orig: int, ex) -> Redirector:
+        key = (caller_orig, ex.index)
+        redir = self._redirector_by_site.get(key)
+        if redir is not None:
+            return redir
+        addr = self.tcache.alloc_redirector()
+        if addr is None:
+            raise SoftCacheError(
+                "redirector area full; increase redirector_capacity")
+        rid = self._rid_alloc.alloc()
+        redir = Redirector(rid, addr, caller_orig, ex.target,
+                           ex.ret_offset)
+        self.redirectors[rid] = redir
+        self._redirector_by_site[key] = redir
+        self.mem.write_word(addr, encode(
+            Insn(Op.TRAP, rd=Trap.MISS_CALL, imm=rid)))
+        self.mem.write_word(addr + 4, encode(
+            Insn(Op.TRAP, rd=Trap.RET_LAND, imm=rid)))
+        return redir
+
+    # -- miss handlers --------------------------------------------------------
+
+    def _miss_call(self, operand: int) -> int:
+        redir = self.redirectors[operand]
+        self.stats.call_miss_traps += 1
+        self._charge(self.costs.trap_overhead_cycles)
+        callee = self.ensure_translated(redir.callee_orig)
+        self.mem.write_word(redir.addr, encode(
+            Insn(Op.JAL, imm=callee.addr >> 2)))
+        callee.incoming.append(Link(redir.addr, SiteKind.RCALL, None,
+                                    callee, redir.callee_orig, aux=redir))
+        self.stats.patches += 1
+        self._charge(self.costs.patch_cycles)
+        # emulate the jal the redirector now performs
+        self.cpu.set_reg(RA, redir.addr + 4)
+        return callee.addr
+
+    def _ret_land(self, operand: int) -> int:
+        redir = self.redirectors[operand]
+        self.stats.landing_miss_traps += 1
+        self._charge(self.costs.trap_overhead_cycles)
+        caller = self.ensure_translated(redir.caller_orig)
+        # installing the caller re-patched this landing already
+        return caller.addr + redir.ret_offset
+
+    # -- invalidation -------------------------------------------------------------
+
+    def _unlink_block(self, block: TBlock) -> None:
+        for link in block.incoming:
+            redir: Redirector = link.aux  # type: ignore[assignment]
+            if link.kind is SiteKind.RCALL:
+                self.mem.write_word(redir.addr, encode(
+                    Insn(Op.TRAP, rd=Trap.MISS_CALL, imm=redir.rid)))
+            elif link.kind is SiteKind.LANDING:
+                self.mem.write_word(redir.addr + 4, encode(
+                    Insn(Op.TRAP, rd=Trap.RET_LAND, imm=redir.rid)))
+            else:  # pragma: no cover
+                raise SoftCacheError(
+                    f"unexpected incoming link kind {link.kind}")
+        block.incoming.clear()
+        # procedure blocks have no outgoing links, stubs or cont slots:
+        # all inter-procedure control flows through redirectors.
+
+    def flush(self) -> None:
+        self.stats.flushes += 1
+        blocks = self.tcache.retire_all()
+        self.stats.blocks_flushed += len(blocks)
+        if self.record_timeline:
+            now = self.cpu.cycles
+            self.stats.eviction_timestamps.extend([now] * len(blocks))
+        # revert the redirector words that pointed into dropped blocks;
+        # redirectors serving pinned procedures stay patched
+        for block in blocks:
+            self._unlink_block(block)
+        self.cpu.invalidate_all_decoded()
+        self._charge(self.costs.evict_per_block_cycles * len(blocks))

@@ -1,0 +1,118 @@
+"""The memory controller (MC): the server half of the SoftCache.
+
+The MC owns the full program image — it *is* the lower level of the
+memory hierarchy — and services misses: given an original address it
+chunks, rewrites and ships the code.  All heavy lifting (scanning,
+rewriting) happens here, on the unconstrained server, shifting cost
+away from the embedded client exactly as the paper argues.
+
+Chunks are cached MC-side so repeated misses on the same address (after
+eviction) are served from the MC's table; the paper notes the MC's
+lookup/preparation time "could easily be reduced to near zero by more
+powerful MC systems", so the cost model charges a small fixed
+``mc_service_cycles`` per request either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..asm.image import Image
+from .chunks import (
+    BasicBlockChunker,
+    Chunk,
+    ChunkError,
+    EBBChunker,
+    ProcedureChunker,
+)
+
+
+@dataclass
+class MCStats:
+    """Server-side service counters."""
+
+    requests: int = 0
+    chunks_built: int = 0
+    chunk_cache_hits: int = 0
+    bytes_served: int = 0
+    data_requests: int = 0
+    data_bytes_served: int = 0
+    writebacks: int = 0
+    writeback_bytes: int = 0
+
+
+class MemoryController:
+    """Server-side miss service: chunking + dynamic binary rewriting."""
+
+    def __init__(self, image: Image, granularity: str = "block",
+                 ebb_limit: int = 8):
+        if granularity == "block":
+            self.chunker = BasicBlockChunker(image)
+        elif granularity == "ebb":
+            self.chunker = EBBChunker(image, limit=ebb_limit)
+        elif granularity == "proc":
+            self.chunker = ProcedureChunker(image)
+        else:
+            raise ValueError(f"unknown granularity {granularity!r}")
+        self.image = image
+        self.granularity = granularity
+        self.stats = MCStats()
+        self._chunk_cache: dict[int, Chunk] = {}
+        #: Optional data-access rewriter (full-system mode, §3).
+        self.data_rewriter = None
+
+    def serve_chunk(self, orig_addr: int) -> Chunk:
+        """Service one instruction miss: return the rewritten chunk."""
+        self.stats.requests += 1
+        chunk = self._chunk_cache.get(orig_addr)
+        if chunk is None:
+            chunk = self.chunker.chunk_at(orig_addr)
+            if self.data_rewriter is not None:
+                chunk = self.data_rewriter.transform(chunk)
+            self._chunk_cache[orig_addr] = chunk
+            self.stats.chunks_built += 1
+        else:
+            self.stats.chunk_cache_hits += 1
+        self.stats.bytes_served += chunk.payload_bytes
+        return chunk
+
+    def serve_data(self, addr: int, length: int) -> bytes:
+        """Service a data miss (software D-cache refill, §3)."""
+        self.stats.data_requests += 1
+        self.stats.data_bytes_served += length
+        return self._server_memory_read(addr, length)
+
+    def accept_writeback(self, addr: int, data: bytes) -> None:
+        """Accept a dirty D-cache block writeback."""
+        self.stats.writebacks += 1
+        self.stats.writeback_bytes += len(data)
+        self._server_memory_write(addr, data)
+
+    # The MC's copy of data memory: backed by the image initially; the
+    # D-cache system replaces these hooks with its server-memory store.
+    _server_read_hook = None
+    _server_write_hook = None
+
+    def _server_memory_read(self, addr: int, length: int) -> bytes:
+        if self._server_read_hook is not None:
+            return self._server_read_hook(addr, length)
+        raise ChunkError("no server data store attached")
+
+    def _server_memory_write(self, addr: int, data: bytes) -> None:
+        if self._server_write_hook is not None:
+            self._server_write_hook(addr, data)
+            return
+        raise ChunkError("no server data store attached")
+
+    def invalidate_chunks(self, addr: int, length: int) -> int:
+        """Drop cached chunks overlapping [addr, addr+length).
+
+        Called when the client declares code rewritten (the explicit
+        self-modifying-code contract of §2.1).  Returns the number of
+        chunks dropped.
+        """
+        stale = [orig for orig, chunk in self._chunk_cache.items()
+                 if orig < addr + length and addr < orig + chunk.orig_size]
+        for orig in stale:
+            del self._chunk_cache[orig]
+        return len(stale)

@@ -1,0 +1,152 @@
+"""Bookkeeping records of the cache controller (CC).
+
+These model the CC's runtime tables: resident translated blocks, the
+links (patched branch words) between them, unresolved exit stubs and
+return-continuation slots.  The paper's invalidation discussion is
+exactly about maintaining these: "we need to find and change any and
+all pointers that implicitly mark a basic block as valid" — pointers
+embedded in instructions (tracked by :class:`Link`) and pointers in
+data such as return addresses (tracked by :class:`ContSlot` plus the
+stack walker).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class SiteKind(enum.Enum):
+    """What kind of patchable word a link's source site is."""
+
+    BRANCH = "branch"   # B-format conditional branch (disp16 patch)
+    JUMP = "jump"       # J-format unconditional jump (target26 patch)
+    CALL = "call"       # JAL (target26 patch)
+    CONTJ = "contj"     # return-continuation slot converted to J
+    RCALL = "rcall"     # ARM variant: redirector entry JAL
+    LANDING = "landing"  # ARM variant: redirector return landing J
+
+
+@dataclass(slots=True, eq=False)
+class TBlock:
+    """One resident translated chunk in the tcache."""
+
+    orig: int            # original text address of the chunk
+    addr: int            # placement address in the tcache
+    size: int            # bytes occupied in the tcache
+    orig_size: int       # bytes of original text covered
+    extra_words: int     # rewriting-added instructions
+    name: str = ""       # procedure name (proc chunker) or ""
+    alive: bool = True
+    pinned: bool = False
+    #: Links whose *site* lies inside this block.
+    outgoing: list["Link"] = field(default_factory=list)
+    #: Links whose *target* lies inside this block.
+    incoming: list["Link"] = field(default_factory=list)
+    #: Unresolved exit stubs created for this block's exits.
+    stubs: list["Stub"] = field(default_factory=list)
+    #: Return-continuation slots inside this block (after calls).
+    cont_slots: list["ContSlot"] = field(default_factory=list)
+    #: Computed-jump sites inside this block.
+    jr_sites: list["JRSite"] = field(default_factory=list)
+
+    @property
+    def end(self) -> int:
+        return self.addr + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.addr <= addr < self.end
+
+
+@dataclass(slots=True, eq=False)
+class Link:
+    """A patched control-transfer word: *site* now points at *dst*.
+
+    The branch word at ``site_addr`` inside ``src`` encodes that
+    ``dst`` is valid — the paper's "state of the cache is implicit in
+    the branch instructions".  On eviction of ``dst`` the site is
+    repointed at a fresh miss stub for ``orig_target``.
+    """
+
+    site_addr: int
+    kind: SiteKind
+    src: TBlock | None   # None for sites outside any block (redirectors)
+    dst: TBlock
+    orig_target: int
+    #: CONTJ: the ContSlot; RCALL/LANDING: the Redirector.
+    aux: object | None = None
+
+
+@dataclass(slots=True, eq=False)
+class Stub:
+    """An unresolved exit: a TRAP word in the stub area.
+
+    ``site_addr``/``site_kind`` identify the branch word that currently
+    points at this stub so it can be backpatched when the miss is
+    taken.  ``src`` is the block owning the site (stub dies with it).
+    """
+
+    stub_id: int
+    addr: int            # address of the TRAP word in the stub area
+    orig_target: int
+    site_addr: int
+    site_kind: SiteKind
+    src: TBlock | None
+    live: bool = True
+
+
+@dataclass(slots=True, eq=False)
+class JRSite:
+    """A computed-jump site (jr/jalr) in a translated block.
+
+    Every execution performs the hash-table lookup fallback of §2.1;
+    there is nothing to backpatch because the target is in a register.
+    """
+
+    site_id: int
+    rs1: int
+    rd: int               # 0 for plain jr; link register for jalr
+    cont_addr: int        # jalr: tcache address its rd should receive
+    block: TBlock | None
+    live: bool = True
+
+
+@dataclass(slots=True, eq=False)
+class Redirector:
+    """ARM variant: a permanent two-word per-call-site stub.
+
+    Word 0 (``addr``): ``jal <callee>`` when the callee is resident,
+    else ``TRAP MISS_CALL rid``.  Word 1 (``addr + 4``): the permanent
+    return landing pad — ``j <return point>`` while the caller is
+    resident, else ``TRAP RET_LAND rid``.  Because ra always holds
+    ``addr + 4``, no pointer into evictable memory ever escapes to the
+    stack, which is why the ARM prototype needs no stack walking at
+    invalidation time.
+    """
+
+    rid: int
+    addr: int
+    caller_orig: int      # procedure entry owning the call site
+    callee_orig: int
+    ret_offset: int       # byte offset of the return point in the caller
+
+
+@dataclass(slots=True, eq=False)
+class ContSlot:
+    """A return-continuation slot: the word a call's ra points at.
+
+    States: ``trap`` (TRAP MISS_RET, untranslated continuation),
+    ``jump`` (converted to ``J target`` once translated) or ``inline``
+    (EBB chunking: the continuation code itself sits at the slot, so
+    returns land with zero overhead; the record exists only so the
+    eviction stack-fixer can recognise the address).  Slots live
+    either inside a block (right after its JAL) or standalone in the
+    stub area (created when fixing the stack during eviction).
+    """
+
+    slot_id: int
+    addr: int
+    orig_target: int
+    block: TBlock | None   # containing block; None if standalone
+    state: str = "trap"    # "trap" | "jump" | "inline"
+    live: bool = True

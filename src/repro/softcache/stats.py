@@ -1,0 +1,68 @@
+"""SoftCache runtime statistics.
+
+Everything the evaluation section needs: translation counts (the
+numerator of the paper's software miss rate), trap breakdowns,
+eviction/flush counts with cycle timestamps (Figure 8's time series),
+space accounting, and rewriting overhead counts (the "two new
+instructions per translated basic block" measurement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SoftCacheStats:
+    """Counters maintained by the cache controller."""
+
+    # -- misses / translations ------------------------------------------
+    #: Chunks installed into the tcache ("basic blocks translated").
+    translations: int = 0
+    #: ensure_translated calls that found the chunk resident.
+    map_hits: int = 0
+    #: Miss traps by cause.
+    branch_miss_traps: int = 0
+    ret_miss_traps: int = 0
+    call_miss_traps: int = 0      # ARM variant redirector entries
+    landing_miss_traps: int = 0   # ARM variant return landings
+    #: Computed-jump executions (every one pays the hash lookup).
+    jr_lookups: int = 0
+
+    # -- invalidation -----------------------------------------------------
+    evictions: int = 0
+    flushes: int = 0
+    blocks_flushed: int = 0
+    #: Cycle timestamp of each eviction event (Figure 8).
+    eviction_timestamps: list[int] = field(default_factory=list)
+    #: Cycle timestamp of each translation (miss time series).
+    translation_timestamps: list[int] = field(default_factory=list)
+    #: Return addresses repointed during stack walks.
+    stack_slots_fixed: int = 0
+    #: Explicit invalidations requested by the guest (self-mod code).
+    guest_invalidations: int = 0
+
+    # -- rewriting --------------------------------------------------------
+    words_installed: int = 0
+    #: Rewriting-added instructions actually installed.
+    extra_words_installed: int = 0
+    patches: int = 0
+    stubs_created: int = 0
+    stubs_peak_bytes: int = 0
+
+    @property
+    def miss_traps(self) -> int:
+        """All trap events that can trigger translation."""
+        return (self.branch_miss_traps + self.ret_miss_traps +
+                self.call_miss_traps + self.landing_miss_traps)
+
+    def miss_rate(self, instructions: int) -> float:
+        """The paper's software miss rate: blocks translated divided
+        by instructions executed (Figure 7 caption)."""
+        return self.translations / instructions if instructions else 0.0
+
+    def extra_instructions_per_translation(self) -> float:
+        """Mean rewriting-added instructions per installed chunk."""
+        if not self.translations:
+            return 0.0
+        return self.extra_words_installed / self.translations

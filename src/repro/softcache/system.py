@@ -1,0 +1,208 @@
+"""Top-level SoftCache system: machine + MC + CC + link, wired up.
+
+:class:`SoftCacheSystem` is the public entry point of the library: give
+it a linked :class:`~repro.asm.image.Image` and a
+:class:`SoftCacheConfig` and call :meth:`run`.  The embedded client's
+remote text is mapped non-executable, so the *only* way the program can
+run is through the translation cache — any rewriter bug faults loudly
+instead of silently executing untranslated code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..asm.image import Image
+from ..isa import Op, decode
+from ..layout import LOCAL_BASE, align
+from ..net import Channel, LinkModel
+from ..sim.costs import DEFAULT_COSTS, CostModel
+from ..sim.machine import Machine, MachineConfig
+from .cc import BlockCacheController, ProcCacheController
+from .mc import MemoryController
+from .tcache import TCacheGeometry
+
+
+@dataclass
+class SoftCacheConfig:
+    """All knobs of a SoftCache instance."""
+
+    #: Translation cache capacity in bytes (the x-axis of Figure 7).
+    tcache_size: int = 24 * 1024
+    #: Chunking granularity: ``block`` (SPARC prototype), ``ebb``
+    #: (optimized trace chunks) or ``proc`` (ARM prototype).
+    granularity: str = "block"
+    #: Max basic blocks glued into one EBB chunk.
+    ebb_limit: int = 8
+    #: Eviction policy: ``fifo`` (per-chunk) or ``flush`` (drop all).
+    policy: str = "fifo"
+    #: Stub area size in bytes; default = max(256, tcache_size // 4).
+    stub_capacity: int | None = None
+    #: Redirector area bytes (proc mode); default sized from the image.
+    redirector_capacity: int | None = None
+    #: Permanent area for pinned chunks (§4 novel capability).
+    pinned_capacity: int = 0
+    link: LinkModel = field(default_factory=LinkModel)
+    costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
+    #: Record per-event cycle timestamps (Figure 8 time series).
+    record_timeline: bool = True
+    #: Overwrite evicted blocks with BREAK words (loud failure on any
+    #: dangling pointer; used heavily by the test suite).
+    debug_poison: bool = False
+    heap_size: int = 256 * 1024
+    #: Enable the Section-3 software data cache (full-system mode).
+    #: A :class:`repro.dcache.DataCacheConfig` or None.
+    data_cache: object | None = None
+
+
+@dataclass
+class RunReport:
+    """Everything a SoftCache run produced."""
+
+    exit_code: int
+    instructions: int
+    cycles: int
+    seconds: float
+    output: str
+
+
+class SoftCacheSystem:
+    """One embedded client running *image* under a SoftCache."""
+
+    def __init__(self, image: Image, config: SoftCacheConfig | None = None,
+                 *, shared_mc: MemoryController | None = None):
+        """*shared_mc* lets several client systems share one server-side
+        memory controller (and its chunk cache) — the deployment shape
+        of Figure 1, where one server feeds a fleet of devices."""
+        self.image = image
+        self.config = config = config or SoftCacheConfig()
+        geometry = self._geometry(image, config)
+        self.geometry = geometry
+        pinned_reserve = 0
+        if config.data_cache is not None:
+            pinned_reserve = config.data_cache.max_pinned_bytes + 64
+        local_size = align(geometry.total + pinned_reserve, 4096)
+        self.machine = Machine(image, MachineConfig(
+            local_ram_size=local_size,
+            text_executable=False,   # all fetches go through the tcache
+            heap_size=config.heap_size,
+            costs=config.costs,
+        ))
+        if shared_mc is not None:
+            if shared_mc.image is not image:
+                raise ValueError("shared MC serves a different image")
+            if shared_mc.granularity != config.granularity:
+                raise ValueError("shared MC granularity mismatch")
+            self.mc = shared_mc
+        else:
+            self.mc = MemoryController(image,
+                                       granularity=config.granularity,
+                                       ebb_limit=config.ebb_limit)
+        self.channel = Channel(config.link)
+        controller_cls = (ProcCacheController
+                          if config.granularity == "proc"
+                          else BlockCacheController)
+        self.cc = controller_cls(
+            self.machine, self.mc, self.channel, geometry,
+            policy=config.policy,
+            record_timeline=config.record_timeline,
+            debug_poison=config.debug_poison)
+        self.dcache = None
+        if config.data_cache is not None:
+            from ..dcache import DataRewriter, SoftDataCache
+            from ..isa import Trap
+            rewriter = DataRewriter(image)
+            dcache = SoftDataCache(
+                self.machine, self.channel, config.costs,
+                config.data_cache, rewriter,
+                local_base=LOCAL_BASE + align(geometry.total, 16))
+            self.mc.data_rewriter = rewriter
+            self.cc.extra_trap_handlers[Trap.DC_LOAD] = dcache.handle_dc
+            self.cc.extra_trap_handlers[Trap.DC_STORE] = dcache.handle_dc
+            self.cc.extra_trap_handlers[Trap.SC_ENTER] = dcache.handle_sc
+            self.cc.extra_trap_handlers[Trap.SC_EXIT] = dcache.handle_sc
+            self.dcache = dcache
+
+    @staticmethod
+    def _geometry(image: Image, config: SoftCacheConfig) -> TCacheGeometry:
+        if config.granularity == "proc":
+            stub = 0
+            redirector = config.redirector_capacity
+            if redirector is None:
+                call_sites = sum(
+                    1 for off in range(0, len(image.text), 4)
+                    if decode(int.from_bytes(image.text[off:off + 4],
+                                             "little")).op is Op.JAL)
+                redirector = 8 * call_sites + 64
+        else:
+            stub = config.stub_capacity
+            if stub is None:
+                stub = max(256, config.tcache_size // 4)
+            redirector = 0
+        return TCacheGeometry(base=LOCAL_BASE, size=config.tcache_size,
+                              stub_capacity=stub,
+                              redirector_capacity=redirector,
+                              pinned_capacity=config.pinned_capacity)
+
+    # -- pinning (§4 novel capability) -------------------------------------
+
+    def pin(self, *targets: int | str) -> None:
+        """Pin chunks permanently in local memory before running.
+
+        Each target is an original text address or a symbol name (an
+        interrupt handler, a latency-critical routine).  Pinned chunks
+        are never evicted and survive flushes, so their code has
+        hardware-like timing predictability.  Requires
+        ``pinned_capacity`` in the config.
+        """
+        for target in targets:
+            addr = (self.image.symbols[target]
+                    if isinstance(target, str) else target)
+            self.cc.pin_original(addr)
+
+    # -- execution ------------------------------------------------------
+
+    def run(self, max_instructions: int = 2_000_000_000) -> RunReport:
+        """Run the program to completion under the SoftCache."""
+        self.cc.start()
+        try:
+            exit_code = self.machine.cpu.run(max_instructions)
+        finally:
+            if self.dcache is not None:
+                self.dcache.finalize()
+        cpu = self.machine.cpu
+        return RunReport(
+            exit_code=exit_code,
+            instructions=cpu.icount,
+            cycles=cpu.cycles,
+            seconds=self.config.costs.cycles_to_seconds(cpu.cycles),
+            output=self.machine.output_text,
+        )
+
+    # -- reporting --------------------------------------------------------
+
+    @property
+    def stats(self):
+        """The cache controller's counters."""
+        return self.cc.stats
+
+    @property
+    def link_stats(self):
+        return self.channel.stats
+
+    @property
+    def mc_stats(self):
+        return self.mc.stats
+
+    @property
+    def local_memory_in_use(self) -> dict[str, int]:
+        return self.cc.local_memory_in_use
+
+
+def run_softcache(image: Image, config: SoftCacheConfig | None = None,
+                  max_instructions: int = 2_000_000_000
+                  ) -> tuple[RunReport, SoftCacheSystem]:
+    """Convenience: build a system, run it, return (report, system)."""
+    system = SoftCacheSystem(image, config)
+    report = system.run(max_instructions)
+    return report, system

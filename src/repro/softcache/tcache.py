@@ -1,0 +1,285 @@
+"""The translation cache (tcache): client-local storage for rewritten
+code, plus the tcache map.
+
+Mirrors Figure 4 of the paper: the tcache itself (a byte area in the
+client's local RAM holding rewritten instructions, managed as a
+circular FIFO of variable-size blocks so the cache is **fully
+associative** — any chunk can live anywhere), the *tcache map* (hash
+table from original addresses to tcache indices; here a dict with
+accounted size), and a small stub area holding one-word TRAP stubs for
+unresolved exits.
+
+The allocator is deliberately simple: blocks are placed at a moving
+tail; when space runs out the oldest blocks (at the head) are evicted
+— or, under the ``flush`` policy, everything is dropped at once, the
+strategy Dynamo/Shade-style systems use.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from .records import TBlock
+
+
+class TCacheFull(Exception):
+    """A single chunk is larger than the entire tcache."""
+
+
+@dataclass(frozen=True)
+class TCacheGeometry:
+    """Sizing of the client-local SoftCache areas."""
+
+    base: int
+    size: int              # tcache proper (code blocks)
+    stub_capacity: int     # bytes of stub area (4 bytes per stub)
+    redirector_capacity: int = 0  # ARM variant: permanent redirectors
+    #: Area for pinned chunks (§4: "pin or fix pages in memory and
+    #: prevent their eviction without wasting space").
+    pinned_capacity: int = 0
+
+    @property
+    def stub_base(self) -> int:
+        return self.base + self.size
+
+    @property
+    def redirector_base(self) -> int:
+        return self.stub_base + self.stub_capacity
+
+    @property
+    def pinned_base(self) -> int:
+        return self.redirector_base + self.redirector_capacity
+
+    @property
+    def total(self) -> int:
+        return (self.size + self.stub_capacity
+                + self.redirector_capacity + self.pinned_capacity)
+
+
+class TCache:
+    """Allocator + residency map for the translation cache."""
+
+    def __init__(self, geometry: TCacheGeometry):
+        self.geom = geometry
+        #: original address -> resident TBlock (the tcache map).
+        self.map: dict[int, TBlock] = {}
+        #: residency order, oldest first (eviction order).
+        self.order: deque[TBlock] = deque()
+        self._head = geometry.base            # oldest block's address
+        self._tail = geometry.base            # next allocation address
+        #: True when the allocation point has wrapped below the head:
+        #: blocks live in [head, gap) + [base, tail), free is [tail,
+        #: head).  Tracked explicitly because tail == head is otherwise
+        #: ambiguous between "empty" and "full".
+        self._wrapped = False
+        self._wrap_gap_start: int | None = None  # wasted tail bytes
+        self._stub_free: list[int] = list(
+            range(geometry.stub_base,
+                  geometry.stub_base + geometry.stub_capacity, 4))
+        self._next_redirector = geometry.redirector_base
+        #: Pinned blocks: resident forever, outside the FIFO.
+        self.pinned_blocks: list[TBlock] = []
+        self._next_pinned = geometry.pinned_base
+        self.map_bytes_peak = 0
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def resident_blocks(self) -> int:
+        return len(self.order)
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(b.size for b in self.order)
+
+    @property
+    def map_bytes(self) -> int:
+        """Modeled size of the tcache map hash table (8 B per entry)."""
+        return 8 * len(self.map)
+
+    def lookup(self, orig: int) -> TBlock | None:
+        """tcache-map lookup: original address -> resident block."""
+        return self.map.get(orig)
+
+    def block_containing(self, tc_addr: int) -> TBlock | None:
+        """Reverse lookup: which resident block holds *tc_addr*?"""
+        for block in self.order:
+            if block.contains(tc_addr):
+                return block
+        for block in self.pinned_blocks:
+            if block.contains(tc_addr):
+                return block
+        return None
+
+    def in_tcache_range(self, addr: int) -> bool:
+        """Is *addr* anywhere in the SoftCache-managed local areas?"""
+        return (self.geom.base <= addr <
+                self.geom.base + self.geom.total)
+
+    # -- block allocation ---------------------------------------------------
+
+    def needs_eviction(self, nbytes: int) -> bool:
+        """Would allocating *nbytes* require evicting or flushing?"""
+        if nbytes > self.geom.size:
+            raise TCacheFull(
+                f"chunk of {nbytes} bytes exceeds tcache size "
+                f"{self.geom.size}")
+        end = self.geom.stub_base
+        if not self.order:
+            return False
+        if not self._wrapped:
+            # free space: [tail, end) plus [base, head) after a wrap
+            if self._tail + nbytes <= end:
+                return False
+            return self.geom.base + nbytes > self._head
+        return self._tail + nbytes > self._head
+
+    def oldest(self) -> TBlock:
+        return self.order[0]
+
+    def place(self, nbytes: int) -> int:
+        """Allocate *nbytes*; caller must have evicted enough first.
+
+        Raises :class:`TCacheFull` if space still does not suffice
+        (allocator invariant violation).
+        """
+        end = self.geom.stub_base
+        if not self.order:
+            self._head = self._tail = self.geom.base
+            self._wrapped = False
+            self._wrap_gap_start = None
+            if self._tail + nbytes > end:
+                raise TCacheFull("chunk larger than tcache")
+        elif not self._wrapped:
+            if self._tail + nbytes > end:
+                # wrap: waste the tail gap
+                self._wrap_gap_start = self._tail
+                self._tail = self.geom.base
+                self._wrapped = True
+                if self._tail + nbytes > self._head:
+                    raise TCacheFull("allocation after wrap still "
+                                     "does not fit")
+        else:
+            if self._tail + nbytes > self._head:
+                raise TCacheFull("allocation overruns head")
+        addr = self._tail
+        self._tail += nbytes
+        return addr
+
+    def commit(self, block: TBlock) -> None:
+        """Register a placed block as resident."""
+        self.order.append(block)
+        self.map[block.orig] = block
+        self.map_bytes_peak = max(self.map_bytes_peak, self.map_bytes)
+
+    def assert_invariants(self) -> None:
+        """Check allocator invariants (enabled by ``debug_poison``).
+
+        Verifies that resident blocks are pairwise disjoint and inside
+        the block area — the failure mode of any allocator bug is
+        silent code corruption, so tests run with this on.
+        """
+        spans = sorted((b.addr, b.end) for b in self.order)
+        prev_end = self.geom.base
+        for start, end in spans:
+            if start < prev_end:
+                raise AssertionError(
+                    f"tcache blocks overlap at {start:#x} (prev end "
+                    f"{prev_end:#x})")
+            if end > self.geom.stub_base:
+                raise AssertionError(
+                    f"block [{start:#x},{end:#x}) beyond block area")
+            prev_end = end
+
+    def retire_oldest(self) -> TBlock:
+        """Remove the oldest block from residency (caller unlinks)."""
+        block = self.order.popleft()
+        del self.map[block.orig]
+        block.alive = False
+        if self.order:
+            new_head = self.order[0].addr
+            if new_head < block.addr:
+                # eviction crossed the wrap point; tail gap reclaimed
+                self._wrap_gap_start = None
+                self._wrapped = False
+            self._head = new_head
+        else:
+            self._head = self._tail = self.geom.base
+            self._wrap_gap_start = None
+            self._wrapped = False
+        return block
+
+    def retire_all(self) -> list[TBlock]:
+        """Flush: drop every resident block (caller fixes pointers)."""
+        blocks = list(self.order)
+        for block in blocks:
+            block.alive = False
+        self.order.clear()
+        self.map.clear()
+        for pinned in self.pinned_blocks:  # pinned survive flushes
+            self.map[pinned.orig] = pinned
+        self._head = self._tail = self.geom.base
+        self._wrap_gap_start = None
+        self._wrapped = False
+        return blocks
+
+    # -- stub allocation -----------------------------------------------------
+
+    def alloc_stub(self) -> int | None:
+        """Allocate one 4-byte stub slot; None when exhausted."""
+        if not self._stub_free:
+            return None
+        return self._stub_free.pop()
+
+    def free_stub(self, addr: int) -> None:
+        self._stub_free.append(addr)
+
+    def reset_stubs(self) -> None:
+        """Return every stub slot to the freelist (flush)."""
+        self._stub_free = list(
+            range(self.geom.stub_base,
+                  self.geom.stub_base + self.geom.stub_capacity, 4))
+
+    @property
+    def stub_bytes_in_use(self) -> int:
+        return (self.geom.stub_capacity - 4 * len(self._stub_free))
+
+    # -- pinned area (§4 novel capability) ---------------------------------------
+
+    def place_pinned(self, nbytes: int) -> int:
+        """Allocate permanent space in the pinned area."""
+        addr = self._next_pinned
+        limit = self.geom.pinned_base + self.geom.pinned_capacity
+        if addr + nbytes > limit:
+            raise TCacheFull(
+                f"pinned area full ({nbytes} bytes requested, "
+                f"{limit - addr} free); raise pinned_capacity")
+        self._next_pinned = addr + nbytes
+        return addr
+
+    def commit_pinned(self, block: TBlock) -> None:
+        """Register a permanently resident block."""
+        block.pinned = True
+        self.pinned_blocks.append(block)
+        self.map[block.orig] = block
+        self.map_bytes_peak = max(self.map_bytes_peak, self.map_bytes)
+
+    @property
+    def pinned_bytes_in_use(self) -> int:
+        return self._next_pinned - self.geom.pinned_base
+
+    # -- redirectors (ARM variant) ---------------------------------------------
+
+    def alloc_redirector(self) -> int | None:
+        """Allocate a permanent two-word redirector; None if full."""
+        addr = self._next_redirector
+        limit = self.geom.redirector_base + self.geom.redirector_capacity
+        if addr + 8 > limit:
+            return None
+        self._next_redirector = addr + 8
+        return addr
+
+    @property
+    def redirector_bytes_in_use(self) -> int:
+        return self._next_redirector - self.geom.redirector_base

@@ -1,0 +1,147 @@
+"""repro.workloads — the benchmark programs of the evaluation.
+
+MinC implementations matching the paper's benchmark set:
+
+========== ============================ =========================
+name       stands in for                used by
+========== ============================ =========================
+compress95 SPEC CPU95 129.compress      Table 1, Figs 5/6/7
+adpcm_enc  MediaBench adpcm (encode)    Table 1, Figs 6/7/8/9
+adpcm_dec  MediaBench adpcm (decode)    Fig 9
+hextobdd   local BDD/graph manipulation Table 1, Figs 6/7
+mpeg2enc   mpeg2enc kernels             Table 1, Figs 6/7
+gzip       gzip (deflate core)          Fig 9
+cjpeg      MediaBench cjpeg kernels     Fig 9
+sensor     the Figure-2 sensor example  examples, extension benches
+========== ============================ =========================
+
+``build_workload(name)`` compiles + links the program (cached);
+``scale`` < 1.0 shrinks the input so tests stay fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..asm.image import Image
+from ..lang import compile_program
+from .adpcm import adpcm_dec_source, adpcm_enc_source
+from .cjpeg import cjpeg_source
+from .compress import compress_source
+from .gzip_like import gzip_source
+from .hextobdd import hextobdd_source
+from .mpeg2enc import mpeg2enc_source
+from .sensor import sensor_source
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Registry entry for one benchmark program."""
+
+    name: str
+    source_fn: Callable[..., str]
+    #: scale -> source kwargs
+    scale_kwargs: Callable[[float], dict]
+    #: can be compiled under the ARM profile (no indirect jumps)?
+    arm_ok: bool = True
+    description: str = ""
+
+
+def _adpcm_enc_scale(s: float) -> dict:
+    return {"nblocks": max(1, int(24 * s))}
+
+
+def _adpcm_dec_scale(s: float) -> dict:
+    return {"nblocks": max(1, int(16 * s))}
+
+
+def _compress_scale(s: float) -> dict:
+    return {"npasses": max(1, int(3 * s)),
+            "insize": max(2048, int(16384 * min(1.0, s * 2)))}
+
+
+def _hextobdd_scale(s: float) -> dict:
+    return {"nrounds": max(1, int(6 * s))}
+
+
+def _mpeg2_scale(s: float) -> dict:
+    return {"nframes": max(1, int(2 * s))}
+
+
+def _gzip_scale(s: float) -> dict:
+    return {"npasses": max(1, int(2 * s))}
+
+
+def _cjpeg_scale(s: float) -> dict:
+    return {"nimages": max(1, int(2 * s))}
+
+
+def _sensor_scale(s: float) -> dict:
+    return {"ndays": max(1, int(10 * s))}
+
+
+WORKLOADS: dict[str, WorkloadSpec] = {
+    "compress95": WorkloadSpec(
+        "compress95", compress_source, _compress_scale,
+        description="LZW compress + expand (SPEC 129.compress)"),
+    "adpcm_enc": WorkloadSpec(
+        "adpcm_enc", adpcm_enc_source, _adpcm_enc_scale,
+        description="IMA ADPCM encoder (MediaBench)"),
+    "adpcm_dec": WorkloadSpec(
+        "adpcm_dec", adpcm_dec_source, _adpcm_dec_scale,
+        description="IMA ADPCM decoder (MediaBench)"),
+    "hextobdd": WorkloadSpec(
+        "hextobdd", hextobdd_source, _hextobdd_scale,
+        description="BDD construction and combination (graph code)"),
+    "mpeg2enc": WorkloadSpec(
+        "mpeg2enc", mpeg2enc_source, _mpeg2_scale,
+        description="MPEG-2 encoder kernels (motion search + DCT)"),
+    "gzip": WorkloadSpec(
+        "gzip", gzip_source, _gzip_scale,
+        description="deflate core with hash chains"),
+    "cjpeg": WorkloadSpec(
+        "cjpeg", cjpeg_source, _cjpeg_scale,
+        description="JPEG encoder kernels"),
+    "sensor": WorkloadSpec(
+        "sensor", sensor_source, _sensor_scale,
+        description="multi-mode sensor node (the Figure 2 example)"),
+}
+
+#: The four benchmarks of the SPARC evaluation (Table 1, Figs 6-7).
+SPARC_BENCHMARKS = ("compress95", "adpcm_enc", "hextobdd", "mpeg2enc")
+#: The four benchmarks of the ARM evaluation (Figs 8-9).
+ARM_BENCHMARKS = ("adpcm_enc", "adpcm_dec", "gzip", "cjpeg")
+
+_image_cache: dict[tuple, Image] = {}
+
+
+def workload_source(name: str, scale: float = 1.0, **overrides) -> str:
+    """MinC source text of workload *name* at *scale*."""
+    spec = WORKLOADS[name]
+    kwargs = spec.scale_kwargs(scale)
+    kwargs.update(overrides)
+    return spec.source_fn(**kwargs)
+
+
+def build_workload(name: str, scale: float = 1.0, *,
+                   arm_profile: bool = False, **overrides) -> Image:
+    """Compile and link workload *name* (memoized).
+
+    ``arm_profile=True`` compiles with ``indirect_ok=False`` so the
+    binary satisfies the ARM prototype's no-indirect-jumps restriction.
+    """
+    key = (name, scale, arm_profile, tuple(sorted(overrides.items())))
+    image = _image_cache.get(key)
+    if image is None:
+        source = workload_source(name, scale, **overrides)
+        image = compile_program(source, f"{name}",
+                                indirect_ok=not arm_profile)
+        _image_cache[key] = image
+    return image
+
+
+__all__ = [
+    "ARM_BENCHMARKS", "SPARC_BENCHMARKS", "WORKLOADS", "WorkloadSpec",
+    "build_workload", "workload_source",
+]

@@ -1,0 +1,184 @@
+"""cjpeg — JPEG-style still-image encoder kernels, in MinC.
+
+RGB→YCbCr color conversion, per-8x8-block level shift + 2D DCT,
+quantization with the JPEG luminance table, zigzag and a
+category/size entropy-coding cost model (the bit-exact Huffman tables
+are replaced by their code-length tables, which preserves both the
+arithmetic and the control flow of the encode loop).
+"""
+
+CJPEG_SRC = r"""
+char img_r[IMG_W * IMG_H];
+char img_g[IMG_W * IMG_H];
+char img_b[IMG_W * IMG_H];
+char plane_y[IMG_W * IMG_H];
+char plane_cb[IMG_W * IMG_H];
+char plane_cr[IMG_W * IMG_H];
+int blk[64];
+int qblk[64];
+
+int JPEG_QL[64] = {
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99
+};
+
+int ZZ[64] = {
+     0,  1,  8, 16,  9,  2,  3, 10,
+    17, 24, 32, 25, 18, 11,  4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34,
+    27, 20, 13,  6,  7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36,
+    29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46,
+    53, 60, 61, 54, 47, 55, 62, 63
+};
+
+// DC/AC size-category code lengths (stand-in for Huffman tables)
+int DC_LEN[12] = { 2, 3, 3, 3, 3, 3, 4, 5, 6, 7, 8, 9 };
+int AC_BASE_LEN[11] = { 4, 2, 2, 3, 4, 5, 7, 8, 10, 16, 16 };
+
+// ---- hot: color conversion ----------------------------------------------
+
+void rgb_to_ycbcr(int npix) {
+    int i;
+    for (i = 0; i < npix; i++) {
+        int r = img_r[i];
+        int g = img_g[i];
+        int b = img_b[i];
+        int y  = (77 * r + 150 * g + 29 * b) >> 8;
+        int cb = ((-43 * r - 85 * g + 128 * b) >> 8) + 128;
+        int cr = ((128 * r - 107 * g - 21 * b) >> 8) + 128;
+        plane_y[i] = clamp_i(y, 0, 255);
+        plane_cb[i] = clamp_i(cb, 0, 255);
+        plane_cr[i] = clamp_i(cr, 0, 255);
+    }
+}
+
+// ---- hot: 2D DCT (same butterflies as the mpeg2 kernel) ----------------------
+
+void jdct_1d(int *v, int stride) {
+    int tmp[8];
+    int k;
+    for (k = 0; k < 8; k++) {
+        int sum = 0;
+        int n;
+        for (n = 0; n < 8; n++) {
+            int ang = ((2 * n + 1) * k * 8) & 255;
+            sum += v[n * stride] * cos_q15(ang);
+        }
+        tmp[k] = sum >> 13;
+    }
+    for (k = 0; k < 8; k++) v[k * stride] = tmp[k];
+}
+
+void jdct8x8(int *b) {
+    int i;
+    for (i = 0; i < 8; i++) jdct_1d(b + i * 8, 1);
+    for (i = 0; i < 8; i++) jdct_1d(b + i, 8);
+}
+
+// ---- hot: quantize + entropy cost ------------------------------------------------
+
+int bit_size(int v) {
+    int n = 0;
+    if (v < 0) v = -v;
+    while (v) { n++; v >>= 1; }
+    return n;
+}
+
+int encode_block(char *plane, int bx, int by, int *dc_pred) {
+    int x; int y;
+    int bits = 0;
+    int run;
+    int i;
+    int dc; int diff; int size;
+    for (y = 0; y < 8; y++) {
+        for (x = 0; x < 8; x++) {
+            blk[y * 8 + x] = plane[(by * 8 + y) * IMG_W + bx * 8 + x] - 128;
+        }
+    }
+    jdct8x8(blk);
+    for (i = 0; i < 64; i++) {
+        int q = JPEG_QL[i];
+        int c = blk[i];
+        if (c >= 0) qblk[i] = (c + q / 2) / q;
+        else qblk[i] = -((-c + q / 2) / q);
+    }
+    // DC: difference from predictor, category coding
+    dc = qblk[0];
+    diff = dc - *dc_pred;
+    *dc_pred = dc;
+    size = bit_size(diff);
+    if (size > 11) size = 11;
+    bits += DC_LEN[size] + size;
+    // AC: run/size pairs through zigzag order
+    run = 0;
+    for (i = 1; i < 64; i++) {
+        int c = qblk[ZZ[i]];
+        if (c == 0) {
+            run++;
+            if (run == 16) { bits += 11; run = 0; }  // ZRL
+        } else {
+            int s = bit_size(c);
+            if (s > 10) s = 10;
+            bits += AC_BASE_LEN[s] + s + (run > 0 ? run / 4 : 0);
+            run = 0;
+        }
+    }
+    if (run > 0) bits += 4;  // EOB
+    return bits;
+}
+
+// ---- cold: image synthesis + main -------------------------------------------------
+
+void gen_image(int seed) {
+    int y;
+    srand(seed);
+    for (y = 0; y < IMG_H; y++) {
+        int x;
+        for (x = 0; x < IMG_W; x++) {
+            int i = y * IMG_W + x;
+            int edge = ((x / 8 + y / 8) & 1) * 60;   // blockiness
+            img_r[i] = clamp_i(90 + edge + (rand() & 31), 0, 255);
+            img_g[i] = clamp_i(120 + (x & 63) + (rand() & 15), 0, 255);
+            img_b[i] = clamp_i(60 + (y & 63) + (rand() & 15), 0, 255);
+        }
+    }
+}
+
+int main(void) {
+    int image;
+    int total_bits = 0;
+    for (image = 0; image < NIMAGES; image++) {
+        int by;
+        int dc_y = 0; int dc_cb = 0; int dc_cr = 0;
+        gen_image(SEED + image * 3);
+        rgb_to_ycbcr(IMG_W * IMG_H);
+        for (by = 0; by < IMG_H / 8; by++) {
+            int bx;
+            for (bx = 0; bx < IMG_W / 8; bx++) {
+                total_bits += encode_block(plane_y, bx, by, &dc_y);
+                total_bits += encode_block(plane_cb, bx, by, &dc_cb);
+                total_bits += encode_block(plane_cr, bx, by, &dc_cr);
+            }
+        }
+    }
+    print_labeled("images=", NIMAGES);
+    print_labeled("bits=", total_bits);
+    print_labeled("bytes=", total_bits / 8);
+    return 0;
+}
+"""
+
+
+def cjpeg_source(nimages: int = 2, width: int = 48, height: int = 48,
+                 seed: int = 11) -> str:
+    return (CJPEG_SRC.replace("NIMAGES", str(nimages))
+            .replace("IMG_W", str(width)).replace("IMG_H", str(height))
+            .replace("SEED", str(seed)))

@@ -1,0 +1,220 @@
+"""129.compress (SPEC CPU95), in MinC: LZW compression + expansion.
+
+Implements the same algorithm as SPEC's compress (Welch's LZW with a
+hashed string table and block reset), compressing a deterministic
+synthetic buffer whose statistics are tunable between "very
+compressible" and "noisy".  The compress/decompress loops are the hot
+working set; table setup, input generation and verification are cold.
+
+12-bit codes keep the string table at 4096 entries so the data side
+stays small while the instruction working set matches the original's
+shape (hash probe loop inside a per-byte loop).
+"""
+
+COMPRESS_SRC = r"""
+// ---- LZW parameters ------------------------------------------------
+// 12-bit codes, hash table with open addressing (double hashing),
+// block-reset when the table fills, as in compress(1).
+
+int HASH_SIZE = 5003;
+
+int tab_hash[5003];     // packed (prefix << 8 | char) key per slot
+int tab_code[5003];     // code stored at the slot, -1 = empty
+int de_prefix[4096];    // decoder: code -> prefix code
+char de_suffix[4096];   // decoder: code -> appended byte
+char de_stack[4096];
+
+char input_buf[INSIZE];
+char comp_buf[INSIZE + INSIZE / 2 + 64];
+char out_buf[INSIZE];
+
+int bit_pos = 0;
+
+// ---- cold: table reset ------------------------------------------------
+
+void lzw_reset_table(void) {
+    int i;
+    for (i = 0; i < HASH_SIZE; i++) tab_code[i] = -1;
+}
+
+// ---- bit I/O (hot-ish) -------------------------------------------------
+
+void put12(char *buf, int code) {
+    int byte = bit_pos >> 3;
+    int off = bit_pos & 7;
+    if (off == 0) {
+        buf[byte] = code & 255;
+        buf[byte + 1] = (code >> 8) & 15;
+    } else {
+        buf[byte] = buf[byte] | ((code & 15) << 4);
+        buf[byte + 1] = (code >> 4) & 255;
+    }
+    bit_pos += 12;
+}
+
+int get12(char *buf, int pos) {
+    int byte = pos >> 3;
+    int off = pos & 7;
+    if (off == 0) {
+        return buf[byte] | ((buf[byte + 1] & 15) << 8);
+    }
+    return ((buf[byte] >> 4) & 15) | (buf[byte + 1] << 4);
+}
+
+// ---- hot: the compressor -------------------------------------------------
+
+int lzw_compress(char *in, int n, char *out) {
+    int next_code = 257;
+    int prefix;
+    int i;
+    bit_pos = 0;
+    lzw_reset_table();
+    prefix = in[0];
+    for (i = 1; i < n; i++) {
+        int c = in[i];
+        int key = (prefix << 8) | c;
+        int h = ((c << 4) ^ prefix) % HASH_SIZE;
+        int disp;
+        int found = 0;
+        if (h == 0) disp = 1;
+        else disp = HASH_SIZE - h;
+        while (1) {
+            if (tab_code[h] == -1) break;       // empty slot
+            if (tab_hash[h] == key) { found = 1; break; }
+            h -= disp;
+            if (h < 0) h += HASH_SIZE;
+        }
+        if (found) {
+            prefix = tab_code[h];
+        } else {
+            put12(out, prefix);
+            if (next_code < 4096) {
+                tab_code[h] = next_code;
+                tab_hash[h] = key;
+                next_code++;
+            } else {
+                // table full: emit reset code and start over
+                put12(out, 256);
+                lzw_reset_table();
+                next_code = 257;
+            }
+            prefix = c;
+        }
+    }
+    put12(out, prefix);
+    return (bit_pos + 7) >> 3;
+}
+
+// ---- hot: the expander ------------------------------------------------------
+
+int lzw_expand(char *in, int nbits_total, char *out) {
+    int next_code = 257;
+    int pos = 0;
+    int outn = 0;
+    int prev = -1;
+    int prev_first = 0;
+    while (pos + 12 <= nbits_total) {
+        int code = get12(in, pos);
+        int cur = code;
+        int sp = 0;
+        int first;
+        pos += 12;
+        if (code == 256) {             // reset
+            next_code = 257;
+            prev = -1;
+            continue;
+        }
+        if (code >= next_code && prev >= 0) {
+            // KwKwK case: code not yet defined
+            de_stack[sp] = prev_first;
+            sp++;
+            cur = prev;
+        }
+        while (cur >= 257) {
+            de_stack[sp] = de_suffix[cur];
+            sp++;
+            cur = de_prefix[cur];
+        }
+        first = cur;
+        de_stack[sp] = cur;
+        sp++;
+        while (sp > 0) {
+            sp--;
+            out[outn] = de_stack[sp];
+            outn++;
+        }
+        if (prev >= 0 && next_code < 4096) {
+            de_prefix[next_code] = prev;
+            de_suffix[next_code] = first;
+            next_code++;
+        }
+        prev = code;
+        prev_first = first;
+    }
+    return outn;
+}
+
+// ---- cold: input generation (Markov-ish text) ----------------------------------
+
+void gen_input(char *buf, int n, int seed) {
+    int i = 0;
+    srand(seed);
+    while (i < n) {
+        int r = rand() & 255;
+        if (r < 150 && i > 16) {
+            // copy a run from earlier context: LZW-friendly repeats
+            int back = 1 + (rand() & 63);
+            int runlen = 4 + (rand() & 15);
+            if (back > i) back = i;
+            while (runlen > 0 && i < n) {
+                buf[i] = buf[i - back];
+                i++;
+                runlen--;
+            }
+        } else if (r < 224) {
+            buf[i] = 97 + (rand() % 26);      // letters
+            i++;
+        } else if (r < 248) {
+            buf[i] = 32;                      // spaces
+            i++;
+        } else {
+            buf[i] = rand() & 255;            // noise
+            i++;
+        }
+    }
+}
+
+// ---- main -----------------------------------------------------------------------
+
+int main(void) {
+    int pass;
+    int total_in = 0;
+    int total_out = 0;
+    int bad = 0;
+    for (pass = 0; pass < NPASSES; pass++) {
+        int nbytes;
+        int nout;
+        int i;
+        gen_input(input_buf, INSIZE, SEED + pass * 77);
+        nbytes = lzw_compress(input_buf, INSIZE, comp_buf);
+        nout = lzw_expand(comp_buf, bit_pos, out_buf);
+        if (nout != INSIZE) bad++;
+        for (i = 0; i < nout; i++) {
+            if (out_buf[i] != input_buf[i]) { bad++; break; }
+        }
+        total_in += INSIZE;
+        total_out += nbytes;
+    }
+    print_labeled("in=", total_in);
+    print_labeled("out=", total_out);
+    print_labeled("ratio%=", total_out * 100 / total_in);
+    print_labeled("bad=", bad);
+    return bad;
+}
+"""
+
+
+def compress_source(npasses: int = 3, insize: int = 16384,
+                    seed: int = 42) -> str:
+    return (COMPRESS_SRC.replace("NPASSES", str(npasses))
+            .replace("INSIZE", str(insize)).replace("SEED", str(seed)))

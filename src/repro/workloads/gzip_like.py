@@ -1,0 +1,159 @@
+"""gzip — LZ77/deflate-style compressor with hash chains, in MinC.
+
+The core of gzip's deflate: a sliding window, 3-byte hash heads with
+chained previous-occurrence links, longest-match search with an early
+cutoff, and a fixed-code bit-packed output (literal/length/distance).
+Matches gzip's control-flow shape (hash maintenance inside a per-byte
+loop with a nested match loop) without the full Huffman machinery.
+"""
+
+GZIP_SRC = r"""
+int WSIZE = 8192;         // window (input processed in one shot)
+int HASH_BITS = 11;
+
+char window[INSIZE];
+char outbuf[INSIZE + INSIZE / 4 + 64];
+int head[2048];           // hash -> most recent position
+int prev[INSIZE];         // chain: position -> previous with same hash
+
+int out_bitpos = 0;
+
+// ---- bit output ---------------------------------------------------------
+
+void put_bits(int value, int nbits) {
+    int i;
+    for (i = 0; i < nbits; i++) {
+        int byte = out_bitpos >> 3;
+        int off = out_bitpos & 7;
+        if (off == 0) outbuf[byte] = 0;
+        if (value & (1 << i))
+            outbuf[byte] = outbuf[byte] | (1 << off);
+        out_bitpos++;
+    }
+}
+
+// ---- hot: hash-chain match search ------------------------------------------
+
+int hash3(char *w, int pos) {
+    return ((w[pos] << 10) ^ (w[pos + 1] << 5) ^ w[pos + 2]) & 2047;
+}
+
+int longest_match(int pos, int limit, int *match_pos) {
+    int best = 2;
+    int chain = head[hash3(window, pos)];
+    int tries = MAXCHAIN;
+    while (chain >= 0 && tries > 0) {
+        if (window[chain + best] == window[pos + best]) {
+            int len = 0;
+            while (len < 258 && pos + len < limit
+                   && window[chain + len] == window[pos + len])
+                len++;
+            if (len > best) {
+                best = len;
+                *match_pos = chain;
+                if (len >= GOODLEN) break;
+            }
+        }
+        chain = prev[chain];
+        tries--;
+    }
+    return best;
+}
+
+// ---- hot: the deflate loop -----------------------------------------------------
+
+int deflate_buf(int n) {
+    int pos = 0;
+    int i;
+    int literals = 0;
+    int matches = 0;
+    out_bitpos = 0;
+    for (i = 0; i < 2048; i++) head[i] = -1;
+    while (pos < n) {
+        int mpos = 0;
+        int mlen = 2;
+        if (pos + 3 <= n)
+            mlen = longest_match(pos, n, &mpos);
+        if (mlen >= 3) {
+            // length/distance pair: flag 1 + 9-bit len + 13-bit dist
+            put_bits(1, 1);
+            put_bits(mlen, 9);
+            put_bits(pos - mpos, 13);
+            matches++;
+            while (mlen > 0) {
+                if (pos + 3 <= n) {
+                    int h = hash3(window, pos);
+                    prev[pos] = head[h];
+                    head[h] = pos;
+                }
+                pos++;
+                mlen--;
+            }
+        } else {
+            put_bits(0, 1);
+            put_bits(window[pos], 8);
+            literals++;
+            if (pos + 3 <= n) {
+                int h = hash3(window, pos);
+                prev[pos] = head[h];
+                head[h] = pos;
+            }
+            pos++;
+        }
+    }
+    print_pair("lit/match ", literals, matches);
+    return (out_bitpos + 7) >> 3;
+}
+
+// ---- cold: input generation (log-file-like text) --------------------------------------
+
+char WORDS[64] = "error warn info debug trace fatal retry open close ";
+
+void gen_text(char *buf, int n, int seed) {
+    int i = 0;
+    srand(seed);
+    while (i < n) {
+        int w = rand() % 50;
+        int j = 0;
+        // copy a pseudo-word: scan to the w-th space-ish offset
+        int start = (w * 7) % 40;
+        while (j < 8 && i < n) {
+            int c = WORDS[start + j];
+            if (c == 32 || c == 0) break;
+            buf[i] = c;
+            i++;
+            j++;
+        }
+        if (i < n) { buf[i] = 32; i++; }
+        if ((rand() & 7) == 0 && i < n) {
+            buf[i] = 48 + rand() % 10;   // digits
+            i++;
+        }
+        if ((rand() & 15) == 0 && i < n) { buf[i] = 10; i++; }
+    }
+}
+
+int main(void) {
+    int pass;
+    int total_out = 0;
+    for (pass = 0; pass < NPASSES; pass++) {
+        int nbytes;
+        gen_text(window, INSIZE, SEED + 31 * pass);
+        nbytes = deflate_buf(INSIZE);
+        total_out += nbytes;
+        print_labeled("outbytes=", nbytes);
+    }
+    print_labeled("total=", total_out);
+    print_labeled("check=", checksum(outbuf, 512));
+    return 0;
+}
+"""
+
+
+def gzip_source(npasses: int = 2, insize: int = 8192, maxchain: int = 32,
+                goodlen: int = 32, seed: int = 99) -> str:
+    return (GZIP_SRC.replace("NPASSES", str(npasses))
+            .replace("INSIZE", str(insize))
+            .replace("MAXCHAIN", str(maxchain))
+            .replace("GOODLEN", str(goodlen))
+            .replace("SEED", str(seed)))

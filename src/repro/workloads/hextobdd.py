@@ -1,0 +1,213 @@
+"""hextobdd — the paper's "local graph manipulation application".
+
+Builds reduced ordered BDDs from hex-encoded truth tables and
+combines them with apply (AND/OR/XOR) through a unique table and a
+compute cache, then counts satisfying assignments.  This is classic
+pointer-heavy graph code: hash probes, node allocation, recursive
+walks — a very different control-flow profile from the codecs, which
+is why the paper includes it.
+"""
+
+HEXTOBDD_SRC = r"""
+// ---- BDD node store ---------------------------------------------------
+// node i: var_of[i], low[i], high[i].  Terminals: 0 = FALSE, 1 = TRUE.
+
+int var_of[NODES];
+int low_of[NODES];
+int high_of[NODES];
+int node_count = 2;
+
+int uniq_head[1024];       // unique-table buckets -> node index
+int uniq_next[NODES];      // chain
+
+int cache_key[2048];       // compute cache: op/left/right packed
+int cache_val[2048];
+
+int NVARS = 12;
+
+// ---- cold: initialization -----------------------------------------------
+
+void bdd_init(void) {
+    int i;
+    node_count = 2;
+    var_of[0] = 99; var_of[1] = 99;
+    for (i = 0; i < 1024; i++) uniq_head[i] = -1;
+    for (i = 0; i < 2048; i++) cache_key[i] = -1;
+}
+
+// ---- hot: hashed node construction ------------------------------------------
+
+int mk_node(int v, int lo, int hi) {
+    int h;
+    int p;
+    if (lo == hi) return lo;
+    h = (v * 12582917 + lo * 4256249 + hi * 741457) & 1023;
+    if (h < 0) h = -h;
+    p = uniq_head[h];
+    while (p >= 0) {
+        if (var_of[p] == v && low_of[p] == lo && high_of[p] == hi)
+            return p;
+        p = uniq_next[p];
+    }
+    if (node_count >= NODES) {
+        print_str("bdd: node table overflow\n");
+        __halt(2);
+    }
+    p = node_count;
+    node_count++;
+    var_of[p] = v;
+    low_of[p] = lo;
+    high_of[p] = hi;
+    uniq_next[p] = uniq_head[h];
+    uniq_head[h] = p;
+    return p;
+}
+
+// ---- hot: apply with compute cache ---------------------------------------------
+
+int apply_op(int op, int a, int b) {
+    int key;
+    int h;
+    int va; int vb; int v;
+    int a0; int a1; int b0; int b1;
+    int r0; int r1; int r;
+    // terminal cases
+    if (a < 2 && b < 2) {
+        if (op == 0) return a & b;
+        if (op == 1) return a | b;
+        return a ^ b;
+    }
+    if (op == 0) { if (a == 0 || b == 0) return 0; }
+    if (op == 1) { if (a == 1 || b == 1) return 1; }
+    key = ((op * 16384 + a) * NODES + b) & 2147483647;
+    h = key & 2047;
+    if (cache_key[h] == key) return cache_val[h];
+    va = var_of[a];
+    vb = var_of[b];
+    if (va < vb) v = va; else v = vb;
+    if (va == v) { a0 = low_of[a]; a1 = high_of[a]; }
+    else { a0 = a; a1 = a; }
+    if (vb == v) { b0 = low_of[b]; b1 = high_of[b]; }
+    else { b0 = b; b1 = b; }
+    r0 = apply_op(op, a0, b0);
+    r1 = apply_op(op, a1, b1);
+    r = mk_node(v, r0, r1);
+    cache_key[h] = key;
+    cache_val[h] = r;
+    return r;
+}
+
+// ---- build a BDD for one variable ------------------------------------------------
+
+int bdd_var(int v) {
+    return mk_node(v, 0, 1);
+}
+
+// ---- cold-ish: parse hex truth-table descriptions into BDDs -----------------------
+// Each hex digit describes minterms of 4 consecutive assignments over
+// a 2-variable window; we fold windows together with OR of ANDs.
+
+int hex_digit(int c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    print_str("bad hex digit\n");
+    __halt(3);
+    return 0;
+}
+
+int minterm(int bits, int v0, int v1) {
+    int t = 1;
+    int x0 = bdd_var(v0);
+    int x1 = bdd_var(v1);
+    int nx0; int nx1;
+    nx0 = apply_op(2, x0, 1);    // NOT via XOR with TRUE
+    nx1 = apply_op(2, x1, 1);
+    if (bits & 1) t = apply_op(0, t, x0); else t = apply_op(0, t, nx0);
+    if (bits & 2) t = apply_op(0, t, x1); else t = apply_op(0, t, nx1);
+    return t;
+}
+
+int hex_to_bdd(char *hex, int base_var) {
+    int f = 0;
+    int i = 0;
+    while (hex[i]) {
+        int d = hex_digit(hex[i]);
+        int m;
+        int v0 = (base_var + 2 * i) % (NVARS - 1);
+        int v1 = v0 + 1;
+        for (m = 0; m < 4; m++) {
+            if (d & (1 << m)) {
+                int t = minterm(m, v0, v1);
+                f = apply_op(1, f, t);
+            }
+        }
+        i++;
+    }
+    return f;
+}
+
+// ---- hot: satisfying-assignment count (recursive walk) ------------------------------
+
+int sat_memo[NODES];
+
+int sat_count(int f, int level) {
+    int v; int skip0; int skip1; int n;
+    if (f == 0) return 0;
+    if (f == 1) {
+        n = NVARS - level;
+        return 1 << n;
+    }
+    v = var_of[f];
+    // variables skipped between level and v contribute 2^skip each
+    skip0 = v - level;
+    n = (sat_count(low_of[f], v + 1) + sat_count(high_of[f], v + 1));
+    return n << skip0;
+}
+
+// ---- main ---------------------------------------------------------------------------
+
+char spec1[24];
+char spec2[24];
+char spec3[24];
+
+void gen_spec(char *buf, int n, int seed) {
+    int i;
+    srand(seed);
+    for (i = 0; i < n; i++) {
+        int d = rand() & 15;
+        if (d < 10) buf[i] = '0' + d;
+        else buf[i] = 'a' + d - 10;
+    }
+    buf[n] = 0;
+}
+
+int main(void) {
+    int round;
+    int acc = 0;
+    for (round = 0; round < NROUNDS; round++) {
+        int f1; int f2; int f3; int g; int h;
+        bdd_init();
+        gen_spec(spec1, 12, SEED + round);
+        gen_spec(spec2, 12, SEED + round * 7 + 1);
+        gen_spec(spec3, 10, SEED + round * 13 + 2);
+        f1 = hex_to_bdd(spec1, 0);
+        f2 = hex_to_bdd(spec2, 3);
+        f3 = hex_to_bdd(spec3, 5);
+        g = apply_op(0, f1, f2);         // f1 AND f2
+        h = apply_op(2, g, f3);          // XOR f3
+        g = apply_op(1, h, apply_op(0, f2, f3));
+        acc += node_count;
+        acc += sat_count(g, 0) & 65535;
+    }
+    print_labeled("nodes=", node_count);
+    print_labeled("acc=", acc);
+    return 0;
+}
+"""
+
+
+def hextobdd_source(nrounds: int = 6, nodes: int = 6000,
+                    seed: int = 7) -> str:
+    return (HEXTOBDD_SRC.replace("NROUNDS", str(nrounds))
+            .replace("NODES", str(nodes)).replace("SEED", str(seed)))

@@ -1,0 +1,216 @@
+"""mpeg2enc — MPEG-2 style encoder kernels, in MinC.
+
+The hot loops of a video encoder: block motion estimation (SAD search
+over a window), 8x8 integer DCT (row/column butterflies via the Q15
+sin/cos tables), quantization with the MPEG intra matrix, zigzag scan
+and run-length coding.  Frames are synthetic moving gradients with
+noise.  Static text is dominated by cold setup/reporting code plus the
+linked runtime, dynamic text by the per-macroblock loops — the Table 1
+and Figure 9 contrast.
+"""
+
+MPEG2ENC_SRC = r"""
+int WIDTH = FRAME_W;
+int HEIGHT = FRAME_H;
+
+char cur_frame[FRAME_W * FRAME_H];
+char ref_frame[FRAME_W * FRAME_H];
+int block_in[64];
+int coef[64];
+int qcoef[64];
+int rle_out[130];
+
+int INTRA_Q[64] = {
+     8, 16, 19, 22, 26, 27, 29, 34,
+    16, 16, 22, 24, 27, 29, 34, 37,
+    19, 22, 26, 27, 29, 34, 34, 38,
+    22, 22, 26, 27, 29, 34, 37, 40,
+    22, 26, 27, 29, 32, 35, 40, 48,
+    26, 27, 29, 32, 35, 40, 48, 58,
+    26, 27, 29, 34, 38, 46, 56, 69,
+    27, 29, 35, 38, 46, 56, 69, 83
+};
+
+int ZIGZAG[64] = {
+     0,  1,  8, 16,  9,  2,  3, 10,
+    17, 24, 32, 25, 18, 11,  4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34,
+    27, 20, 13,  6,  7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36,
+    29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46,
+    53, 60, 61, 54, 47, 55, 62, 63
+};
+
+// ---- hot: sum of absolute differences ----------------------------------
+
+int sad16(char *cur, char *ref, int stride) {
+    int sum = 0;
+    int y;
+    for (y = 0; y < 16; y++) {
+        int x;
+        int base = y * stride;
+        for (x = 0; x < 16; x++) {
+            int d = cur[base + x] - ref[base + x];
+            if (d < 0) d = -d;
+            sum += d;
+        }
+    }
+    return sum;
+}
+
+// ---- hot: motion search (full search +-RANGE) ---------------------------------
+
+int motion_search(int mbx, int mby, int *best_dx, int *best_dy) {
+    int best = 1 << 29;
+    int dx; int dy;
+    int cx = mbx * 16;
+    int cy = mby * 16;
+    for (dy = -RANGE; dy <= RANGE; dy++) {
+        for (dx = -RANGE; dx <= RANGE; dx++) {
+            int rx = cx + dx;
+            int ry = cy + dy;
+            int s;
+            if (rx < 0 || ry < 0 || rx + 16 > WIDTH || ry + 16 > HEIGHT)
+                continue;
+            s = sad16(cur_frame + cy * WIDTH + cx,
+                      ref_frame + ry * WIDTH + rx, WIDTH);
+            if (s < best) {
+                best = s;
+                *best_dx = dx;
+                *best_dy = dy;
+            }
+        }
+    }
+    return best;
+}
+
+// ---- hot: 8x8 integer DCT (separable, Q15 tables) --------------------------------
+
+void dct8_1d(int *v, int stride) {
+    int tmp[8];
+    int k;
+    for (k = 0; k < 8; k++) {
+        int sum = 0;
+        int n;
+        for (n = 0; n < 8; n++) {
+            // cos((2n+1) k pi / 16) via the 256-step quarter table:
+            // angle256 = (2n+1) * k * 8
+            int ang = ((2 * n + 1) * k * 8) & 255;
+            sum += v[n * stride] * cos_q15(ang);
+        }
+        tmp[k] = sum >> 13;
+    }
+    for (k = 0; k < 8; k++) v[k * stride] = tmp[k];
+}
+
+void dct8x8(int *block) {
+    int i;
+    for (i = 0; i < 8; i++) dct8_1d(block + i * 8, 1);
+    for (i = 0; i < 8; i++) dct8_1d(block + i, 8);
+}
+
+// ---- hot: quantization + zigzag + RLE -----------------------------------------------
+
+int quant_block(int *in, int *out, int qscale) {
+    int nz = 0;
+    int i;
+    for (i = 0; i < 64; i++) {
+        int q = INTRA_Q[i] * qscale;
+        int c = in[i];
+        int sign = 0;
+        if (c < 0) { sign = 1; c = -c; }
+        c = (c * 16) / q;
+        if (sign) c = -c;
+        out[i] = c;
+        if (c) nz++;
+    }
+    return nz;
+}
+
+int rle_block(int *q, int *out) {
+    int run = 0;
+    int n = 0;
+    int i;
+    for (i = 0; i < 64; i++) {
+        int c = q[ZIGZAG[i]];
+        if (c == 0) {
+            run++;
+        } else {
+            out[n] = run;
+            out[n + 1] = c;
+            n += 2;
+            run = 0;
+        }
+    }
+    out[n] = -1;
+    return n;
+}
+
+// ---- cold: frame synthesis and bookkeeping ----------------------------------------------
+
+void gen_frame(char *frame, int t) {
+    int y;
+    for (y = 0; y < HEIGHT; y++) {
+        int x;
+        for (x = 0; x < WIDTH; x++) {
+            int v = ((x + t * 2) * 3 + (y + t) * 5) & 255;
+            v = (v + (rand() & 15)) & 255;
+            frame[y * WIDTH + x] = v;
+        }
+    }
+}
+
+void load_block(int mbx, int mby, int bx, int by) {
+    int y;
+    int ox = mbx * 16 + bx * 8;
+    int oy = mby * 16 + by * 8;
+    for (y = 0; y < 8; y++) {
+        int x;
+        for (x = 0; x < 8; x++) {
+            block_in[y * 8 + x] = cur_frame[(oy + y) * WIDTH + ox + x] - 128;
+        }
+    }
+}
+
+int main(void) {
+    int frame;
+    int bits = 0;
+    int sad_total = 0;
+    srand(SEED);
+    gen_frame(ref_frame, 0);
+    for (frame = 1; frame <= NFRAMES; frame++) {
+        int mby;
+        gen_frame(cur_frame, frame);
+        for (mby = 0; mby < HEIGHT / 16; mby++) {
+            int mbx;
+            for (mbx = 0; mbx < WIDTH / 16; mbx++) {
+                int dx = 0; int dy = 0;
+                int b;
+                sad_total += motion_search(mbx, mby, &dx, &dy);
+                for (b = 0; b < 4; b++) {
+                    int nz;
+                    load_block(mbx, mby, b & 1, b >> 1);
+                    dct8x8(block_in);
+                    nz = quant_block(block_in, qcoef, 2);
+                    bits += rle_block(qcoef, rle_out);
+                    bits += nz;
+                }
+            }
+        }
+        memcpy(ref_frame, cur_frame, WIDTH * HEIGHT);
+    }
+    print_labeled("frames=", NFRAMES);
+    print_labeled("sad=", sad_total);
+    print_labeled("bits=", bits);
+    return 0;
+}
+"""
+
+
+def mpeg2enc_source(nframes: int = 2, width: int = 48, height: int = 32,
+                    search_range: int = 3, seed: int = 5) -> str:
+    return (MPEG2ENC_SRC.replace("NFRAMES", str(nframes))
+            .replace("FRAME_W", str(width)).replace("FRAME_H", str(height))
+            .replace("RANGE", str(search_range))
+            .replace("SEED", str(seed)))

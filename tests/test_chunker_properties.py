@@ -1,0 +1,103 @@
+"""Property tests over the chunkers on a real image: any reachable
+address chunked at any granularity yields decodable, faithful code."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cfg import Term, build_cfg
+from repro.isa import Op, decode
+from repro.softcache import BasicBlockChunker, EBBChunker, ExitKind
+from repro.workloads import build_workload
+
+_IMG = None
+_ADDRS = None
+_MAX_BLOCK_WORDS = None
+
+
+def _setup():
+    global _IMG, _ADDRS, _MAX_BLOCK_WORDS
+    if _IMG is None:
+        _IMG = build_workload("sensor", 0.05)
+        cfg = build_cfg(_IMG)
+        _ADDRS = sorted(cfg.blocks)
+        _MAX_BLOCK_WORDS = max(
+            len(b.insns) for b in cfg.blocks.values())
+    return _IMG, _ADDRS
+
+
+@settings(max_examples=150, deadline=None)
+@given(data=st.data())
+def test_block_chunks_faithful(data):
+    image, block_addrs = _setup()
+    addr = data.draw(st.sampled_from(block_addrs))
+    chunk = BasicBlockChunker(image).chunk_at(addr)
+
+    # every word decodes
+    for word in chunk.words:
+        decode(word)
+    # non-exit words are verbatim copies of the original text
+    exit_indices = {e.index for e in chunk.exits}
+    body_words = chunk.orig_size // 4 - 1  # up to the terminator
+    for i in range(body_words):
+        if i not in exit_indices:
+            assert chunk.words[i] == image.word_at(addr + 4 * i)
+    # exits carry valid targets within text (or None for computed)
+    for exit_desc in chunk.exits:
+        if exit_desc.kind in (ExitKind.TAKEN, ExitKind.JUMP,
+                              ExitKind.CALL, ExitKind.CONT):
+            assert image.in_text(exit_desc.target)
+    # size accounting
+    assert chunk.size == 4 * len(chunk.words)
+    assert chunk.payload_bytes >= chunk.size
+    assert chunk.size == chunk.orig_size + 4 * chunk.extra_words \
+        or chunk.term is not None
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=st.data(), limit=st.integers(1, 12))
+def test_ebb_chunks_decodable_and_bounded(data, limit):
+    image, block_addrs = _setup()
+    addr = data.draw(st.sampled_from(block_addrs))
+    chunker = EBBChunker(image, limit=limit, max_words=64)
+    chunk = chunker.chunk_at(addr)
+    for word in chunk.words:
+        decode(word)
+    # the cap is soft at basic-block granularity: a whole block may be
+    # appended before the cap check fires, plus the continuation jump
+    assert len(chunk.words) <= 64 + _MAX_BLOCK_WORDS + 2
+    # the first basic block's body is embedded verbatim at the start
+    block_chunk = BasicBlockChunker(image).chunk_at(addr)
+    n_verbatim = max(0, (block_chunk.orig_size // 4) - 1)
+    assert chunk.words[:n_verbatim] == tuple(
+        image.word_at(addr + 4 * i) for i in range(n_verbatim))
+
+
+def test_every_reachable_block_chunks():
+    """Exhaustive: chunking never fails anywhere control can go."""
+    image, block_addrs = _setup()
+    chunker = BasicBlockChunker(image)
+    terminal_kinds = set()
+    for addr in block_addrs:
+        chunk = chunker.chunk_at(addr)
+        assert chunk.words, hex(addr)
+        terminal_kinds.add(chunk.term)
+    # the workload exercises most of the terminator vocabulary
+    assert Term.BRANCH in terminal_kinds
+    assert Term.CALL in terminal_kinds
+    assert Term.RET in terminal_kinds
+
+
+def test_ebb_inline_continuations_registered():
+    """Every call glued inline must expose a CONT_INLINE record (the
+    eviction stack-fixer depends on it)."""
+    image, _ = _setup()
+    chunker = EBBChunker(image, limit=8)
+    main = image.symbols["main"]
+    chunk = chunker.chunk_at(main)
+    calls = [e for e in chunk.exits if e.kind is ExitKind.CALL]
+    inlines = [e for e in chunk.exits
+               if e.kind is ExitKind.CONT_INLINE]
+    assert len(inlines) >= len(calls) - 1  # last call may end at cap
+    for cont in inlines:
+        # the continuation index is just after its call
+        assert any(c.index + 1 == cont.index for c in calls)

@@ -1,0 +1,74 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_workloads_lists_all(capsys):
+    assert main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    for name in ("compress95", "adpcm_enc", "sensor"):
+        assert name in out
+
+
+def test_run_native(capsys):
+    code = main(["run", "sensor", "--scale", "0.05", "--native"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "day_events=" in out
+    assert "[native]" in out
+
+
+def test_run_softcache(capsys):
+    code = main(["run", "sensor", "--scale", "0.05",
+                 "--tcache", "4096", "--local-link"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "translations" in out
+    assert "[softcache block/fifo" in out
+
+
+def test_run_with_dcache(capsys):
+    code = main(["run", "sensor", "--scale", "0.05",
+                 "--tcache", "16384", "--dcache", "1024",
+                 "--local-link"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "dcache" in out
+
+
+def test_run_proc_granularity(capsys):
+    code = main(["run", "adpcm_enc", "--scale", "0.05",
+                 "--granularity", "proc", "--tcache", "8192",
+                 "--local-link"])
+    assert code == 0
+    assert "proc/fifo" in capsys.readouterr().out
+
+
+def test_profile(capsys):
+    assert main(["profile", "sensor", "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "norm footprint" in out
+    assert "day_step" in out
+
+
+def test_disasm_proc(capsys):
+    assert main(["disasm", "sensor", "--proc", "day_step"]) == 0
+    out = capsys.readouterr().out
+    assert "ret" in out
+    assert out.count("\n") > 10
+
+
+def test_figures_subset(capsys):
+    assert main(["figures", "--only", "tagspace"]) == 0
+    assert "11" in capsys.readouterr().out
+
+
+def test_figures_unknown(capsys):
+    assert main(["figures", "--only", "fig99"]) == 2
+
+
+def test_bad_workload_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "nonexistent"])

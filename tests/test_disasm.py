@@ -1,0 +1,80 @@
+"""Disassembler round-trips and formatting."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.isa import (
+    Insn,
+    Op,
+    decode,
+    disassemble_range,
+    disassemble_word,
+    encode,
+    format_insn,
+)
+
+
+def roundtrip(text):
+    """assemble one instruction, disassemble, reassemble: fixpoint."""
+    data = assemble(text).sections[".text"].data
+    word = int.from_bytes(data[:4], "little")
+    rendered = disassemble_word(word)
+    data2 = assemble(rendered).sections[".text"].data
+    return int.from_bytes(data2[:4], "little"), word
+
+
+@pytest.mark.parametrize("text", [
+    "add t0, t1, t2",
+    "sub s0, a0, a1",
+    "mul x0, x1, x2",
+    "addi sp, sp, -32",
+    "andi t0, t1, 255",
+    "lui a0, 0x1234",
+    "lw ra, 12(sp)",
+    "sb t0, -1(a1)",
+    "lhu t3, 6(gp)",
+    "jr t5",
+    "jalr ra, t0",
+    "ret",
+    "halt",
+    "syscall putint",
+    "trap miss_jr, 99",
+])
+def test_roundtrip_fixpoint(text):
+    again, word = roundtrip(text)
+    assert again == word
+
+
+def test_branch_with_pc_renders_absolute():
+    word = encode(Insn(Op.BEQ, rs1=4, rs2=5, imm=3))
+    text = disassemble_word(word, pc=0x1000)
+    assert "0x1010" in text
+
+
+def test_branch_without_pc_renders_relative():
+    word = encode(Insn(Op.BNE, rs1=0, rs2=0, imm=-2))
+    assert ".-2" in disassemble_word(word)
+
+
+def test_jump_renders_byte_target():
+    word = encode(Insn(Op.J, imm=0x100))
+    assert "0x400" in disassemble_word(word)
+
+
+def test_unknown_trap_code_renders_number():
+    word = encode(Insn(Op.TRAP, rd=63, imm=7))
+    assert "63" in disassemble_word(word)
+
+
+def test_disassemble_range_handles_garbage():
+    words = {0: encode(Insn(Op.ADD, rd=1, rs1=2, rs2=3)),
+             4: 0x3E << 26}  # unassigned opcode
+    lines = disassemble_range(lambda a: words[a], 0, 8)
+    assert len(lines) == 2
+    assert "add" in lines[0]
+    assert ".word" in lines[1]
+
+
+def test_format_insn_memory_style():
+    ins = decode(encode(Insn(Op.SW, rd=8, rs1=2, imm=-4)))
+    assert format_insn(ins) == "sw t0, -4(sp)"

@@ -1,0 +1,96 @@
+"""Evaluation harness: replay fidelity, drivers, renderers.
+
+The key test here validates the Figure-7 shortcut: tcache replay over
+a block trace must produce exactly the same translation count as the
+live SoftCache system.
+"""
+
+import pytest
+
+from repro.eval import (
+    chunk_entry_sequence,
+    native_trace,
+    render_table1,
+    replay_tcache,
+    table1,
+    tagspace,
+)
+from repro.eval.render import ascii_table, fmt_bytes, series_plot
+from repro.net import LOCAL_LINK
+from repro.softcache import SoftCacheConfig, SoftCacheSystem
+
+
+@pytest.fixture(scope="module")
+def sensor_run():
+    return native_trace("sensor", 0.1)
+
+
+def test_trace_cached(sensor_run):
+    again = native_trace("sensor", 0.1)
+    assert again is sensor_run
+
+
+def test_chunk_entries_subset_of_trace(sensor_run):
+    entries = chunk_entry_sequence(sensor_run.image, sensor_run.trace)
+    assert 0 < entries.size < sensor_run.trace.size
+    # every entry is a fetched pc
+    assert set(entries[:50].tolist()) <= set(sensor_run.trace.tolist())
+
+
+@pytest.mark.parametrize("tcache_size,policy", [
+    (48 * 1024, "fifo"), (1024, "fifo"), (1024, "flush"),
+    (640, "fifo")])
+def test_replay_matches_live_system(sensor_run, tcache_size, policy):
+    """The replay's translation count equals the real system's."""
+    # generous stub area: the replay does not model the (legitimate)
+    # stub-exhaustion flush fallback, so take it out of the picture
+    live_config = SoftCacheConfig(tcache_size=tcache_size,
+                                  policy=policy, link=LOCAL_LINK,
+                                  stub_capacity=8192,
+                                  record_timeline=False)
+    system = SoftCacheSystem(sensor_run.image, live_config)
+    system.run(400_000_000)
+    assert system.stats.flushes == 0 or policy == "flush"
+    live = system.stats.translations
+    replayed = replay_tcache(sensor_run.image, sensor_run.trace,
+                             tcache_size, policy=policy).translations
+    assert replayed == live
+
+
+def test_replay_monotone_in_size(sensor_run):
+    small = replay_tcache(sensor_run.image, sensor_run.trace, 512)
+    big = replay_tcache(sensor_run.image, sensor_run.trace, 65536)
+    assert big.translations <= small.translations
+    assert big.miss_rate <= small.miss_rate
+    assert big.evictions == 0
+
+
+def test_replay_instruction_count_matches(sensor_run):
+    result = replay_tcache(sensor_run.image, sensor_run.trace, 4096)
+    assert result.instructions == sensor_run.trace.size
+
+
+def test_table1_rows_and_render():
+    rows = table1(scale=0.05, workloads=("sensor",))
+    assert rows[0].dynamic_text < rows[0].static_text
+    text = render_table1(rows)
+    assert "sensor" in text and "Static" in text
+
+
+def test_tagspace_values():
+    rows = tagspace()
+    assert rows[0][1] > rows[-1][1]
+    assert all(10 <= pct <= 19 for _, pct in rows)
+
+
+def test_render_helpers():
+    table = ascii_table(["a", "bb"], [[1, 22], [333, 4]], title="T")
+    lines = table.splitlines()
+    assert lines[0] == "T"
+    assert "333" in table
+    plot = series_plot(["x0", "x1"], [1.0, 2.0], label="L")
+    assert plot.startswith("L")
+    assert plot.count("#") > 0
+    assert fmt_bytes(512) == "512B"
+    assert fmt_bytes(2048) == "2.0KB"
+    assert fmt_bytes(3 * 1024 * 1024) == "3.0MB"

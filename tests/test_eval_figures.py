@@ -1,0 +1,100 @@
+"""Smoke tests of every figure driver at tiny scales, so the unit
+suite alone exercises the whole evaluation surface (the benchmarks
+re-run them at larger scales with shape assertions)."""
+
+import pytest
+
+from repro.eval import (
+    PAPER_FIG5,
+    PAPER_FIG9,
+    PAPER_TABLE1,
+    dcache_eval,
+    extra_instruction_ablation,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    netcost,
+    render_ablation,
+    render_dcache,
+    render_fig5,
+    render_fig6,
+    render_fig7,
+    render_fig8,
+    render_fig9,
+    render_netcost,
+)
+
+TINY = 0.05
+
+
+def test_fig5_driver():
+    bars = fig5(scale=TINY, sizes=(48 * 1024, 512))
+    assert bars[0].label == "ideal"
+    assert bars[1].relative_time >= 1.0
+    text = render_fig5(bars)
+    assert "ideal" in text
+    assert set(PAPER_FIG5) == {"48KB", "24KB", "1KB"}
+
+
+def test_fig6_driver():
+    curves = fig6(scale=TINY, sizes=(256, 4096),
+                  workloads=("sensor",))
+    assert curves[0].results[0].miss_rate >= \
+        curves[0].results[1].miss_rate
+    assert "sensor" in render_fig6(curves)
+
+
+def test_fig7_driver():
+    curves = fig7(scale=TINY, sizes=(256, 4096),
+                  workloads=("sensor",))
+    assert curves[0].results[0].miss_rate >= \
+        curves[0].results[1].miss_rate
+    assert "sensor" in render_fig7(curves)
+
+
+def test_fig8_driver():
+    series = fig8(scale=0.1, nbins=6)
+    assert len(series) == 3
+    assert all(len(s.rates) == 6 for s in series)
+    text = render_fig8(series)
+    assert "evictions per second" in text
+
+
+def test_fig9_driver():
+    bars = fig9(scale=TINY, workloads=("adpcm_enc",))
+    assert 0 < bars[0].normalized_footprint < 1
+    assert "adpcm_enc" in render_fig9(bars)
+    assert set(PAPER_FIG9) == {"adpcm_enc", "adpcm_dec", "gzip",
+                               "cjpeg"}
+    assert set(PAPER_TABLE1) == {"compress95", "adpcm_enc", "hextobdd",
+                                 "mpeg2enc"}
+
+
+def test_netcost_driver():
+    result = netcost(scale=TINY)
+    assert result.overhead_per_exchange == 60.0
+    assert "60B" in render_netcost(result)
+
+
+def test_ablation_driver():
+    rows = extra_instruction_ablation(scale=TINY)
+    assert [r.granularity for r in rows] == ["block", "ebb"]
+    assert "ebb" in render_ablation(rows)
+
+
+def test_dcache_driver():
+    rows = dcache_eval(scale=0.03, dcache_sizes=(512,),
+                       predictions=("last",))
+    assert rows[0].fast_hits > 0
+    assert "512" in render_dcache(rows)
+
+
+def test_fig5_asserts_on_divergence(monkeypatch):
+    """The driver itself guards correctness: outputs must match."""
+    # a tcache too small for the largest chunk raises rather than
+    # silently producing a wrong bar
+    from repro.softcache import TCacheFull
+    with pytest.raises(TCacheFull):
+        fig5(scale=TINY, sizes=(16,))

@@ -1,0 +1,77 @@
+"""Fleet simulation (Figure 1: one server, many devices)."""
+
+import pytest
+
+from repro.fleet import simulate_fleet
+from repro.net import LinkModel
+from repro.softcache import MemoryController, SoftCacheConfig, SoftCacheSystem
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def image():
+    return build_workload("sensor", 0.05)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SoftCacheConfig(tcache_size=8192, record_timeline=True)
+
+
+def test_single_client(image, config):
+    result = simulate_fleet(image, 1, config)
+    assert result.n_clients == 1
+    assert result.clients[0].report.exit_code == 0
+    assert result.mean_queue_delay_s == 0.0 or \
+        result.delayed_requests >= 0
+    assert result.chunk_cache_sharing == 0.0  # nothing to share
+
+
+def test_chunk_cache_sharing_grows_with_fleet(image, config):
+    result = simulate_fleet(image, 8, config)
+    # the server rewrote each chunk once; 7/8 of requests were cache hits
+    assert result.mc_chunks_built * 8 == result.mc_requests
+    assert result.chunk_cache_sharing == pytest.approx(7 / 8)
+
+
+def test_clients_identical_results(image, config):
+    result = simulate_fleet(image, 4, config, stagger_s=0.01)
+    outputs = {c.report.output for c in result.clients}
+    assert len(outputs) == 1
+    translations = {c.translations for c in result.clients}
+    assert len(translations) == 1
+
+
+def test_stagger_spreads_load(image, config):
+    burst = simulate_fleet(image, 6, config, stagger_s=0.0)
+    spread = simulate_fleet(image, 6, config, stagger_s=0.05)
+    # simultaneous boot queues requests; staggering removes the queue
+    assert spread.mean_queue_delay_s <= burst.mean_queue_delay_s
+    assert burst.delayed_requests > 0
+    assert burst.max_queue_delay_s > 0
+
+
+def test_slow_link_raises_utilization(image):
+    fast = simulate_fleet(
+        image, 4, SoftCacheConfig(tcache_size=8192,
+                                  link=LinkModel(bandwidth_bps=10e6)))
+    slow = simulate_fleet(
+        image, 4, SoftCacheConfig(tcache_size=8192,
+                                  link=LinkModel(bandwidth_bps=0.5e6)))
+    assert slow.total_transfer_s > fast.total_transfer_s
+    assert slow.link_utilization > fast.link_utilization
+
+
+def test_shared_mc_validation(image, config):
+    other = build_workload("sensor", 0.1)
+    mc = MemoryController(other)
+    with pytest.raises(ValueError, match="different image"):
+        SoftCacheSystem(image, config, shared_mc=mc)
+    mc2 = MemoryController(image, granularity="proc")
+    with pytest.raises(ValueError, match="granularity"):
+        SoftCacheSystem(image, config, shared_mc=mc2)
+
+
+def test_zero_clients_rejected(image, config):
+    with pytest.raises(ValueError):
+        simulate_fleet(image, 0, config)

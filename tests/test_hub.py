@@ -1,0 +1,82 @@
+"""The multilevel (hub/L2) chunk cache."""
+
+import pytest
+
+from repro.net import HubChannel, LinkModel, with_hub
+from repro.sim import run_native
+from repro.softcache import SoftCacheConfig, SoftCacheSystem
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def image():
+    return build_workload("sensor", 0.05)
+
+
+@pytest.fixture(scope="module")
+def native(image):
+    return run_native(image)
+
+
+def hub_system(image, tcache=768, capacity=64 * 1024, far=None):
+    system = SoftCacheSystem(image, SoftCacheConfig(
+        tcache_size=tcache, policy="fifo"))
+    hub = with_hub(system, far=far, capacity_bytes=capacity)
+    return system, hub
+
+
+def test_correctness_preserved(image, native):
+    system, hub = hub_system(image)
+    report = system.run()
+    assert report.output == native.output_text
+
+
+def test_hub_absorbs_refetches(image, native):
+    """A thrashing client re-requests evicted chunks; the hub serves
+    them without touching the origin."""
+    system, hub = hub_system(image)
+    system.run()
+    stats = hub.hub_stats
+    assert stats.requests > 2 * stats.origin_fetches
+    assert stats.hit_rate > 0.5
+    # the origin saw each distinct chunk once
+    assert stats.origin_fetches == system.mc.stats.chunks_built
+
+
+def test_no_thrash_no_hub_value(image, native):
+    """With a roomy client cache every chunk is requested once, so the
+    hub cannot hit."""
+    system, hub = hub_system(image, tcache=64 * 1024)
+    system.run()
+    assert hub.hub_stats.hit_rate == 0.0
+
+
+def test_small_hub_evicts(image, native):
+    system, hub = hub_system(image, capacity=512)
+    system.run()
+    assert hub.hub_stats.evictions > 0
+    # still correct and still some hits
+    assert hub.hub_stats.requests > 0
+
+
+def test_hub_reduces_miss_time(image, native):
+    """Cycles with a hub in front of a slow origin must beat cycles
+    with every miss crossing the slow origin link."""
+    slow_far = LinkModel(bandwidth_bps=1e6, latency_s=10e-3)
+
+    system_hub, hub = hub_system(image, far=slow_far)
+    report_hub = system_hub.run()
+
+    # same topology but a hub too small to ever hit
+    system_nohub, _ = hub_system(image, capacity=0, far=slow_far)
+    report_nohub = system_nohub.run()
+
+    assert report_hub.output == report_nohub.output
+    assert report_hub.cycles < report_nohub.cycles
+
+
+def test_data_traffic_bypasses_hub_cache(image):
+    hub = HubChannel(LinkModel(), LinkModel())
+    t = hub.exchange("data", 64)
+    assert hub.hub_stats.requests == 0
+    assert t > 0

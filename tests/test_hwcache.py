@@ -1,0 +1,140 @@
+"""Hardware cache baseline: direct-mapped simulation (vectorized vs a
+reference model), associativity, and the 11-18% tag overhead."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hwcache import (
+    overhead_band,
+    simulate_direct_mapped,
+    simulate_fully_associative,
+    simulate_set_associative,
+    sweep_direct_mapped,
+    tag_overhead,
+    working_set_knee,
+)
+
+
+def reference_direct_mapped(trace, size, block):
+    """Obviously-correct scalar model to check the numpy one against."""
+    nsets = size // block
+    tags = {}
+    misses = 0
+    for addr in trace:
+        blk = addr // block
+        s = blk % nsets
+        t = blk // nsets
+        if tags.get(s) != t:
+            misses += 1
+            tags[s] = t
+    return misses
+
+
+def test_sequential_trace_all_cold_misses():
+    trace = list(range(0, 1024, 16))  # one access per block
+    res = simulate_direct_mapped(trace, 256, 16)
+    assert res.accesses == 64
+    assert res.misses == 64
+
+
+def test_repeated_block_hits():
+    trace = [0, 4, 8, 12] * 100  # same 16-byte block
+    res = simulate_direct_mapped(trace, 256, 16)
+    assert res.misses == 1
+    assert res.miss_rate == 1 / 400
+
+
+def test_conflict_misses():
+    # two blocks mapping to the same set of a 256B cache alternate
+    trace = [0, 256, 0, 256, 0, 256]
+    res = simulate_direct_mapped(trace, 256, 16)
+    assert res.misses == 6
+    # a 512B cache separates them
+    res = simulate_direct_mapped(trace, 512, 16)
+    assert res.misses == 2
+
+
+def test_against_reference_random():
+    rng = random.Random(1)
+    trace = [rng.randrange(0, 1 << 16) & ~3 for _ in range(5000)]
+    for size in (256, 1024, 4096):
+        got = simulate_direct_mapped(trace, size, 16).misses
+        want = reference_direct_mapped(trace, size, 16)
+        assert got == want
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 1 << 14), min_size=1, max_size=400),
+       st.sampled_from([128, 256, 1024]),
+       st.sampled_from([16, 32]))
+def test_hypothesis_matches_reference(trace, size, block):
+    got = simulate_direct_mapped(trace, size, block).misses
+    assert got == reference_direct_mapped(trace, size, block)
+
+
+def test_sweep_monotone_enough():
+    """Bigger direct-mapped caches may have anomalies, but the sweep on
+    a loop-like trace should reach zero conflict misses eventually."""
+    trace = [i % 2048 for i in range(0, 40000, 4)]
+    results = sweep_direct_mapped(trace, [128, 512, 2048, 8192])
+    assert results[-1].misses == 2048 // 16  # cold misses only
+
+
+def test_working_set_knee():
+    trace = ([i for i in range(0, 4096, 16)] * 200)
+    results = sweep_direct_mapped(trace, [512, 1024, 4096, 16384])
+    knee = working_set_knee(results, threshold=0.01)
+    assert knee == 4096
+
+
+def test_set_associative_reduces_conflicts():
+    trace = [0, 256, 0, 256] * 10
+    direct = simulate_set_associative(trace, 256, 1)
+    two_way = simulate_set_associative(trace, 256, 2)
+    assert two_way.misses == 2
+    assert direct.misses == len(trace)
+
+
+def test_lru_vs_fifo():
+    # sequence that distinguishes LRU from FIFO in a 2-way set
+    trace = [0, 256, 0, 512, 0]
+    lru = simulate_set_associative(trace, 512, 2, policy="lru").misses
+    fifo = simulate_set_associative(trace, 512, 2, policy="fifo").misses
+    assert lru == 3   # 0 kept (recently used)
+    assert fifo == 4  # 0 evicted by FIFO, re-missed
+
+
+def test_fully_associative_no_conflicts():
+    # 4 blocks in a 64B fully associative cache with 16B blocks
+    trace = [0, 256, 512, 768] * 10
+    res = simulate_fully_associative(trace, 64, 16)
+    assert res.misses == 4
+
+
+def test_fully_associative_capacity_eviction():
+    trace = [0, 16, 32, 48, 64, 0]  # 5 blocks through a 4-block cache
+    res = simulate_fully_associative(trace, 64, 16, policy="lru")
+    assert res.misses == 6  # 0 was evicted
+
+
+def test_tag_overhead_band_matches_paper():
+    """Fig 6 caption: tags for 32-bit addresses add an extra 11-18%."""
+    sizes = [1 << k for k in range(10, 18)]  # 1KB .. 128KB
+    lo, hi = overhead_band(sizes, block_size=16)
+    assert 10.5 <= lo <= 13.0
+    assert 17.0 <= hi <= 18.5
+
+
+def test_tag_overhead_formula():
+    # 1KB direct-mapped, 16B blocks: 64 sets -> 6 index + 4 offset bits
+    ov = tag_overhead(1024, 16)
+    assert ov.tag_bits == 32 - 6 - 4
+    assert ov.bits_per_block == 23  # + valid bit
+    assert ov.overhead_percent == (23 / 128) * 100
+
+
+def test_tag_overhead_grows_with_smaller_cache():
+    small = tag_overhead(1024, 16).overhead_percent
+    big = tag_overhead(65536, 16).overhead_percent
+    assert small > big

@@ -1,0 +1,184 @@
+"""Encode/decode round-trips and field patching for the ISA."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (
+    DecodeError,
+    EncodingError,
+    Fmt,
+    Insn,
+    Op,
+    SPECS,
+    branch_target,
+    decode,
+    encode,
+    jump_target,
+    patch_branch_disp,
+    patch_jump_target,
+    sign_extend16,
+    to_signed32,
+)
+
+
+def test_sign_extend16():
+    assert sign_extend16(0) == 0
+    assert sign_extend16(0x7FFF) == 32767
+    assert sign_extend16(0x8000) == -32768
+    assert sign_extend16(0xFFFF) == -1
+
+
+def test_to_signed32():
+    assert to_signed32(0) == 0
+    assert to_signed32(0x7FFFFFFF) == 2**31 - 1
+    assert to_signed32(0x80000000) == -(2**31)
+    assert to_signed32(0xFFFFFFFF) == -1
+
+
+@pytest.mark.parametrize("op", list(Op))
+def test_roundtrip_zero_operands(op):
+    insn = Insn(op)
+    assert decode(encode(insn)) == insn
+
+
+def test_roundtrip_r_format():
+    insn = Insn(Op.ADD, rd=5, rs1=17, rs2=31)
+    assert decode(encode(insn)) == insn
+
+
+def test_roundtrip_i_format_signed():
+    insn = Insn(Op.ADDI, rd=1, rs1=2, imm=-32768)
+    assert decode(encode(insn)) == insn
+    insn = Insn(Op.LW, rd=9, rs1=2, imm=32767)
+    assert decode(encode(insn)) == insn
+
+
+def test_roundtrip_i_format_unsigned():
+    insn = Insn(Op.ORI, rd=3, rs1=3, imm=0xFFFF)
+    assert decode(encode(insn)) == insn
+
+
+def test_roundtrip_branch():
+    insn = Insn(Op.BEQ, rs1=4, rs2=5, imm=-100)
+    assert decode(encode(insn)) == insn
+
+
+def test_roundtrip_jump():
+    insn = Insn(Op.J, imm=(1 << 26) - 1)
+    assert decode(encode(insn)) == insn
+
+
+def test_roundtrip_trap():
+    insn = Insn(Op.TRAP, rd=5, imm=0xFFFFF)
+    assert decode(encode(insn)) == insn
+
+
+def test_encode_range_errors():
+    with pytest.raises(EncodingError):
+        encode(Insn(Op.ADDI, rd=1, rs1=1, imm=40000))
+    with pytest.raises(EncodingError):
+        encode(Insn(Op.ORI, rd=1, rs1=1, imm=-1))
+    with pytest.raises(EncodingError):
+        encode(Insn(Op.J, imm=1 << 26))
+    with pytest.raises(EncodingError):
+        encode(Insn(Op.ADD, rd=32, rs1=0, rs2=0))
+    with pytest.raises(EncodingError):
+        encode(Insn(Op.TRAP, rd=64, imm=0))
+
+
+def test_decode_error_on_undefined_opcode():
+    # opcode 0x3E is unassigned
+    with pytest.raises(DecodeError):
+        decode(0x3E << 26)
+
+
+def test_patch_jump_target():
+    word = encode(Insn(Op.J, imm=0))
+    patched = patch_jump_target(word, 0x0800_0040)
+    assert jump_target(patched) == 0x0800_0040
+    assert patched >> 26 == int(Op.J)
+
+
+def test_patch_jump_alignment():
+    word = encode(Insn(Op.JAL, imm=0))
+    with pytest.raises(EncodingError):
+        patch_jump_target(word, 0x0800_0041)
+
+
+def test_patch_branch_disp():
+    word = encode(Insn(Op.BNE, rs1=1, rs2=2, imm=0))
+    site = 0x0001_0000
+    target = 0x0001_0100
+    patched = patch_branch_disp(word, site, target)
+    assert branch_target(patched, site) == target
+    ins = decode(patched)
+    assert ins.op is Op.BNE and ins.rs1 == 1 and ins.rs2 == 2
+
+
+def test_patch_branch_backward():
+    word = encode(Insn(Op.BEQ, rs1=3, rs2=4, imm=0))
+    site = 0x0001_0100
+    target = 0x0001_0000
+    patched = patch_branch_disp(word, site, target)
+    assert branch_target(patched, site) == target
+
+
+def test_patch_branch_out_of_range():
+    word = encode(Insn(Op.BEQ, rs1=0, rs2=0, imm=0))
+    with pytest.raises(EncodingError):
+        patch_branch_disp(word, 0, 1 << 20)
+
+
+_R_OPS = [op for op, s in SPECS.items() if s.fmt is Fmt.R]
+_I_OPS = [op for op, s in SPECS.items() if s.fmt is Fmt.I]
+_B_OPS = [op for op, s in SPECS.items() if s.fmt is Fmt.B]
+
+
+@given(op=st.sampled_from(_R_OPS), rd=st.integers(0, 31),
+       rs1=st.integers(0, 31), rs2=st.integers(0, 31))
+def test_hypothesis_roundtrip_r(op, rd, rs1, rs2):
+    insn = Insn(op, rd=rd, rs1=rs1, rs2=rs2)
+    assert decode(encode(insn)) == insn
+
+
+@given(op=st.sampled_from(_I_OPS), rd=st.integers(0, 31),
+       rs1=st.integers(0, 31), imm=st.integers(-32768, 32767))
+def test_hypothesis_roundtrip_i(op, rd, rs1, imm):
+    if not SPECS[op].signed_imm:
+        imm &= 0xFFFF
+    insn = Insn(op, rd=rd, rs1=rs1, imm=imm)
+    assert decode(encode(insn)) == insn
+
+
+@given(op=st.sampled_from(_B_OPS), rs1=st.integers(0, 31),
+       rs2=st.integers(0, 31), imm=st.integers(-32768, 32767))
+def test_hypothesis_roundtrip_b(op, rs1, rs2, imm):
+    insn = Insn(op, rs1=rs1, rs2=rs2, imm=imm)
+    assert decode(encode(insn)) == insn
+
+
+@given(word=st.integers(0, 0xFFFFFFFF))
+def test_hypothesis_decode_reencode(word):
+    """Any decodable word re-encodes to itself modulo unused bits."""
+    try:
+        insn = decode(word)
+    except DecodeError:
+        return
+    # R-format has 11 unused low bits; all other formats are exact
+    if insn.fmt is Fmt.R:
+        assert encode(insn) == (word & 0xFFFFF800)
+    else:
+        assert encode(insn) == word
+
+
+@given(site=st.integers(0, 0x3FFFF).map(lambda x: x * 4),
+       target=st.integers(0, 0x3FFFF).map(lambda x: x * 4))
+def test_hypothesis_branch_patch_roundtrip(site, target):
+    word = encode(Insn(Op.BLT, rs1=7, rs2=8, imm=0))
+    disp = (target - (site + 4)) >> 2
+    if not -(1 << 15) <= disp < (1 << 15):
+        with pytest.raises(EncodingError):
+            patch_branch_disp(word, site, target)
+    else:
+        assert branch_target(patch_branch_disp(word, site, target),
+                             site) == target

@@ -1,0 +1,78 @@
+"""MinC lexer."""
+
+import pytest
+
+from repro.lang.lexer import LexError, tokenize
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)]
+
+
+def texts(src):
+    return [t.text for t in tokenize(src)[:-1]]
+
+
+def test_empty():
+    assert kinds("") == ["eof"]
+
+
+def test_integers():
+    toks = tokenize("0 42 0x1F 0Xff")
+    assert [t.value for t in toks[:-1]] == [0, 42, 31, 255]
+
+
+def test_identifiers_and_keywords():
+    toks = tokenize("int foo while whileish _bar x9")
+    assert [(t.kind, t.text) for t in toks[:-1]] == [
+        ("kw", "int"), ("ident", "foo"), ("kw", "while"),
+        ("ident", "whileish"), ("ident", "_bar"), ("ident", "x9")]
+
+
+def test_char_literals():
+    toks = tokenize(r"'a' '\n' '\\' '\0' '\''")
+    assert [t.value for t in toks[:-1]] == [97, 10, 92, 0, 39]
+
+
+def test_string_literals():
+    toks = tokenize(r'"hi" "a\tb" "line\n"')
+    assert [t.value for t in toks[:-1]] == ["hi", "a\tb", "line\n"]
+
+
+def test_punct_greedy():
+    assert texts("a <<= b << c <= d < e") == [
+        "a", "<<=", "b", "<<", "c", "<=", "d", "<", "e"]
+    assert texts("x+++y") == ["x", "++", "+", "y"]
+    assert texts("a&&b&c") == ["a", "&&", "b", "&", "c"]
+
+
+def test_comments():
+    src = """
+    a // line comment
+    /* block
+       comment */ b
+    """
+    assert texts(src) == ["a", "b"]
+
+
+def test_line_numbers():
+    toks = tokenize("a\nb\n\nc")
+    assert [t.line for t in toks[:-1]] == [1, 2, 4]
+
+
+def test_line_numbers_across_block_comment():
+    toks = tokenize("/* x\ny */ a")
+    assert toks[0].line == 2
+
+
+def test_errors():
+    with pytest.raises(LexError):
+        tokenize('"unterminated')
+    with pytest.raises(LexError):
+        tokenize("/* unterminated")
+    with pytest.raises(LexError):
+        tokenize("'ab'")
+    with pytest.raises(LexError):
+        tokenize("`")
+    with pytest.raises(LexError):
+        tokenize('"bad\\q"')

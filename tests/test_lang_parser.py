@@ -1,0 +1,126 @@
+"""MinC parser: AST structure and error reporting."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.parser import ParseError, parse
+
+
+def first_func(src):
+    prog = parse(src)
+    return next(i for i in prog.items if isinstance(i, ast.Function))
+
+
+def test_function_signature():
+    fn = first_func("int f(int a, char *s, int v[]) { return 0; }")
+    assert fn.name == "f"
+    assert fn.ret.kind == "int"
+    assert [p.name for p in fn.params] == ["a", "s", "v"]
+    assert fn.params[1].type.is_pointer
+    assert fn.params[2].type.is_pointer  # array param decays
+
+
+def test_void_params():
+    fn = first_func("int f(void) { return 1; }")
+    assert fn.params == []
+
+
+def test_globals():
+    prog = parse("""
+int x = 5;
+int arr[4] = { 1, 2, 3 };
+char msg[] = "hey";
+extern int other;
+""")
+    g = {i.name: i for i in prog.items}
+    assert g["x"].init.value == 5
+    assert g["arr"].type.array_len == 4
+    assert len(g["arr"].init_list) == 3
+    # string initializer expands to chars + NUL
+    assert g["msg"].type.array_len == 4
+    assert [c.value for c in g["msg"].init_list] == [104, 101, 121, 0]
+    assert g["other"].extern
+
+
+def test_const_array_length_expr():
+    prog = parse("int buf[4 * 3 + 2];")
+    assert prog.items[0].type.array_len == 14
+
+
+def test_non_const_array_length_rejected():
+    with pytest.raises(ParseError):
+        parse("int n = 4; int buf[n];")
+
+
+def test_precedence():
+    fn = first_func("int f(void) { return 1 + 2 * 3; }")
+    ret = fn.body.body[0]
+    assert isinstance(ret.value, ast.Binary) and ret.value.op == "+"
+    assert ret.value.right.op == "*"
+
+
+def test_assignment_right_associative():
+    fn = first_func("int f(int a, int b) { a = b = 1; return a; }")
+    outer = fn.body.body[0].expr
+    assert isinstance(outer, ast.Assign)
+    assert isinstance(outer.value, ast.Assign)
+
+
+def test_ternary():
+    fn = first_func("int f(int a) { return a ? 1 : 2; }")
+    assert isinstance(fn.body.body[0].value, ast.Ternary)
+
+
+def test_postfix_chain():
+    fn = first_func("int f(int *p) { return p[1]++; }")
+    expr = fn.body.body[0].value
+    assert isinstance(expr, ast.IncDec) and not expr.prefix
+    assert isinstance(expr.target, ast.Index)
+
+
+def test_control_statements():
+    fn = first_func("""
+int f(int n) {
+    int acc = 0;
+    if (n > 0) acc = 1; else acc = 2;
+    while (n) n--;
+    do { acc++; } while (acc < 3);
+    for (n = 0; n < 4; n++) { if (n == 2) continue; acc += n; }
+    for (;;) break;
+    return acc;
+}
+""")
+    types = [type(s).__name__ for s in fn.body.body]
+    assert types == ["Declare", "If", "While", "While", "For", "For",
+                     "Return"]
+    assert fn.body.body[3].is_do
+
+
+def test_switch_structure():
+    fn = first_func("""
+int f(int x) {
+    switch (x) {
+    case 1:
+    case 2:
+        return 10;
+    default:
+        return 0;
+    }
+}
+""")
+    sw = fn.body.body[0]
+    assert isinstance(sw, ast.Switch)
+    assert sw.cases[0].values == [1, 2]
+    assert sw.cases[1].values == []  # default
+
+
+def test_errors_report_line():
+    with pytest.raises(ParseError) as err:
+        parse("int f(void) {\n  return 1 +;\n}")
+    assert err.value.line == 2
+    with pytest.raises(ParseError):
+        parse("int f(void) { if (1) }")
+    with pytest.raises(ParseError):
+        parse("banana f(void) { }")
+    with pytest.raises(ParseError):
+        parse("int f(void) { case 1: return 0; }")

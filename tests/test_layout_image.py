@@ -1,0 +1,95 @@
+"""Address-space layout helpers and Image geometry."""
+
+import pytest
+
+from repro.asm.image import Image, ProcSpan
+from repro.layout import (
+    ADDR_LIMIT,
+    DATA_BASE,
+    LOCAL_BASE,
+    STACK_TOP,
+    TEXT_BASE,
+    align,
+)
+from repro.workloads import build_workload
+
+
+def test_align():
+    assert align(0, 8) == 0
+    assert align(1, 8) == 8
+    assert align(8, 8) == 8
+    assert align(4097, 4096) == 8192
+    with pytest.raises(ValueError):
+        align(5, 3)
+
+
+def test_map_ordering_and_jump_reach():
+    assert LOCAL_BASE < TEXT_BASE < DATA_BASE < STACK_TOP <= ADDR_LIMIT
+    # 26-bit word-addressed jumps reach the entire map
+    assert ADDR_LIMIT <= (1 << 26) * 4
+
+
+def test_image_geometry():
+    image = build_workload("sensor", 0.05)
+    assert image.text_base == TEXT_BASE
+    assert image.text_end == TEXT_BASE + len(image.text)
+    assert image.data_base == DATA_BASE
+    assert image.bss_base >= image.data_end
+    assert image.bss_base % 8 == 0
+    assert image.heap_base >= image.bss_end
+    assert image.in_text(image.entry)
+    assert not image.in_text(DATA_BASE)
+
+
+def test_word_at_bounds():
+    image = build_workload("sensor", 0.05)
+    assert image.word_at(image.text_base) is not None
+    with pytest.raises(ValueError):
+        image.word_at(0x1234)
+
+
+def test_proc_span_lookup():
+    image = build_workload("sensor", 0.05)
+    main = image.proc_named("main")
+    assert main.contains(main.addr)
+    assert main.contains(main.end - 4)
+    assert not main.contains(main.end)
+    assert image.proc_at(main.addr + 8) is main
+    assert image.proc_at(DATA_BASE) is None
+    with pytest.raises(KeyError):
+        image.proc_named("not_a_proc")
+
+
+def test_proc_spans_are_disjoint_and_cover():
+    image = build_workload("sensor", 0.05)
+    procs = image.procs
+    for a, b in zip(procs, procs[1:]):
+        assert a.end == b.addr  # contiguous: linker emits no gaps
+    assert procs[0].addr == image.text_base
+    assert procs[-1].end == image.text_end
+
+
+def test_data_object_sizes_cover_scalars():
+    image = build_workload("sensor", 0.05)
+    # every 4-byte object reported is word aligned and inside data/bss
+    for addr, size in image.data_object_sizes.items():
+        assert size > 0
+        assert image.data_base <= addr < image.bss_end
+    # known scalars exist with exact size 4
+    gain = image.symbols["calib_gain"]
+    assert image.data_object_sizes[gain] == 4
+
+
+def test_symbol_name_reverse_lookup():
+    image = build_workload("sensor", 0.05)
+    addr = image.symbols["main"]
+    assert image.symbol_name(addr) == "main"
+    assert image.symbol_name(addr + 2) is None
+
+
+def test_report_generator_sections():
+    from repro.eval import section_titles
+    titles = section_titles()
+    assert "Table 1" in titles
+    assert any("Figure 8" in t for t in titles)
+    assert len(titles) == 10

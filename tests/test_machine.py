@@ -1,0 +1,138 @@
+"""Machine layer: syscalls, output, cost model plumbing."""
+
+import pytest
+
+from repro.sim import CostModel, Machine, MachineConfig, SimError
+from repro.isa import Op
+
+from conftest import run_asm
+
+
+def test_exit_code_propagates():
+    machine = run_asm("""
+    .global main
+main:
+    li a0, 42
+    ret
+""")
+    assert machine.cpu.exit_code == 42
+
+
+def test_putint_negative_and_zero():
+    machine = run_asm("""
+    .global main
+main:
+    li a0, -123
+    syscall putint
+    li a0, 0
+    syscall putint
+    li a0, 0
+    ret
+""")
+    assert machine.output_text == "-1230"
+
+
+def test_putchar_and_puts():
+    machine = run_asm("""
+    .global main
+main:
+    li a0, 'H'
+    syscall putchar
+    la a0, msg
+    syscall puts
+    li a0, 0
+    ret
+    .data
+msg: .asciiz "i!"
+""")
+    assert machine.output_text == "Hi!"
+
+
+def test_writehex():
+    machine = run_asm("""
+    .global main
+main:
+    li a0, 0xDEADBEEF
+    syscall writehex
+    li a0, 0
+    ret
+""")
+    assert machine.output_text == "deadbeef"
+
+
+def test_getcycles_increases():
+    machine = run_asm("""
+    .global main
+main:
+    syscall getcycles
+    mv t0, a0
+    nop
+    nop
+    syscall getcycles
+    sub a0, a0, t0
+    syscall putint
+    li a0, 0
+    ret
+""")
+    assert int(machine.output_text) > 0
+
+
+def test_unknown_syscall_raises():
+    with pytest.raises(SimError, match="syscall"):
+        run_asm(".global main\nmain: syscall 40\nret")
+
+
+def test_invalidate_hook_called():
+    from repro.asm import assemble_and_link
+    image = assemble_and_link("""
+    .global main
+main:
+    li a0, 0x8000
+    li a1, 64
+    syscall invalidate
+    li a0, 0
+    ret
+""")
+    machine = Machine(image)
+    calls = []
+    machine.invalidate_hook = lambda a, n: calls.append((a, n))
+    machine.run()
+    assert calls == [(0x8000, 64)]
+
+
+def test_custom_cost_model():
+    costs = CostModel(op_cycles={op: 5 for op in Op})
+    image_src = """
+    .global main
+main:
+    nop
+    nop
+    li a0, 0
+    ret
+"""
+    from repro.asm import assemble_and_link
+    image = assemble_and_link(image_src)
+    machine = Machine(image, MachineConfig(costs=costs))
+    machine.run()
+    # syscall/trap closures charge 1 regardless; all others cost 5
+    assert machine.cpu.cycles == 5 * (machine.cpu.icount - 1) + 1
+
+
+def test_cost_model_with_override():
+    base = CostModel()
+    fast = base.with_(mc_service_cycles=0, trap_overhead_cycles=1)
+    assert fast.mc_service_cycles == 0
+    assert fast.cpu_hz == base.cpu_hz
+    assert base.mc_service_cycles == 100  # original untouched
+
+
+def test_cycles_to_seconds():
+    costs = CostModel(cpu_hz=100e6)
+    assert costs.cycles_to_seconds(100_000_000) == pytest.approx(1.0)
+
+
+def test_local_ram_too_large_rejected():
+    from repro.workloads import build_workload
+    image = build_workload("sensor", 0.05)
+    with pytest.raises(ValueError):
+        Machine(image, MachineConfig(local_ram_size=1 << 30))

@@ -1,0 +1,60 @@
+"""Link model: the 60-byte overhead result and transfer-time math."""
+
+import pytest
+
+from repro.net import Channel, LinkModel
+
+
+def test_default_overhead_is_60_bytes():
+    """§2.4: 'the network overhead for each code chunk downloaded to
+    be 60 application bytes'."""
+    link = LinkModel()
+    assert link.exchange_overhead_bytes == 60
+
+
+def test_exchange_time_math():
+    link = LinkModel(bandwidth_bps=10e6, latency_s=150e-6)
+    t = link.exchange_time(100)
+    expected = 2 * 150e-6 + (60 + 100) * 8 / 10e6
+    assert t == pytest.approx(expected)
+
+
+def test_one_way_time_math():
+    link = LinkModel(bandwidth_bps=10e6, latency_s=150e-6)
+    t = link.one_way_time(40)
+    assert t == pytest.approx(150e-6 + (24 + 40) * 8 / 10e6)
+
+
+def test_bandwidth_scaling():
+    slow = LinkModel(bandwidth_bps=1e6, latency_s=0)
+    fast = LinkModel(bandwidth_bps=100e6, latency_s=0)
+    assert slow.exchange_time(1000) == pytest.approx(
+        100 * fast.exchange_time(1000))
+
+
+def test_channel_accounting():
+    chan = Channel(LinkModel())
+    chan.exchange("chunk", 120)
+    chan.exchange("chunk", 80)
+    chan.send("writeback", 16)
+    stats = chan.stats
+    assert stats.exchanges == 2
+    assert stats.one_way_messages == 1
+    assert stats.payload_bytes == 216
+    assert stats.overhead_bytes == 60 + 60 + 24
+    assert stats.by_kind == {"chunk": 2, "writeback": 1}
+    assert stats.total_bytes == 216 + 144
+    assert stats.overhead_per_exchange() == pytest.approx(60.0)
+
+
+def test_channel_busy_time_accumulates():
+    chan = Channel(LinkModel())
+    t1 = chan.exchange("chunk", 100)
+    t2 = chan.exchange("chunk", 200)
+    assert chan.stats.busy_seconds == pytest.approx(t1 + t2)
+
+
+def test_empty_channel_stats():
+    chan = Channel()
+    assert chan.stats.overhead_per_exchange() == 0.0
+    assert chan.stats.total_bytes == 0

@@ -1,0 +1,92 @@
+"""§4 capability 3: multi-bank parallel data access."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.power import (
+    greedy_bank_placement,
+    parallel_access_analysis,
+)
+
+
+def test_alternating_pattern_fully_parallelizable():
+    # two blocks that conflict under interleaving (0 and 4, nbanks=4)
+    tags = [0, 4] * 100
+    result = parallel_access_analysis(tags, nbanks=4)
+    assert result.interleaved_conflicts == 199
+    assert result.optimized_conflicts == 0
+    assert result.speedup > 1.9  # pairs issue together
+
+
+def test_same_block_repeats_are_not_conflicts():
+    tags = [7] * 50
+    result = parallel_access_analysis(tags, nbanks=4)
+    assert result.interleaved_conflicts == 0
+    assert result.optimized_conflicts == 0
+    assert result.speedup == 1.0
+
+
+def test_already_parallel_pattern_unharmed():
+    tags = [0, 1, 2, 3] * 50  # distinct banks under interleaving
+    result = parallel_access_analysis(tags, nbanks=4)
+    assert result.interleaved_conflicts == 0
+    assert result.optimized_conflicts <= result.interleaved_conflicts
+    assert result.speedup >= 0.99
+
+
+def test_placement_is_total_and_within_banks():
+    tags = [0, 8, 16, 24, 0, 8, 3, 11]
+    placement = greedy_bank_placement(tags, 4)
+    assert set(placement) == set(tags)
+    assert all(0 <= bank < 4 for bank in placement.values())
+
+
+def test_nbanks_validation():
+    with pytest.raises(ValueError):
+        parallel_access_analysis([1, 2], nbanks=1)
+
+
+def test_empty_sequence():
+    result = parallel_access_analysis([], nbanks=4)
+    assert result.accesses == 0
+    assert result.speedup == 1.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(0, 63), max_size=300),
+       st.sampled_from([2, 4, 8]))
+def test_optimized_never_worse(tags, nbanks):
+    """The greedy placement never adds conflicts over interleaving on
+    the sequence it was trained on, and cycle counts stay sane."""
+    result = parallel_access_analysis(tags, nbanks)
+    assert result.optimized_conflicts <= result.interleaved_conflicts \
+        + _greedy_slack(tags)
+    half = (len(tags) + 1) // 2
+    assert half <= result.optimized_cycles <= max(1, len(tags)) \
+        or not tags
+
+
+def _greedy_slack(tags):
+    """Greedy placement is a heuristic: allow a tiny slack on
+    adversarial sequences (it is near-optimal, not optimal)."""
+    return max(2, len(tags) // 20)
+
+
+def test_end_to_end_with_recorded_dcache_trace():
+    from repro.dcache import DataCacheConfig
+    from repro.net import LOCAL_LINK
+    from repro.softcache import SoftCacheConfig, SoftCacheSystem
+    from repro.workloads import build_workload
+
+    image = build_workload("sensor", 0.05)
+    config = SoftCacheConfig(
+        tcache_size=32 * 1024, link=LOCAL_LINK,
+        data_cache=DataCacheConfig(dcache_size=2048,
+                                   record_access_tags=True))
+    system = SoftCacheSystem(image, config)
+    system.run()
+    tags = system.dcache.access_tags
+    assert len(tags) == system.dcache.stats.dcache_accesses
+    result = parallel_access_analysis(tags, nbanks=4)
+    assert result.accesses == len(tags)
+    assert result.optimized_conflicts <= result.interleaved_conflicts

@@ -1,0 +1,96 @@
+"""The gprof-equivalent profiler."""
+
+import pytest
+
+from repro.lang import compile_program
+from repro.profiling import profile_image
+from repro.workloads import build_workload
+
+SRC = r"""
+int hot(int n) {
+    int i; int acc = 0;
+    for (i = 0; i < n; i++) acc += i * 3;
+    return acc;
+}
+
+int cold(int x) { return x + 1; }
+
+int main(void) {
+    int i; int acc = 0;
+    for (i = 0; i < 200; i++) acc += hot(50);
+    acc += cold(acc);
+    __putint(acc);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return profile_image(compile_program(SRC, "prof"))
+
+
+def test_total_matches_run(profile):
+    assert profile.total_instructions == sum(
+        e.instructions for e in profile.entries)
+    assert profile.exit_code == 0
+
+
+def test_hot_function_ranked_first(profile):
+    assert profile.entries[0].name == "hot"
+    assert profile.entries[0].fraction > 0.5
+
+
+def test_hot_procs_rule(profile):
+    hot = profile.hot_procs(0.90)
+    names = [e.name for e in hot]
+    assert "hot" in names
+    assert "cold" not in names
+    covered = sum(e.instructions for e in hot)
+    # the selected prefix reaches the threshold (within one function)
+    assert covered >= 0.9 * profile.total_instructions - \
+        hot[-1].instructions
+
+
+def test_hot_code_bytes_and_footprint(profile):
+    hot_bytes = profile.hot_code_bytes(0.90)
+    assert 0 < hot_bytes < profile.image.static_text_size
+    assert profile.normalized_dynamic_footprint() == pytest.approx(
+        hot_bytes / profile.image.static_text_size)
+
+
+def test_dynamic_text_at_most_static(profile):
+    assert profile.dynamic_text_bytes <= profile.image.static_text_size
+    # hot is a subset of what ran
+    assert profile.hot_code_bytes(0.90) <= profile.dynamic_text_bytes
+
+
+def test_call_counts(profile):
+    assert profile.call_counts[("main", "hot")] == 200
+    assert profile.call_counts[("main", "cold")] == 1
+    assert profile.call_counts[("_start", "main")] == 1
+
+
+def test_report_renders(profile):
+    report = profile.report()
+    assert "hot" in report and "%" in report
+
+
+def test_entry_named(profile):
+    assert profile.entry_named("hot").name == "hot"
+    with pytest.raises(KeyError):
+        profile.entry_named("nonexistent")
+
+
+def test_unused_library_not_in_profile(profile):
+    names = {e.name for e in profile.entries}
+    # the cold library is linked but never executed
+    assert "crc32" not in names
+    assert "base64_encode" not in names
+
+
+def test_profile_real_workload():
+    image = build_workload("adpcm_enc", 0.05)
+    profile = profile_image(image)
+    assert profile.entry_named("adpcm_encode").fraction > 0.1
+    assert profile.normalized_dynamic_footprint() < 0.35

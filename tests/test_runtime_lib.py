@@ -1,0 +1,184 @@
+"""The MinC runtime library and cold utility library, exercised on
+the simulator (these functions are linked into every workload)."""
+
+import zlib
+
+import pytest
+
+from conftest import run_minc
+
+
+def run_main(body, **kw):
+    return run_minc(f"int main(void) {{ {body} return 0; }}",
+                    **kw).output_text
+
+
+def test_memcpy_memmove_memcmp():
+    out = run_main(r"""
+    char a[8]; char b[8];
+    int i;
+    for (i = 0; i < 8; i++) a[i] = i + 1;
+    memcpy(b, a, 8);
+    __putint(memcmp(a, b, 8));
+    memmove(a + 2, a, 4);          // overlapping, forward
+    __putchar(32);
+    for (i = 0; i < 8; i++) __putint(a[i]);
+""")
+    assert out == "0 12123478"
+
+
+def test_memset_and_strings():
+    out = run_main(r"""
+    char buf[16];
+    memset(buf, 7, 8);
+    __putint(buf[0] + buf[7]);
+    strcpy(buf, "abc");
+    __putchar(32);
+    __putint(strcmp(buf, "abc"));
+    __putint(strcmp(buf, "abd") < 0);
+    __putint(strlen(buf));
+""")
+    assert out == "14 013"
+
+
+def test_int_helpers():
+    out = run_main(r"""
+    __putint(abs_i(-9)); __putchar(32);
+    __putint(min_i(3, -2)); __putchar(32);
+    __putint(max_i(3, -2)); __putchar(32);
+    __putint(clamp_i(50, 0, 10)); __putchar(32);
+    __putint(isqrt(169)); __putchar(32);
+    __putint(isqrt(170));
+""")
+    assert out == "9 -2 3 10 13 13"
+
+
+def test_rand_deterministic_and_bounded():
+    out1 = run_main(r"""
+    int i;
+    srand(5);
+    for (i = 0; i < 4; i++) { __putint(rand_range(10)); }
+""")
+    out2 = run_main(r"""
+    int i;
+    srand(5);
+    for (i = 0; i < 4; i++) { __putint(rand_range(10)); }
+""")
+    assert out1 == out2
+    assert all(c.isdigit() for c in out1)
+
+
+def test_sort_and_bsearch():
+    out = run_main(r"""
+    int v[7] = { 5, -1, 9, 0, 5, 2, 8 };
+    int i;
+    sort_ints(v, 7);
+    for (i = 0; i < 7; i++) { __putint(v[i]); __putchar(32); }
+    __putint(bsearch_int(v, 7, 8));
+    __putint(bsearch_int(v, 7, 7));
+""")
+    assert out == "-1 0 2 5 5 8 9 5-1"
+
+
+def test_sin_table_symmetry():
+    out = run_main(r"""
+    __putint(sin_q15(0)); __putchar(32);
+    __putint(sin_q15(64)); __putchar(32);
+    __putint(sin_q15(128)); __putchar(32);
+    __putint(sin_q15(192) + sin_q15(64)); __putchar(32);
+    __putint(cos_q15(0));
+""")
+    first = out.split()
+    assert first[0] == "0"
+    assert int(first[1]) > 32000       # ~1.0 in Q15
+    assert first[2] == "0"             # sin(pi)
+    assert first[3] == "0"             # odd symmetry
+    assert int(first[4]) > 32000
+
+
+def test_crc32_matches_zlib():
+    out = run_main(r"""
+    char data[8] = "SOFTCACH";
+    __putint(crc32(data, 8));
+""")
+    assert int(out) & 0xFFFFFFFF == zlib.crc32(b"SOFTCACH")
+
+
+def test_adler32_matches_zlib():
+    out = run_main(r"""
+    char data[6] = "adler!";
+    __putint(adler32(data, 6));
+""")
+    assert int(out) & 0xFFFFFFFF == zlib.adler32(b"adler!")
+
+
+def test_base64_encode():
+    import base64
+    out = run_main(r"""
+    char data[5] = "hello";
+    char enc[12];
+    base64_encode(data, 5, enc);
+    __puts(enc);
+""")
+    assert out == base64.b64encode(b"hello").decode()
+
+
+def test_fixed_point_math():
+    out = run_main(r"""
+    __putint(fx_mul(3 << 16, 2 << 16) >> 16); __putchar(32);
+    __putint(fx_div(10 << 16, 4 << 16));      __putchar(32);
+    __putint(fx_log2(8 << 16) >> 16);         __putchar(32);
+    __putint(gcd(84, 36));                    __putchar(32);
+    __putint(ipow(2, 10));
+""")
+    parts = out.split()
+    assert parts[0] == "6"
+    assert int(parts[1]) == int(2.5 * 65536)
+    assert parts[2] == "3"
+    assert parts[3] == "12"
+    assert parts[4] == "1024"
+
+
+def test_itoa_atoi_roundtrip():
+    out = run_main(r"""
+    char buf[12];
+    itoa10(-2147483647, buf);
+    __puts(buf); __putchar(32);
+    __putint(atoi10(buf) == -2147483647);
+""")
+    assert out == "-2147483647 1"
+
+
+def test_calendar():
+    out = run_main(r"""
+    __putint(is_leap_year(2000)); __putint(is_leap_year(1900));
+    __putint(is_leap_year(2004)); __putchar(32);
+    __putint(day_of_year(2001, 12, 31)); __putchar(32);
+    __putint(day_of_year(2004, 12, 31));
+""")
+    assert out == "101 365 366"
+
+
+def test_libextra_self_test_passes():
+    """The library's own built-in self test runs green on the sim."""
+    out = run_minc("""
+int main(void) {
+    __putint(self_test());
+    return 0;
+}
+""").output_text
+    assert out == "0"
+
+
+def test_report_error_and_assert():
+    machine = run_minc("""
+int main(void) {
+    report_error("io", 7);
+    assert_true(1 == 1, "fine");
+    assert_true(0, "boom");
+    return 0;
+}
+""")
+    assert "ERROR[io]: code 7" in machine.output_text
+    assert "assertion failed: boom" in machine.output_text
+    assert machine.cpu.exit_code == 71

@@ -1,0 +1,272 @@
+"""CPU semantics: one test per instruction class, plus control flow,
+traps and accounting."""
+
+import pytest
+
+from repro.sim import BreakHit, CycleLimitExceeded, FetchFault
+from repro.sim.errors import SimError
+
+from conftest import run_asm
+
+
+def run_expr(body: str, max_instructions: int = 100_000) -> int:
+    """Run asm that leaves its result in a0; return the printed value."""
+    machine = run_asm(f"""
+    .global main
+main:
+{body}
+    syscall putint
+    li a0, 0
+    ret
+""", max_instructions)
+    return int(machine.output_text)
+
+
+def test_add_sub():
+    assert run_expr("li a0, 40\nli t0, 2\nadd a0, a0, t0") == 42
+    assert run_expr("li a0, 40\nli t0, 100\nsub a0, a0, t0") == -60
+
+
+def test_add_wraps_32bit():
+    assert run_expr("li a0, 0x7FFFFFFF\naddi a0, a0, 1") == -2147483648
+
+
+def test_logic_ops():
+    assert run_expr("li a0, 0xF0\nli t0, 0x3C\nand a0, a0, t0") == 0x30
+    assert run_expr("li a0, 0xF0\nli t0, 0x0F\nor a0, a0, t0") == 0xFF
+    assert run_expr("li a0, 0xFF\nli t0, 0x0F\nxor a0, a0, t0") == 0xF0
+    assert run_expr("li a0, 0\nli t0, 0\nnor a0, a0, t0") == -1
+
+
+def test_slt_signed_unsigned():
+    assert run_expr("li a0, -1\nli t0, 1\nslt a0, a0, t0") == 1
+    assert run_expr("li a0, -1\nli t0, 1\nsltu a0, a0, t0") == 0
+    assert run_expr("li a0, 5\nslti a0, a0, 6") == 1
+    assert run_expr("li a0, 5\nsltiu a0, a0, 5") == 0
+
+
+def test_shifts():
+    assert run_expr("li a0, 1\nslli a0, a0, 31") == -2147483648
+    assert run_expr("li a0, -8\nsrai a0, a0, 2") == -2
+    assert run_expr("li a0, -8\nsrli a0, a0, 2") == 0x3FFFFFFE
+    assert run_expr("li a0, 3\nli t0, 4\nsll a0, a0, t0") == 48
+    # shift amounts use the low 5 bits
+    assert run_expr("li a0, 1\nli t0, 33\nsll a0, a0, t0") == 2
+
+
+def test_mul_div_rem():
+    assert run_expr("li a0, -7\nli t0, 6\nmul a0, a0, t0") == -42
+    assert run_expr("li a0, -7\nli t0, 2\ndiv a0, a0, t0") == -3
+    assert run_expr("li a0, -7\nli t0, 2\nrem a0, a0, t0") == -1
+    assert run_expr("li a0, 7\nli t0, -2\ndiv a0, a0, t0") == -3
+
+
+def test_div_by_zero_conventions():
+    assert run_expr("li a0, 5\nli t0, 0\ndiv a0, a0, t0") == -1
+    assert run_expr("li a0, 5\nli t0, 0\nrem a0, a0, t0") == 5
+
+
+def test_lui_ori():
+    assert run_expr("lui a0, 0x1234\nori a0, a0, 0x5678") == 0x12345678
+
+
+def test_writes_to_zero_discarded():
+    assert run_expr("li a0, 3\nadd zero, a0, a0\nadd a0, zero, zero") == 0
+
+
+def test_loads_stores_word():
+    assert run_expr("""
+    la t0, buf
+    li t1, 0x11223344
+    sw t1, 0(t0)
+    lw a0, 0(t0)
+    .data
+buf: .word 0
+    .text
+""") == 0x11223344
+
+
+def test_byte_halfword_sign_extension():
+    assert run_expr("""
+    la t0, buf
+    li t1, 0xFF
+    sb t1, 0(t0)
+    lb a0, 0(t0)
+    .data
+buf: .word 0
+    .text
+""") == -1
+    assert run_expr("""
+    la t0, buf
+    li t1, 0x8000
+    sh t1, 0(t0)
+    lh a0, 0(t0)
+    .data
+buf: .word 0
+    .text
+""") == -32768
+    assert run_expr("""
+    la t0, buf
+    li t1, 0x8000
+    sh t1, 0(t0)
+    lhu a0, 0(t0)
+    .data
+buf: .word 0
+    .text
+""") == 0x8000
+
+
+def test_branches_taken_and_not():
+    assert run_expr("""
+    li a0, 0
+    li t0, 5
+    li t1, 5
+    bne t0, t1, bad
+    addi a0, a0, 1
+    beq t0, t1, good
+bad:
+    li a0, 99
+    j end
+good:
+    addi a0, a0, 1
+end:
+""") == 2
+
+
+def test_branch_signedness():
+    assert run_expr("""
+    li a0, 1
+    li t0, -1
+    li t1, 1
+    blt t0, t1, ok      ; signed: -1 < 1
+    li a0, 0
+ok:
+    bltu t0, t1, bad    ; unsigned: 0xffffffff > 1
+    j end
+bad:
+    li a0, 0
+end:
+""") == 1
+
+
+def test_jal_jalr_ret():
+    assert run_expr("""
+    mv s0, ra
+    jal f
+    j end
+f:
+    li a0, 77
+    ret
+end:
+    mv ra, s0
+""") == 77
+    assert run_expr("""
+    mv s0, ra
+    la t0, f
+    jalr ra, t0
+    j end
+f:
+    li a0, 88
+    ret
+end:
+    mv ra, s0
+""") == 88
+
+
+def test_jr_through_table():
+    assert run_expr("""
+    la t0, table
+    lw t0, 4(t0)
+    jr t0
+a0case:
+    li a0, 10
+    j end
+a1case:
+    li a0, 20
+    j end
+end:
+    nop
+    j out
+    .data
+table: .word a0case, a1case
+    .text
+out:
+""") == 20
+
+
+def test_break_raises():
+    with pytest.raises(BreakHit):
+        run_asm(".global main\nmain: break 3\nret")
+
+
+def test_halt_instruction():
+    machine = run_asm(".global main\nmain: halt\nret")
+    assert machine.cpu.exit_code == 0
+
+
+def test_fetch_fault_on_data():
+    with pytest.raises(FetchFault):
+        run_asm("""
+    .global main
+main:
+    la t0, blob
+    jr t0
+    .data
+blob: .word 0
+""")
+
+
+def test_cycle_limit():
+    with pytest.raises(CycleLimitExceeded):
+        run_asm(".global main\nmain: j main", max_instructions=10_000)
+
+
+def test_unknown_trap_without_handler():
+    with pytest.raises(SimError):
+        run_asm(".global main\nmain: trap miss_branch, 0\nret")
+
+
+def test_icount_and_cycles():
+    machine = run_asm("""
+    .global main
+main:
+    li a0, 0
+    ret
+""")
+    # crt0: li(1) + add + jal, main: li + ret, crt0: syscall = 6
+    assert machine.cpu.icount == 6
+    assert machine.cpu.cycles >= machine.cpu.icount
+
+
+def test_cycles_reflect_op_costs():
+    m1 = run_asm(".global main\nmain: li a0, 0\nret")
+    m2 = run_asm(".global main\nmain: li t0, 1\nli t1, 1\ndiv t2, t0, t1\nli a0, 0\nret")
+    # div costs 12 cycles vs 1 for the extra li instructions
+    base = m1.cpu.cycles
+    assert m2.cpu.cycles == base + 1 + 1 + 12
+
+
+def test_rewriting_invalidates_decode_cache():
+    """Writing a new instruction word over executed code takes effect."""
+    machine = run_asm("""
+    .global main
+main:
+    mv s1, ra
+    jal target                ; execute target once (decodes it)
+    la  t0, target
+    la  t1, newcode
+    lw  t2, 0(t1)
+    sw  t2, 0(t0)             ; overwrite 'li a0, 1' with 'li a0, 42'
+    syscall invalidate
+    jal target
+    syscall putint
+    li a0, 0
+    mv ra, s1
+    ret
+target:
+    li a0, 1
+    ret
+newcode:
+    li a0, 42
+""")
+    assert machine.output_text == "42"

@@ -1,0 +1,167 @@
+"""Property-based equivalence: for ANY program, architectural results
+under the SoftCache equal native execution.
+
+A hypothesis strategy generates random-but-terminating MinC programs
+(nested control flow, calls, recursion, globals, arrays), runs them
+natively and under SoftCache configurations spanning both prototypes
+and both eviction policies with deliberately thrash-inducing tcache
+sizes, and requires identical output and exit codes.  With
+``debug_poison`` on, any dangling tcache pointer executes a BREAK and
+fails loudly rather than silently.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.lang import compile_program
+from repro.sim import run_native
+from repro.softcache import SoftCacheConfig, SoftCacheSystem
+
+# -- random program generator ------------------------------------------------
+
+_BINOPS = ["+", "-", "*", "/", "%", "&", "|", "^"]
+_CMPS = ["<", "<=", ">", ">=", "==", "!="]
+
+
+@st.composite
+def exprs(draw, depth=0, vars_=("a", "b", "g0")):
+    kind = draw(st.integers(0, 5 if depth < 3 else 1))
+    if kind == 0:
+        value = draw(st.integers(-50, 50))
+        return f"({value})" if value < 0 else str(value)
+    if kind == 1:
+        return draw(st.sampled_from(vars_))
+    if kind == 2:
+        op = draw(st.sampled_from(_BINOPS))
+        left = draw(exprs(depth=depth + 1, vars_=vars_))
+        right = draw(exprs(depth=depth + 1, vars_=vars_))
+        if op in ("/", "%"):
+            # avoid div-by-zero while keeping both operands interesting
+            return f"({left} {op} (({right} & 7) + 1))"
+        return f"({left} {op} {right})"
+    if kind == 3:
+        op = draw(st.sampled_from(_CMPS))
+        left = draw(exprs(depth=depth + 1, vars_=vars_))
+        right = draw(exprs(depth=depth + 1, vars_=vars_))
+        return f"({left} {op} {right})"
+    if kind == 4:
+        inner = draw(exprs(depth=depth + 1, vars_=vars_))
+        return f"(-{inner})"
+    inner = draw(exprs(depth=depth + 1, vars_=vars_))
+    return f"(helper({inner}) )"
+
+
+@st.composite
+def stmts(draw, depth=0):
+    kind = draw(st.integers(0, 4 if depth < 2 else 1))
+    if kind == 0:
+        target = draw(st.sampled_from(["a", "b", "g0"]))
+        value = draw(exprs())
+        return f"{target} = {value};"
+    if kind == 1:
+        value = draw(exprs())
+        idx = draw(st.integers(0, 7))
+        return f"arr[{idx}] = {value}; b = b + arr[{idx} ];"
+    if kind == 2:
+        cond = draw(exprs())
+        then = draw(stmts(depth=depth + 1))
+        other = draw(stmts(depth=depth + 1))
+        return f"if ({cond}) {{ {then} }} else {{ {other} }}"
+    if kind == 3:
+        body = draw(stmts(depth=depth + 1))
+        bound = draw(st.integers(1, 6))
+        # one counter per nesting depth: sharing would not terminate
+        return (f"for (k{depth} = 0; k{depth} < {bound}; k{depth}++) "
+                f"{{ {body} a = a + 1; }}")
+    body = draw(stmts(depth=depth + 1))
+    return f"{{ {body} {draw(stmts(depth=depth + 1))} }}"
+
+
+@st.composite
+def programs(draw):
+    body = " ".join(draw(st.lists(stmts(), min_size=1, max_size=5)))
+    rec_base = draw(st.integers(1, 8))
+    return f"""
+int arr[8];
+int g0 = {draw(st.integers(-9, 9))};
+
+int helper(int x) {{
+    return (x & 15) * 3 - 7;
+}}
+
+int rec(int n) {{
+    if (n <= 0) return 1;
+    return rec(n - 1) + (n & 3);
+}}
+
+int main(void) {{
+    int a = 0;
+    int b = 1;
+    int k0 = 0; int k1 = 0; int k2 = 0;
+    {body}
+    a = a + rec({rec_base});
+    __putint(a);
+    __putchar(44);
+    __putint(b);
+    __putchar(44);
+    __putint(g0);
+    __putchar(10);
+    return 0;
+}}
+"""
+
+
+def _configs(image):
+    """Config matrix: a roomy cache plus thrash-sized ones that still
+    admit the largest single chunk of this particular program."""
+    from repro.cfg import build_cfg
+    biggest_block = max(b.size for b in build_cfg(image).blocks.values())
+    thrash = max(512, 2 * biggest_block + 64)
+    return [
+        SoftCacheConfig(tcache_size=48 * 1024, granularity="block",
+                        debug_poison=True),
+        SoftCacheConfig(tcache_size=thrash, granularity="block",
+                        policy="fifo", debug_poison=True),
+        SoftCacheConfig(tcache_size=thrash, granularity="block",
+                        policy="flush", debug_poison=True),
+        SoftCacheConfig(tcache_size=2 * thrash, granularity="ebb",
+                        policy="fifo", debug_poison=True),
+        SoftCacheConfig(tcache_size=2 * thrash, granularity="ebb",
+                        policy="flush", debug_poison=True),
+    ]
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+@given(programs())
+def test_random_programs_equivalent(source):
+    image = compile_program(source, "prop")
+    native = run_native(image, max_instructions=2_000_000)
+    expected = native.output_text
+    for config in _configs(image):
+        system = SoftCacheSystem(image, config)
+        system.cc.start()
+        system.machine.cpu.run(5_000_000)
+        assert system.machine.output_text == expected, (
+            f"divergence under {config.granularity}/{config.policy}/"
+            f"{config.tcache_size}:\n{source}")
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+@given(programs())
+def test_random_programs_proc_mode(source):
+    image = compile_program(source, "prop_arm", indirect_ok=False)
+    native = run_native(image, max_instructions=2_000_000)
+    expected = native.output_text
+    min_size = max(p.size for p in image.procs) + 128
+    for size, policy in ((65536, "fifo"), (min_size, "fifo"),
+                         (min_size, "flush")):
+        config = SoftCacheConfig(tcache_size=size, granularity="proc",
+                                 policy=policy, debug_poison=True)
+        system = SoftCacheSystem(image, config)
+        system.cc.start()
+        system.machine.cpu.run(5_000_000)
+        assert system.machine.output_text == expected, (
+            f"divergence under proc/{policy}/{size}:\n{source}")

@@ -1,0 +1,183 @@
+"""The ARM-style procedure-granularity controller with redirectors."""
+
+import pytest
+
+from repro.lang import CompileError, compile_program
+from repro.softcache import (
+    ChunkError,
+    SoftCacheConfig,
+    run_softcache,
+)
+
+from conftest import assert_equivalent
+
+CALLS_SRC = r"""
+int leaf(int x) { return x * x; }
+
+int middle(int x) {
+    return leaf(x) + leaf(x + 1);
+}
+
+int main(void) {
+    int i;
+    int acc = 0;
+    for (i = 0; i < 30; i++) acc += middle(i);
+    __putint(acc);
+    return 0;
+}
+"""
+
+
+def build_arm(src, name="arm"):
+    return compile_program(src, name, indirect_ok=False)
+
+
+@pytest.fixture(scope="module")
+def calls_image():
+    return build_arm(CALLS_SRC)
+
+
+def test_equivalence_large_cache(calls_image):
+    config = SoftCacheConfig(granularity="proc", tcache_size=32768,
+                             debug_poison=True)
+    assert_equivalent(calls_image, config)
+
+
+@pytest.mark.parametrize("policy", ["fifo", "flush"])
+@pytest.mark.parametrize("size", [384, 512, 1024])
+def test_equivalence_thrashing(calls_image, policy, size):
+    config = SoftCacheConfig(granularity="proc", tcache_size=size,
+                             policy=policy, debug_poison=True)
+    assert_equivalent(calls_image, config)
+
+
+def test_redirectors_are_permanent(calls_image):
+    config = SoftCacheConfig(granularity="proc", tcache_size=256,
+                             policy="fifo", debug_poison=True)
+    _, report, system = assert_equivalent(calls_image, config)
+    cc = system.cc
+    # redirectors were allocated once per call site and survived
+    # every eviction
+    assert system.stats.evictions > 0
+    assert len(cc.redirectors) > 0
+    usage = system.local_memory_in_use
+    assert usage["redirector_bytes"] == 8 * len(cc.redirectors)
+
+
+def test_no_stack_walking_in_proc_mode(calls_image):
+    """The whole point of redirectors: eviction never walks the stack."""
+    config = SoftCacheConfig(granularity="proc", tcache_size=256,
+                             policy="fifo", debug_poison=True)
+    _, report, system = assert_equivalent(calls_image, config)
+    assert system.stats.evictions > 0
+    assert system.stats.stack_slots_fixed == 0
+
+
+def test_call_and_landing_trap_counts(calls_image):
+    config = SoftCacheConfig(granularity="proc", tcache_size=32768)
+    report, system = run_softcache(calls_image, config)
+    stats = system.stats
+    # each procedure entered at least once through a MISS_CALL trap
+    assert stats.call_miss_traps >= 3
+    # with no eviction, landings stay patched after installation
+    assert stats.evictions == 0
+
+
+def test_proc_mode_counts_chunks_not_blocks(calls_image):
+    block_cfg = SoftCacheConfig(granularity="block", tcache_size=65536)
+    proc_cfg = SoftCacheConfig(granularity="proc", tcache_size=65536)
+    _, sys_block = run_softcache(calls_image, block_cfg)
+    _, sys_proc = run_softcache(calls_image, proc_cfg)
+    # fewer, bigger chunks
+    assert sys_proc.stats.translations < sys_block.stats.translations
+    assert (sys_proc.stats.words_installed * 4 / sys_proc.stats.translations
+            > sys_block.stats.words_installed * 4
+            / sys_block.stats.translations)
+
+
+def test_indirect_code_rejected_at_compile_time():
+    src = r"""
+int f(int x) { return x; }
+int main(void) {
+    int p = &f;
+    return p(1);
+}
+"""
+    with pytest.raises(CompileError):
+        build_arm(src)
+
+
+def test_indirect_binary_rejected_by_chunker():
+    """A binary with jr (compiled without the ARM profile) is refused
+    by the procedure chunker, matching §2.3's limitation."""
+    src = r"""
+int dispatch(int i) {
+    switch (i) {
+    case 0: return 1;
+    case 1: return 2;
+    case 2: return 3;
+    case 3: return 4;
+    case 4: return 5;
+    case 5: return 6;
+    default: return 0;
+    }
+}
+int main(void) {
+    int i;
+    int acc = 0;
+    for (i = 0; i < 12; i++) acc += dispatch(i % 7);
+    __putint(acc);
+    return 0;
+}
+"""
+    image = compile_program(src, "tabby", indirect_ok=True)
+    config = SoftCacheConfig(granularity="proc", tcache_size=32768)
+    with pytest.raises(ChunkError, match="indirect"):
+        run_softcache(image, config)
+
+
+def test_arm_profile_switch_still_works(calls_image):
+    """Same switch compiled with indirect_ok=False becomes an if-chain
+    and runs fine under the proc controller."""
+    src = r"""
+int dispatch(int i) {
+    switch (i) {
+    case 0: return 1;
+    case 1: return 2;
+    case 2: return 3;
+    case 3: return 4;
+    case 4: return 5;
+    case 5: return 6;
+    default: return 0;
+    }
+}
+int main(void) {
+    int i;
+    int acc = 0;
+    for (i = 0; i < 12; i++) acc += dispatch(i % 7);
+    __putint(acc);
+    return 0;
+}
+"""
+    image = build_arm(src, "tabby_arm")
+    config = SoftCacheConfig(granularity="proc", tcache_size=32768,
+                             debug_poison=True)
+    assert_equivalent(image, config)
+
+
+def test_recursion_under_proc_mode():
+    src = r"""
+int fib(int n) {
+    if (n < 2) return 1;
+    return fib(n - 1) + fib(n - 2);
+}
+int main(void) {
+    __putint(fib(12));
+    return 0;
+}
+"""
+    image = build_arm(src, "fib_arm")
+    for size in (640, 2048):
+        config = SoftCacheConfig(granularity="proc", tcache_size=size,
+                                 policy="fifo", debug_poison=True)
+        assert_equivalent(image, config)

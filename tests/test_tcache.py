@@ -1,0 +1,160 @@
+"""TCache allocator: circular FIFO, stub area, invariants under
+randomized allocate/evict sequences (this is where the silent-overlap
+bug class lives, so it gets a hypothesis state machine)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.softcache import TCacheFull, TCacheGeometry
+from repro.softcache.records import TBlock
+from repro.softcache.tcache import TCache
+
+BASE = 0x10000
+
+
+def make(size=256, stub=64, redirector=0):
+    return TCache(TCacheGeometry(base=BASE, size=size,
+                                 stub_capacity=stub,
+                                 redirector_capacity=redirector))
+
+
+def alloc(tc, orig, nbytes):
+    while tc.needs_eviction(nbytes):
+        tc.retire_oldest()
+    addr = tc.place(nbytes)
+    block = TBlock(orig=orig, addr=addr, size=nbytes, orig_size=nbytes,
+                   extra_words=0)
+    tc.commit(block)
+    tc.assert_invariants()
+    return block
+
+
+def test_simple_allocation_sequence():
+    tc = make()
+    b1 = alloc(tc, 1, 64)
+    b2 = alloc(tc, 2, 64)
+    assert b1.addr == BASE
+    assert b2.addr == BASE + 64
+    assert tc.lookup(1) is b1
+    assert tc.used_bytes == 128
+
+
+def test_block_too_big():
+    tc = make(size=128)
+    with pytest.raises(TCacheFull):
+        tc.needs_eviction(256)
+
+
+def test_fifo_eviction_order():
+    tc = make(size=128)
+    alloc(tc, 1, 64)
+    alloc(tc, 2, 64)
+    b3 = alloc(tc, 3, 64)  # evicts block 1
+    assert tc.lookup(1) is None
+    assert tc.lookup(2) is not None
+    assert b3.addr == BASE  # wrapped into freed space
+
+
+def test_wrap_full_state_not_confused_with_empty():
+    """Regression: tail == head after a wrap means FULL, not empty."""
+    tc = make(size=96)
+    alloc(tc, 1, 40)  # [0, 40)
+    alloc(tc, 2, 40)  # [40, 80)
+    alloc(tc, 3, 40)  # evicts 1, wraps to [0, 40); tail == head == 40
+    assert tc.needs_eviction(40)
+    b4 = alloc(tc, 4, 40)  # must evict 2
+    assert tc.lookup(2) is None
+    tc.assert_invariants()
+    assert b4.addr == BASE + 40
+
+
+def test_retire_all():
+    tc = make()
+    blocks = [alloc(tc, i, 32) for i in range(5)]
+    flushed = tc.retire_all()
+    assert len(flushed) == 5
+    assert all(not b.alive for b in blocks)
+    assert tc.resident_blocks == 0
+    assert tc.used_bytes == 0
+    # allocation restarts at the base
+    assert alloc(tc, 99, 32).addr == BASE
+
+
+def test_stub_alloc_free():
+    tc = make(stub=16)  # 4 stubs
+    stubs = [tc.alloc_stub() for _ in range(4)]
+    assert all(s is not None for s in stubs)
+    assert tc.alloc_stub() is None
+    assert tc.stub_bytes_in_use == 16
+    tc.free_stub(stubs[0])
+    assert tc.alloc_stub() == stubs[0]
+    tc.reset_stubs()
+    assert tc.stub_bytes_in_use == 0
+
+
+def test_stub_area_is_disjoint_from_blocks():
+    tc = make(size=128, stub=32)
+    stub = tc.alloc_stub()
+    assert stub >= BASE + 128
+    block = alloc(tc, 1, 128)
+    assert block.addr + block.size <= stub
+
+
+def test_redirector_allocation():
+    tc = make(redirector=24)  # 3 redirectors
+    r1 = tc.alloc_redirector()
+    r2 = tc.alloc_redirector()
+    r3 = tc.alloc_redirector()
+    assert tc.alloc_redirector() is None
+    assert r2 == r1 + 8 and r3 == r2 + 8
+    assert tc.redirector_bytes_in_use == 24
+    assert r1 == tc.geom.redirector_base
+
+
+def test_map_bytes_accounting():
+    tc = make()
+    alloc(tc, 1, 32)
+    alloc(tc, 2, 32)
+    assert tc.map_bytes == 16
+    assert tc.map_bytes_peak >= 16
+
+
+def test_block_containing():
+    tc = make()
+    b = alloc(tc, 1, 64)
+    assert tc.block_containing(b.addr + 60) is b
+    assert tc.block_containing(b.addr + 64) is None
+
+
+def test_in_tcache_range():
+    tc = make(size=128, stub=32, redirector=16)
+    assert tc.in_tcache_range(BASE)
+    assert tc.in_tcache_range(BASE + 128 + 32 + 15)
+    assert not tc.in_tcache_range(BASE + 128 + 32 + 16)
+    assert not tc.in_tcache_range(BASE - 4)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 2),
+                          st.integers(1, 20)), min_size=1, max_size=60))
+def test_hypothesis_alloc_evict_never_overlaps(ops):
+    """Random alloc/evict/flush sequences keep blocks disjoint and
+    FIFO order consistent."""
+    tc = make(size=20 * 8)
+    orig = 0
+    for action, arg in ops:
+        if action == 0:       # allocate arg*8 bytes
+            nbytes = arg * 8
+            if nbytes > tc.geom.size:
+                continue
+            orig += 1
+            alloc(tc, orig, nbytes)
+        elif action == 1:     # evict oldest if any
+            if tc.order:
+                tc.retire_oldest()
+                tc.assert_invariants()
+        else:                 # flush
+            tc.retire_all()
+            tc.assert_invariants()
+    # residency map matches the order deque exactly
+    assert set(tc.map.values()) == set(tc.order)

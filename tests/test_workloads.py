@@ -1,0 +1,115 @@
+"""Workload programs: determinism, correctness properties, and
+SoftCache equivalence at small scale."""
+
+import pytest
+
+from repro.sim import run_native
+from repro.softcache import SoftCacheConfig, run_softcache
+from repro.workloads import (
+    ARM_BENCHMARKS,
+    SPARC_BENCHMARKS,
+    WORKLOADS,
+    build_workload,
+    workload_source,
+)
+
+SMALL = 0.05
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_workload_builds_and_runs(name):
+    image = build_workload(name, SMALL)
+    machine = run_native(image, max_instructions=50_000_000)
+    assert machine.cpu.exit_code == 0, machine.output_text
+    assert machine.output_text  # produced some report
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_workload_deterministic(name):
+    image = build_workload(name, SMALL)
+    out1 = run_native(image, max_instructions=50_000_000).output_text
+    out2 = run_native(image, max_instructions=50_000_000).output_text
+    assert out1 == out2
+
+
+@pytest.mark.parametrize("name", sorted(ARM_BENCHMARKS))
+def test_arm_profile_builds(name):
+    image = build_workload(name, SMALL, arm_profile=True)
+    machine = run_native(image, max_instructions=50_000_000)
+    assert machine.cpu.exit_code == 0
+
+
+def test_compress_roundtrip_is_checked_in_guest():
+    """compress95 verifies expansion output itself: bad=0."""
+    image = build_workload("compress95", SMALL)
+    machine = run_native(image, max_instructions=50_000_000)
+    assert "bad=0" in machine.output_text
+    # and it actually compresses
+    lines = dict(line.split("=") for line in
+                 machine.output_text.strip().splitlines())
+    assert int(lines["out"]) < int(lines["in"])
+
+
+def test_adpcm_roundtrip_error_bounded():
+    image = build_workload("adpcm_dec", SMALL)
+    machine = run_native(image, max_instructions=50_000_000)
+    lines = dict(line.split("=") for line in
+                 machine.output_text.strip().splitlines())
+    # 4-bit ADPCM tracks a 16-bit signal within a coarse bound
+    assert int(lines["avgerr"]) < 2048
+
+
+def test_gzip_compresses():
+    image = build_workload("gzip", SMALL)
+    machine = run_native(image, max_instructions=50_000_000)
+    lines = [line for line in machine.output_text.splitlines()
+             if line.startswith("outbytes=")]
+    assert lines
+    insize = 8192
+    assert all(int(line.split("=")[1]) < insize for line in lines)
+
+
+def test_scale_changes_work():
+    small = build_workload("adpcm_enc", 0.05)
+    big = build_workload("adpcm_enc", 0.2)
+    n_small = run_native(small, max_instructions=50_000_000).cpu.icount
+    n_big = run_native(big, max_instructions=100_000_000).cpu.icount
+    assert n_big > 2 * n_small
+
+
+def test_workload_source_overrides():
+    src = workload_source("adpcm_enc", nblocks=3, seed=7)
+    assert "3" in src and "__rand" not in src  # raw unit, no runtime
+
+
+def test_build_cache_returns_same_image():
+    a = build_workload("sensor", 0.1)
+    b = build_workload("sensor", 0.1)
+    assert a is b
+    c = build_workload("sensor", 0.1, arm_profile=True)
+    assert c is not a
+
+
+@pytest.mark.parametrize("name", sorted(SPARC_BENCHMARKS))
+def test_workloads_under_softcache(name):
+    image = build_workload(name, SMALL)
+    native = run_native(image, max_instructions=50_000_000)
+    report, system = run_softcache(
+        image, SoftCacheConfig(tcache_size=2048, debug_poison=True),
+        max_instructions=200_000_000)
+    assert report.output == native.output_text
+    assert system.stats.translations > 0
+
+
+@pytest.mark.parametrize("name", sorted(ARM_BENCHMARKS))
+def test_arm_workloads_under_proc_softcache(name):
+    image = build_workload(name, SMALL, arm_profile=True)
+    native = run_native(image, max_instructions=50_000_000)
+    biggest = max(p.size for p in image.procs)
+    report, system = run_softcache(
+        image, SoftCacheConfig(tcache_size=biggest + 512,
+                               granularity="proc",
+                               debug_poison=True),
+        max_instructions=400_000_000)
+    assert report.output == native.output_text
+    assert system.stats.evictions > 0  # deliberately tight memory
