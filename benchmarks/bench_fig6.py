@@ -1,13 +1,17 @@
 """Figure 6: hardware I-cache miss rate versus cache size."""
 
+import os
+
 from conftest import BENCH_SCALE, save_result
 
 from repro.eval import fig6, render_fig6
 
 
 def test_fig6(benchmark):
-    curves = benchmark.pedantic(fig6, kwargs={"scale": BENCH_SCALE},
-                                rounds=1, iterations=1)
+    curves = benchmark.pedantic(
+        fig6, kwargs={"scale": BENCH_SCALE,
+                      "processes": os.cpu_count()},
+        rounds=1, iterations=1)
     save_result("fig6", render_fig6(curves))
     for curve in curves:
         rates = [r.miss_rate for r in curve.results]

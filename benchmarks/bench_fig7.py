@@ -1,14 +1,18 @@
 """Figure 7: software tcache miss rate versus tcache size, and the
 cross-figure claim that SW and HW working-set knees are similar."""
 
+import os
+
 from conftest import BENCH_SCALE, save_result
 
 from repro.eval import fig6, fig7, render_fig7
 
 
 def test_fig7(benchmark):
-    curves = benchmark.pedantic(fig7, kwargs={"scale": BENCH_SCALE},
-                                rounds=1, iterations=1)
+    curves = benchmark.pedantic(
+        fig7, kwargs={"scale": BENCH_SCALE,
+                      "processes": os.cpu_count()},
+        rounds=1, iterations=1)
     save_result("fig7", render_fig7(curves))
     for curve in curves:
         rates = [r.miss_rate for r in curve.results]
@@ -21,10 +25,11 @@ def test_knees_similar_to_hardware(benchmark):
     """§2.2: "the cache size required to capture the working set
     appears similar for the software cache as for a hardware cache"."""
     def both():
+        procs = os.cpu_count()
         return ({c.workload: c.knee_bytes()
-                 for c in fig7(scale=BENCH_SCALE)},
+                 for c in fig7(scale=BENCH_SCALE, processes=procs)},
                 {c.workload: c.knee_bytes
-                 for c in fig6(scale=BENCH_SCALE)})
+                 for c in fig6(scale=BENCH_SCALE, processes=procs)})
 
     sw, hw = benchmark.pedantic(both, rounds=1, iterations=1)
     save_result("fig6_fig7_knees",

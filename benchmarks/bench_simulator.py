@@ -29,7 +29,10 @@ def test_interpreter_throughput(benchmark, image):
     icount = benchmark(run)
     rate = icount / benchmark.stats["mean"]
     print(f"\ninterpreter: {rate / 1e6:.2f} M simulated instr/s")
-    assert rate > 200_000  # regression floor
+    # Regression floor: 2x the measured mean of the per-instruction
+    # interpreter this replaced (~1.46 M instr/s); the superblock
+    # interpreter runs ~4.2 M instr/s on the reference container.
+    assert rate > 3_000_000
 
 
 def test_traced_run_overhead(benchmark, image):

@@ -1,0 +1,50 @@
+"""Superblock vs per-instruction dispatch.
+
+Same simulated program, same architectural results — the only thing
+measured here is host-side interpreter speed and what the fuser did:
+how much of the dynamic instruction stream runs inside fused blocks.
+"""
+
+import pytest
+from conftest import save_result
+
+from repro.sim import Machine, MachineConfig
+from repro.workloads import build_workload
+
+#: sensor (the throughput reference) plus a loop-heavy DSP kernel.
+WORKLOADS = {"sensor": 0.05, "adpcm_enc": 0.05}
+
+
+@pytest.mark.parametrize("superblocks", [False, True],
+                         ids=["per_insn", "superblock"])
+@pytest.mark.parametrize("name", list(WORKLOADS))
+def test_dispatch_throughput(benchmark, name, superblocks):
+    image = build_workload(name, WORKLOADS[name])
+
+    def run():
+        machine = Machine(image, MachineConfig(superblocks=superblocks))
+        machine.run()
+        return machine
+
+    machine = benchmark(run)
+    rate = machine.cpu.icount / benchmark.stats["mean"]
+    mode = "superblock" if superblocks else "per-insn"
+    print(f"\n{name} [{mode}]: {rate / 1e6:.2f} M simulated instr/s")
+
+
+def test_fusion_stats():
+    lines = []
+    for name, scale in WORKLOADS.items():
+        machine = Machine(build_workload(name, scale),
+                          MachineConfig(superblocks=True))
+        machine.run()
+        stats = machine.cpu.sb_stats
+        assert stats.fused_blocks > 0, name
+        assert stats.mean_block_length >= 2.0, name
+        lines.append(
+            f"  {name}: {stats.fused_blocks} fused blocks, "
+            f"{stats.fused_instructions} fused instructions "
+            f"(mean {stats.mean_block_length:.1f}/block), "
+            f"{stats.single_closures} single closures")
+    save_result("superblock_fusion",
+                "Superblock fusion statistics:\n" + "\n".join(lines))

@@ -1,13 +1,17 @@
 """Table 1: dynamic vs static .text sizes for the SPARC benchmarks."""
 
+import os
+
 from conftest import BENCH_SCALE, save_result
 
 from repro.eval import render_table1, table1
 
 
 def test_table1(benchmark):
-    rows = benchmark.pedantic(table1, kwargs={"scale": BENCH_SCALE},
-                              rounds=1, iterations=1)
+    rows = benchmark.pedantic(
+        table1, kwargs={"scale": BENCH_SCALE,
+                        "processes": os.cpu_count()},
+        rounds=1, iterations=1)
     save_result("table1", render_table1(rows))
     assert len(rows) == 4
     for row in rows:

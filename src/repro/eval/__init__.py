@@ -18,7 +18,13 @@ dcache_eval  §3 / Fig 10 D-cache design      render_dcache
 ========= ================================== =====================
 """
 
-from .common import TraceRun, clear_trace_cache, native_trace
+from .common import (
+    TraceRun,
+    clear_trace_cache,
+    native_trace,
+    set_trace_cache_dir,
+    trace_cache_dir,
+)
 from .dcache_eval import DCacheRow, dcache_eval, render_dcache
 from .fig5 import Fig5Bar, PAPER_FIG5, fig5, render_fig5
 from .fig6 import Fig6Curve, fig6, render_fig6
@@ -35,6 +41,7 @@ from .misc import (
     render_tagspace,
     tagspace,
 )
+from .parallel import fan_workloads, prewarm_traces
 from .render import ascii_table, fmt_bytes, series_plot
 from .report import generate_report, section_titles
 from .table1 import PAPER_TABLE1, Table1Row, render_table1, table1
@@ -50,11 +57,13 @@ __all__ = [
     "Fig8Series", "Fig9Bar", "NetCostResult", "PAPER_FIG5", "PAPER_FIG9",
     "PAPER_TABLE1", "ReplayResult", "Table1Row", "TraceRun",
     "ascii_table", "chunk_entry_sequence", "clear_trace_cache",
-    "dcache_eval", "extra_instruction_ablation", "fig5", "fig6", "fig7",
-    "fig8", "fig9", "fmt_bytes", "native_trace", "netcost",
+    "dcache_eval", "extra_instruction_ablation", "fan_workloads", "fig5",
+    "fig6", "fig7", "fig8", "fig9", "fmt_bytes", "native_trace",
+    "netcost", "prewarm_traces",
     "render_ablation", "render_dcache", "render_fig5", "render_fig6",
     "render_fig7", "render_fig8", "render_fig9", "render_netcost",
     "render_table1", "render_tagspace", "replay_tcache",
     "generate_report", "section_titles", "series_plot",
-    "sweep_tcache", "table1", "tagspace",
+    "set_trace_cache_dir", "sweep_tcache", "table1", "tagspace",
+    "trace_cache_dir",
 ]

@@ -2,18 +2,41 @@
 
 Native fetch traces are expensive (one interpreter pass per workload),
 so every figure that consumes them (Table 1, Figs 6, 7, 9) shares one
-trace per (workload, scale) through this module's cache.
+trace per (workload, scale) through this module's cache.  The cache
+has two layers:
+
+* an in-process memoization dict (same semantics as before), and
+* a persistent on-disk store (``.cache/traces/`` by default, override
+  with ``$REPRO_TRACE_CACHE`` or :func:`set_trace_cache_dir`) so a
+  fresh process — a new benchmark invocation, a worker in a parallel
+  sweep — replays the trace from disk instead of re-interpreting.
+
+Disk entries are keyed by a content hash of the *built workload image*
+(text, data, layout, entry), the scale, the ARM-profile flag, the cost
+model and :data:`_CACHE_VERSION`; changing any of those naturally
+invalidates the entry.  Disk I/O is best-effort: a read-only or
+corrupt cache silently falls back to a live traced run.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
+import tempfile
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
 from ..asm.image import Image
+from ..sim.costs import DEFAULT_COSTS
 from ..sim.machine import Machine
 from ..workloads import build_workload
+
+#: Bump whenever the stored format or trace semantics change: every
+#: existing on-disk entry becomes unreachable (stale keys are never
+#: read, only ever overwritten by ``clear_trace_cache(disk=True)``).
+_CACHE_VERSION = 1
 
 
 @dataclass
@@ -35,27 +58,114 @@ class TraceRun:
 
 
 _trace_cache: dict[tuple[str, float, bool], TraceRun] = {}
+_cache_dir_override: Path | None = None
+
+
+def trace_cache_dir() -> Path:
+    """Directory holding persistent trace entries."""
+    if _cache_dir_override is not None:
+        return _cache_dir_override
+    return Path(os.environ.get("REPRO_TRACE_CACHE", ".cache/traces"))
+
+
+def set_trace_cache_dir(path: "os.PathLike | str | None") -> None:
+    """Override the on-disk cache directory (``None`` restores the
+    default / ``$REPRO_TRACE_CACHE`` behaviour)."""
+    global _cache_dir_override
+    _cache_dir_override = Path(path) if path is not None else None
+
+
+def _trace_key(workload: str, scale: float, arm_profile: bool,
+               image: Image, max_instructions: int) -> str:
+    """Content hash identifying one traced run."""
+    costs = ",".join(
+        f"{op.name}:{cyc}" for op, cyc in
+        sorted(DEFAULT_COSTS.op_cycles.items(), key=lambda kv: kv[0].name))
+    h = hashlib.sha256()
+    h.update((f"v{_CACHE_VERSION}|{workload}|{scale!r}|{arm_profile}|"
+              f"{max_instructions}|{image.entry}|{image.text_base}|"
+              f"{image.data_base}|{image.bss_base}|{image.bss_size}|"
+              f"{costs}|").encode())
+    h.update(image.text)
+    h.update(b"|")
+    h.update(image.data)
+    return h.hexdigest()
+
+
+def _load_disk(path: Path, workload: str, scale: float,
+               image: Image) -> TraceRun | None:
+    try:
+        with np.load(path) as npz:
+            return TraceRun(
+                workload=workload, scale=scale, image=image,
+                trace=npz["trace"].astype(np.uint32, copy=True),
+                instructions=int(npz["instructions"]),
+                cycles=int(npz["cycles"]),
+                output=npz["output"].tobytes().decode("latin-1"),
+                exit_code=int(npz["exit_code"]))
+    except Exception:
+        return None  # corrupt / truncated entry: re-run live
+
+
+def _store_disk(path: Path, run: TraceRun) -> None:
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez_compressed(
+                    fh,
+                    trace=run.trace,
+                    instructions=np.int64(run.instructions),
+                    cycles=np.int64(run.cycles),
+                    exit_code=np.int64(run.exit_code),
+                    output=np.frombuffer(
+                        run.output.encode("latin-1"), dtype=np.uint8))
+            os.replace(tmp, path)  # atomic: readers never see partials
+        except BaseException:
+            os.unlink(tmp)
+            raise
+    except OSError:
+        pass  # best-effort (read-only checkout, full disk, ...)
 
 
 def native_trace(workload: str, scale: float = 1.0, *,
                  arm_profile: bool = False,
                  max_instructions: int = 200_000_000) -> TraceRun:
-    """Run *workload* natively with a fetch trace (memoized)."""
+    """Run *workload* natively with a fetch trace (memoized, both
+    in-process and persistently on disk)."""
     key = (workload, scale, arm_profile)
     run = _trace_cache.get(key)
     if run is not None:
         return run
     image = build_workload(workload, scale, arm_profile=arm_profile)
-    machine = Machine(image)
-    exit_code, trace = machine.run_traced(max_instructions)
-    run = TraceRun(
-        workload=workload, scale=scale, image=image,
-        trace=np.frombuffer(trace, dtype=np.uint32).copy(),
-        instructions=machine.cpu.icount, cycles=machine.cpu.cycles,
-        output=machine.output_text, exit_code=exit_code)
+    digest = _trace_key(workload, scale, arm_profile, image,
+                        max_instructions)
+    path = trace_cache_dir() / f"{digest}.npz"
+    run = _load_disk(path, workload, scale, image) if path.is_file() \
+        else None
+    if run is None:
+        machine = Machine(image)
+        exit_code, trace = machine.run_traced(max_instructions)
+        run = TraceRun(
+            workload=workload, scale=scale, image=image,
+            trace=np.frombuffer(trace, dtype=np.uint32).copy(),
+            instructions=machine.cpu.icount, cycles=machine.cpu.cycles,
+            output=machine.output_text, exit_code=exit_code)
+        _store_disk(path, run)
     _trace_cache[key] = run
     return run
 
 
-def clear_trace_cache() -> None:
+def clear_trace_cache(disk: bool = False) -> None:
+    """Drop the in-process cache; with *disk*, also delete the
+    persistent entries under :func:`trace_cache_dir`."""
     _trace_cache.clear()
+    if disk:
+        directory = trace_cache_dir()
+        if directory.is_dir():
+            for entry in directory.glob("*.npz"):
+                try:
+                    entry.unlink()
+                except OSError:
+                    pass

@@ -31,7 +31,13 @@ class Fig6Curve:
 
 def fig6(scale: float = 0.3, sizes: tuple[int, ...] = DEFAULT_SIZES,
          workloads: tuple[str, ...] = SPARC_BENCHMARKS,
-         block_size: int = 16) -> list[Fig6Curve]:
+         block_size: int = 16,
+         processes: int | None = None) -> list[Fig6Curve]:
+    if processes is not None and processes > 1 and len(workloads) > 1:
+        from .parallel import fan_workloads
+        return fan_workloads(fig6, workloads, processes=processes,
+                             scale=scale, sizes=sizes,
+                             block_size=block_size)
     curves = []
     for name in workloads:
         run = native_trace(name, scale)

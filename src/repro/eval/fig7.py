@@ -42,8 +42,13 @@ class Fig7Curve:
 
 def fig7(scale: float = 0.3, sizes: tuple[int, ...] = DEFAULT_SIZES,
          workloads: tuple[str, ...] = SPARC_BENCHMARKS,
-         granularity: str = "block",
-         policy: str = "fifo") -> list[Fig7Curve]:
+         granularity: str = "block", policy: str = "fifo",
+         processes: int | None = None) -> list[Fig7Curve]:
+    if processes is not None and processes > 1 and len(workloads) > 1:
+        from .parallel import fan_workloads
+        return fan_workloads(fig7, workloads, processes=processes,
+                             scale=scale, sizes=sizes,
+                             granularity=granularity, policy=policy)
     curves = []
     for name in workloads:
         run = native_trace(name, scale)

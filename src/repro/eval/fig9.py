@@ -31,7 +31,12 @@ class Fig9Bar:
 
 
 def fig9(scale: float = 0.3, threshold: float = 0.90,
-         workloads: tuple[str, ...] = ARM_BENCHMARKS) -> list[Fig9Bar]:
+         workloads: tuple[str, ...] = ARM_BENCHMARKS,
+         processes: int | None = None) -> list[Fig9Bar]:
+    if processes is not None and processes > 1 and len(workloads) > 1:
+        from .parallel import fan_workloads
+        return fan_workloads(fig9, workloads, processes=processes,
+                             scale=scale, threshold=threshold)
     bars = []
     for name in workloads:
         image = build_workload(name, scale, arm_profile=True)

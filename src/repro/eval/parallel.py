@@ -1,0 +1,104 @@
+"""Parallel fan-out of independent per-workload sweeps.
+
+Every figure driver loops over workloads that share nothing with each
+other; the expensive step per workload (the native traced run) lands
+in the persistent on-disk trace cache (:mod:`repro.eval.common`), so
+worker processes pay it once and every later consumer — including the
+parent process — replays it from disk.  Two helpers:
+
+* :func:`prewarm_traces` fans ``(workload, scale)`` jobs across a pool
+  purely to warm the disk cache,
+* :func:`fan_workloads` runs a per-workload figure driver across a
+  pool and merges the per-workload result lists in input order.
+
+Both degrade to serial execution for a single job or ``processes<=1``,
+so figure drivers can route through them unconditionally.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from typing import Callable, Iterable, Sequence
+
+
+def _default_processes(njobs: int) -> int:
+    return max(1, min(njobs, os.cpu_count() or 1))
+
+
+def _pool_context():
+    # fork shares the already-built workload images with the workers;
+    # fall back to the platform default where fork is unavailable.
+    try:
+        return mp.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX hosts
+        return mp.get_context()
+
+
+def _prewarm_one(job: tuple[str, float, bool]) -> tuple[str, float, bool]:
+    workload, scale, arm_profile = job
+    from .common import native_trace
+    native_trace(workload, scale, arm_profile=arm_profile)
+    return job
+
+
+def prewarm_traces(jobs: Iterable[Sequence], *, processes: int | None = None,
+                   arm_profile: bool = False
+                   ) -> list[tuple[str, float, bool]]:
+    """Warm the on-disk trace cache for *jobs*.
+
+    Each job is ``(workload, scale)`` or ``(workload, scale, arm)``;
+    two-tuples default the profile flag to *arm_profile*.  Returns the
+    normalized job list.  Workers only populate the disk cache — the
+    traces themselves stay out of the parent's memory until asked for.
+    """
+    normalized = []
+    for job in jobs:
+        if len(job) == 2:
+            workload, scale = job
+            arm = arm_profile
+        else:
+            workload, scale, arm = job
+        normalized.append((workload, scale, bool(arm)))
+    if not normalized:
+        return normalized
+    if processes is None:
+        processes = _default_processes(len(normalized))
+    if processes <= 1 or len(normalized) == 1:
+        for job in normalized:
+            _prewarm_one(job)
+        return normalized
+    ctx = _pool_context()
+    with ctx.Pool(processes=min(processes, len(normalized))) as pool:
+        pool.map(_prewarm_one, normalized)
+    return normalized
+
+
+def _fan_one(packed):
+    fig_fn, workload, kwargs = packed
+    return fig_fn(workloads=(workload,), **kwargs)
+
+
+def fan_workloads(fig_fn: Callable, workloads: Sequence[str], *,
+                  processes: int | None = None, **kwargs) -> list:
+    """Run *fig_fn* once per workload, possibly across a process pool,
+    and concatenate the returned lists in input order.
+
+    *fig_fn* must accept a ``workloads`` tuple and return a list with
+    one entry per workload (the shape of ``fig6``/``fig7``/``fig9``/
+    ``table1``); it is called as ``fig_fn(workloads=(w,), **kwargs)``
+    so the single-workload calls never recurse into the pool.
+    """
+    workloads = tuple(workloads)
+    if not workloads:
+        return []
+    if processes is None:
+        processes = _default_processes(len(workloads))
+    if processes <= 1 or len(workloads) == 1:
+        return [item for name in workloads
+                for item in fig_fn(workloads=(name,), **kwargs)]
+    ctx = _pool_context()
+    jobs = [(fig_fn, name, kwargs) for name in workloads]
+    with ctx.Pool(processes=min(processes, len(workloads))) as pool:
+        parts = pool.map(_fan_one, jobs)
+    return [item for part in parts for item in part]

@@ -36,9 +36,13 @@ class Table1Row:
 
 
 def table1(scale: float = 0.3,
-           workloads: tuple[str, ...] = SPARC_BENCHMARKS
-           ) -> list[Table1Row]:
+           workloads: tuple[str, ...] = SPARC_BENCHMARKS,
+           processes: int | None = None) -> list[Table1Row]:
     """Measure dynamic vs static text for the SPARC benchmark set."""
+    if processes is not None and processes > 1 and len(workloads) > 1:
+        from .parallel import fan_workloads
+        return fan_workloads(table1, workloads, processes=processes,
+                             scale=scale)
     rows = []
     for name in workloads:
         run = native_trace(name, scale)

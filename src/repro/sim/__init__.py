@@ -8,7 +8,7 @@ region-based memory with executable permissions and code-write hooks
 """
 
 from .costs import DEFAULT_COSTS, CostModel
-from .cpu import CPU, HaltExecution
+from .cpu import CPU, FUSE_LIMIT, HaltExecution, SuperblockStats
 from .errors import (
     BreakHit,
     CycleLimitExceeded,
@@ -22,7 +22,7 @@ from .memory import Memory, Region
 
 __all__ = [
     "BreakHit", "CPU", "CostModel", "CycleLimitExceeded", "DEFAULT_COSTS",
-    "FetchFault", "HaltExecution", "IllegalInstruction", "Machine",
-    "MachineConfig", "Memory", "MemoryFault", "Region", "SimError",
-    "run_native",
+    "FUSE_LIMIT", "FetchFault", "HaltExecution", "IllegalInstruction",
+    "Machine", "MachineConfig", "Memory", "MemoryFault", "Region",
+    "SimError", "SuperblockStats", "run_native",
 ]

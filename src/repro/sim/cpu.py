@@ -1,11 +1,23 @@
-"""The repro RISC CPU: a closure-caching interpreter.
+"""The repro RISC CPU: a closure-caching, superblock-threading interpreter.
 
 Each instruction word is decoded once into a specialized Python closure
-stored in a per-address decode cache; the run loop is then just
-``pc = closure(pc)``.  Writes into executable regions (i.e. dynamic
-binary rewriting by the SoftCache) invalidate the affected decode-cache
-entries, so patched branch words take effect exactly like they would on
-real hardware with coherent fetch.
+stored in a per-address decode cache.  On top of that sits a
+**superblock layer**: at first dispatch of a pc, the straight-line run
+of instructions starting there (up to the next control transfer) is
+fused into one generated-and-compiled Python function that executes the
+whole block with a single dispatch, batching the instruction/cycle
+stats updates; the run loop is then ``pc = blocks[pc](pc)``.  Traced
+runs, :meth:`CPU.step` and TRAP/SYSCALL/BREAK/HALT words always use the
+per-instruction closures, so hook-visible state is exact at those
+boundaries.
+
+Writes into executable regions (i.e. dynamic binary rewriting by the
+SoftCache) invalidate the affected decode-cache entries *and every
+superblock overlapping the written words*, so patched branch words and
+``debug_poison`` BREAK words take effect exactly like they would on
+real hardware with coherent fetch.  A store executed from inside a
+fused block re-checks a code-generation counter so even self-modifying
+stores fall back to fresh decode mid-block.
 
 The CPU knows nothing about caching.  The SoftCache hooks in through
 two narrow interfaces:
@@ -25,6 +37,7 @@ cell; runtime components charge additional cycles through
 from __future__ import annotations
 
 from array import array
+from dataclasses import dataclass
 from typing import Callable
 
 from ..isa import Op, Trap, decode, to_signed32
@@ -50,11 +63,47 @@ class HaltExecution(Exception):
 TrapHook = Callable[["CPU", int, int, int], int]
 SysHook = Callable[["CPU", int, int], int]
 
+#: Max instructions fused into one superblock (prefix + terminator).
+FUSE_LIMIT = 64
+#: Dispatches per instruction-limit check in the fast loop.
+_CHUNK = 16384
+#: With every fused block bounded by FUSE_LIMIT instructions, a chunk
+#: of _CHUNK dispatches can execute at most this many instructions, so
+#: the fast loop cannot overshoot the cap while more than this remains.
+_SAFE_MARGIN = _CHUNK * FUSE_LIMIT
+
+
+@dataclass
+class SuperblockStats:
+    """Fusion and invalidation counters for the superblock layer."""
+
+    #: Superblocks compiled (>= 2 instructions fused into one closure).
+    fused_blocks: int = 0
+    #: Total instructions covered by those superblocks.
+    fused_instructions: int = 0
+    #: Dispatch entries that stayed single per-instruction closures
+    #: (TRAP/SYSCALL/BREAK/HALT words, lone control transfers).
+    single_closures: int = 0
+    #: Blocks killed because a code write overlapped their span.
+    invalidated_blocks: int = 0
+    #: Whole-cache flushes (tcache flush / invalidate_all_decoded).
+    flushes: int = 0
+    #: Executable-region write events seen by the invalidation hook.
+    code_writes: int = 0
+
+    @property
+    def mean_block_length(self) -> float:
+        """Mean fused instructions per superblock."""
+        if not self.fused_blocks:
+            return 0.0
+        return self.fused_instructions / self.fused_blocks
+
 
 class CPU:
     """A single in-order core executing the repro ISA."""
 
-    def __init__(self, memory: Memory, costs: CostModel = DEFAULT_COSTS):
+    def __init__(self, memory: Memory, costs: CostModel = DEFAULT_COSTS,
+                 superblocks: bool = True):
         self.mem = memory
         self.costs = costs
         self.regs: list[int] = [0] * 32
@@ -64,7 +113,21 @@ class CPU:
         self.stats = [0, 0]
         self.trap_hook: TrapHook | None = None
         self.sys_hook: SysHook | None = None
+        #: Fuse straight-line code into superblocks in :meth:`run`.
+        self.superblocks = superblocks
+        self.sb_stats = SuperblockStats()
         self._decoded: dict[int, Callable[[int], int]] = {}
+        #: Superblock dispatch table: block-start pc -> closure.
+        self._blocks: dict[int, Callable[[int], int]] = {}
+        #: Block-start pc -> end address (exclusive) of its span.
+        self._block_span: dict[int, int] = {}
+        #: Word address -> set of block starts whose span covers it.
+        self._block_cover: dict[int, set[int]] = {}
+        #: Generation counter cell, bumped on every code write; fused
+        #: blocks re-check it after stores to catch self-modification.
+        self._code_gen = [0]
+        #: Precise pc of a fault raised from inside a fused block.
+        self._fault_pc: int | None = None
         memory.code_write_hooks.append(self._invalidate_decoded)
 
     # -- public accounting ------------------------------------------------
@@ -100,13 +163,47 @@ class CPU:
     # -- decode cache -------------------------------------------------------
 
     def _invalidate_decoded(self, addr: int, length: int) -> None:
+        """Code-write hook: drop closures and superblocks made stale by
+        a write to ``[addr, addr + length)``.
+
+        Every superblock whose span merely *overlaps* a patched word is
+        killed, not just the block starting there — backpatched branch
+        words and ``debug_poison`` BREAK words in the middle of a fused
+        run must take effect on the next dispatch.
+        """
+        self._code_gen[0] += 1
+        self.sb_stats.code_writes += 1
         decoded = self._decoded
+        cover = self._block_cover
         for a in range(addr & ~3, addr + length, 4):
             decoded.pop(a, None)
+            starts = cover.get(a)
+            if starts:
+                for start in tuple(starts):
+                    self._kill_block(start)
+
+    def _kill_block(self, start: int) -> None:
+        self._blocks.pop(start, None)
+        end = self._block_span.pop(start, None)
+        self.sb_stats.invalidated_blocks += 1
+        if end is None:
+            return
+        cover = self._block_cover
+        for a in range(start, end, 4):
+            starts = cover.get(a)
+            if starts is not None:
+                starts.discard(start)
+                if not starts:
+                    del cover[a]
 
     def invalidate_all_decoded(self) -> None:
-        """Drop every cached closure (tcache flush)."""
+        """Drop every cached closure and superblock (tcache flush)."""
         self._decoded.clear()
+        self._blocks.clear()
+        self._block_span.clear()
+        self._block_cover.clear()
+        self._code_gen[0] += 1
+        self.sb_stats.flushes += 1
 
     def _decode_at(self, pc: int) -> Callable[[int], int]:
         region = self.mem.region_at(pc)  # raises MemoryFault if unmapped
@@ -127,28 +224,127 @@ class CPU:
         self._decoded[pc] = fn
         return fn
 
+    # -- superblock construction ------------------------------------------
+
+    def _register_block(self, start: int, end: int,
+                        fn: Callable[[int], int], fused: int
+                        ) -> Callable[[int], int]:
+        self._blocks[start] = fn
+        self._block_span[start] = end
+        cover = self._block_cover
+        for a in range(start, end, 4):
+            starts = cover.get(a)
+            if starts is None:
+                cover[a] = {start}
+            else:
+                starts.add(start)
+        if fused:
+            self.sb_stats.fused_blocks += 1
+            self.sb_stats.fused_instructions += fused
+        else:
+            self.sb_stats.single_closures += 1
+        return fn
+
+    def _build_block(self, pc: int) -> Callable[[int], int]:
+        """Fuse the straight-line run starting at *pc* into one closure.
+
+        Falls back to the per-instruction closure when the word at *pc*
+        is a control transfer, a trap-class instruction, or fusion would
+        cover fewer than two instructions.  Decode problems *inside* the
+        straight-line run just end the block early; the offending word
+        raises with exact pc/stats when (and only when) it is reached.
+        """
+        region = self.mem.region_at(pc)  # raises MemoryFault if unmapped
+        if pc & 3 or not region.executable:
+            # _decode_at raises the precise FetchFault
+            return self._register_block(pc, pc + 4, self._decode_at(pc), 0)
+        base, end, buf = region.base, region.end, region.buf
+        insns: list[tuple[int, object]] = []
+        term: tuple[int, object] | None = None
+        addr = pc
+        while addr + 4 <= end and len(insns) < FUSE_LIMIT - 1:
+            word = int.from_bytes(buf[addr - base:addr - base + 4], "little")
+            try:
+                ins = decode(word)
+            except Exception:
+                break
+            op = ins.op
+            if op in _SB_TERM_OPS:
+                term = (addr, ins)
+                break
+            if op not in _SB_STRAIGHT_OPS:
+                break  # TRAP/SYSCALL/BREAK/HALT: per-instruction only
+            insns.append((addr, ins))
+            addr += 4
+        fused = len(insns) + (1 if term is not None else 0)
+        if fused < 2:
+            return self._register_block(pc, pc + 4, self._decode_at(pc), 0)
+        fn = _compile_superblock(self, pc, insns, term)
+        end_addr = term[0] + 4 if term is not None else addr
+        return self._register_block(pc, end_addr, fn, fused)
+
     # -- execution ---------------------------------------------------------
 
     def run(self, max_instructions: int = 2_000_000_000) -> int:
         """Run until HALT/exit; returns the exit code.
 
-        Raises :class:`CycleLimitExceeded` if *max_instructions* is hit
-        (runaway-loop guard for tests).
+        Raises :class:`CycleLimitExceeded` once *max_instructions* have
+        executed without halting (runaway-loop guard for tests).  The
+        guard is exact at dispatch granularity: no new block is entered
+        once the limit is reached, so a run can only exceed the cap by
+        the tail of the final superblock (< ``FUSE_LIMIT``), and never
+        at all with ``superblocks=False``.
         """
+        if not self.superblocks:
+            return self._run_per_instruction(max_instructions)
+        blocks = self._blocks
+        build = self._build_block
+        stats = self.stats
+        pc = self.pc
+        try:
+            while True:
+                remaining = max_instructions - stats[0]
+                if remaining <= 0:
+                    self.pc = pc
+                    raise CycleLimitExceeded(max_instructions)
+                if remaining > _SAFE_MARGIN:
+                    for _ in range(_CHUNK):
+                        fn = blocks.get(pc)
+                        if fn is None:
+                            fn = build(pc)
+                        pc = fn(pc)
+                else:
+                    while stats[0] < max_instructions:
+                        fn = blocks.get(pc)
+                        if fn is None:
+                            fn = build(pc)
+                        pc = fn(pc)
+        except HaltExecution:
+            self.pc = pc
+        except Exception:
+            fault_pc = self._fault_pc
+            self._fault_pc = None
+            self.pc = pc if fault_pc is None else fault_pc
+            raise
+        return self.exit_code if self.exit_code is not None else 0
+
+    def _run_per_instruction(self, max_instructions: int) -> int:
+        """Per-instruction dispatch loop (exact instruction cap)."""
         decoded = self._decoded
         decode_at = self._decode_at
         stats = self.stats
         pc = self.pc
         try:
             while True:
-                for _ in range(16384):
+                remaining = max_instructions - stats[0]
+                if remaining <= 0:
+                    self.pc = pc
+                    raise CycleLimitExceeded(max_instructions)
+                for _ in range(_CHUNK if remaining > _CHUNK else remaining):
                     fn = decoded.get(pc)
                     if fn is None:
                         fn = decode_at(pc)
                     pc = fn(pc)
-                if stats[0] > max_instructions:
-                    self.pc = pc
-                    raise CycleLimitExceeded(max_instructions)
         except HaltExecution:
             self.pc = pc
         except Exception:
@@ -162,7 +358,9 @@ class CPU:
 
         *trace* should be ``array('I')``; it becomes the instruction
         fetch trace consumed by the hardware-cache simulator (Fig 6)
-        and the block-trace extractor (Fig 7).
+        and the block-trace extractor (Fig 7).  Always runs with
+        per-instruction dispatch so the trace is complete, and enforces
+        *max_instructions* exactly.
         """
         decoded = self._decoded
         decode_at = self._decode_at
@@ -171,15 +369,16 @@ class CPU:
         pc = self.pc
         try:
             while True:
-                for _ in range(16384):
+                remaining = max_instructions - stats[0]
+                if remaining <= 0:
+                    self.pc = pc
+                    raise CycleLimitExceeded(max_instructions)
+                for _ in range(_CHUNK if remaining > _CHUNK else remaining):
                     fn = decoded.get(pc)
                     if fn is None:
                         fn = decode_at(pc)
                     append(pc)
                     pc = fn(pc)
-                if stats[0] > max_instructions:
-                    self.pc = pc
-                    raise CycleLimitExceeded(max_instructions)
         except HaltExecution:
             self.pc = pc
         except Exception:
@@ -312,7 +511,31 @@ _alui_factory(Op.SLTIU, lambda a, i: 1 if a < i else 0)
 _alui_factory(Op.SLLI, lambda a, i: (a << (i & 31)) & MASK32)
 _alui_factory(Op.SRLI, lambda a, i: a >> (i & 31))
 _alui_factory(Op.SRAI, lambda a, i: (to_signed32(a) >> (i & 31)) & MASK32)
-_alui_factory(Op.LUI, lambda a, i: (i << 16) & MASK32)
+
+
+@_register(Op.LUI)
+def _f_lui(cpu: CPU, ins, pc: int):
+    # LUI ignores rs1: specialize to a pure constant store instead of
+    # the generic register-immediate closure (which would read a source
+    # register it never uses).
+    regs = cpu.regs
+    st = cpu.stats
+    cost = cpu.costs.op_cycles[Op.LUI]
+    rd = ins.rd
+    value = (ins.imm << 16) & MASK32
+    if rd == 0:
+        def ex(pc: int) -> int:
+            st[0] += 1
+            st[1] += cost
+            return pc + 4
+        return ex
+
+    def ex(pc: int) -> int:
+        st[0] += 1
+        st[1] += cost
+        regs[rd] = value
+        return pc + 4
+    return ex
 
 
 def _load_factory(op: Op, reader_name: str, sign_bits: int | None):
@@ -526,3 +749,250 @@ def _f_halt(cpu: CPU, ins, pc: int):
         cpu.halt(cpu.exit_code if cpu.exit_code is not None else 0)
         return pc  # pragma: no cover - halt() raises
     return ex
+
+
+# ---------------------------------------------------------------------------
+# Superblock compiler.  A straight-line run of simple instructions (ALU,
+# loads, stores) plus an optional fused control-transfer terminator is
+# compiled into ONE Python function executing the whole block per
+# dispatch.  Stats are batched into a single update at the block end;
+# if a memory access faults mid-block, the except handler maps the
+# traceback line back to the faulting instruction and commits exactly
+# the per-instruction counts for the executed prefix (including the
+# faulting op), so a mid-block MemoryFault is indistinguishable from
+# per-instruction execution.  All addresses are emitted relative to the
+# entry pc, so blocks with identical instruction content share one
+# compiled code object through ``_SB_CODE_CACHE`` — retranslation under
+# tcache thrashing never pays the compile cost twice.
+# ---------------------------------------------------------------------------
+
+_M = "4294967295"       # MASK32 literal
+_S = "2147483648"       # sign-flip literal
+
+_SB_CODE_CACHE: dict[str, object] = {}
+
+_SB_ALU_R = {
+    Op.ADD: lambda a, b: f"({a} + {b}) & {_M}",
+    Op.SUB: lambda a, b: f"({a} - {b}) & {_M}",
+    Op.AND: lambda a, b: f"{a} & {b}",
+    Op.OR: lambda a, b: f"{a} | {b}",
+    Op.XOR: lambda a, b: f"{a} ^ {b}",
+    Op.NOR: lambda a, b: f"~({a} | {b}) & {_M}",
+    Op.SLT: lambda a, b: f"1 if ({a} ^ {_S}) < ({b} ^ {_S}) else 0",
+    Op.SLTU: lambda a, b: f"1 if {a} < {b} else 0",
+    Op.SLL: lambda a, b: f"({a} << ({b} & 31)) & {_M}",
+    Op.SRL: lambda a, b: f"{a} >> ({b} & 31)",
+    Op.SRA: lambda a, b: f"(sgn({a}) >> ({b} & 31)) & {_M}",
+    Op.MUL: lambda a, b: f"({a} * {b}) & {_M}",
+    Op.DIV: lambda a, b: f"sdiv({a}, {b})",
+    Op.REM: lambda a, b: f"srem({a}, {b})",
+}
+
+#: helper names each R-type op pulls into the generated function.
+_SB_ALU_R_HELPERS = {Op.SRA: ("sgn",), Op.DIV: ("sdiv",),
+                     Op.REM: ("srem",)}
+
+#: op -> (reader binding name, sign bits or None)
+_SB_LOADS = {
+    Op.LW: ("rw", None),
+    Op.LH: ("rh", 16),
+    Op.LHU: ("rh", None),
+    Op.LB: ("rb", 8),
+    Op.LBU: ("rb", None),
+}
+
+_SB_STORES = {Op.SW: "ww", Op.SH: "wh", Op.SB: "wb"}
+
+_SB_BRANCH_COND = {
+    Op.BEQ: lambda a, b: f"{a} == {b}",
+    Op.BNE: lambda a, b: f"{a} != {b}",
+    Op.BLT: lambda a, b: f"({a} ^ {_S}) < ({b} ^ {_S})",
+    Op.BGE: lambda a, b: f"({a} ^ {_S}) >= ({b} ^ {_S})",
+    Op.BLTU: lambda a, b: f"{a} < {b}",
+    Op.BGEU: lambda a, b: f"{a} >= {b}",
+}
+
+_SB_ALU_I_OPS = frozenset({
+    Op.ADDI, Op.ANDI, Op.ORI, Op.XORI, Op.SLTI, Op.SLTIU, Op.SLLI,
+    Op.SRLI, Op.SRAI, Op.LUI,
+})
+
+#: Straight-line instructions the fuser may place mid-block.
+_SB_STRAIGHT_OPS = (frozenset(_SB_ALU_R) | _SB_ALU_I_OPS |
+                    frozenset(_SB_LOADS) | frozenset(_SB_STORES))
+
+#: Control transfers the fuser may inline as a block terminator.
+_SB_TERM_OPS = (frozenset(_SB_BRANCH_COND) |
+                frozenset({Op.J, Op.JAL, Op.JR, Op.JALR, Op.RET}))
+
+
+def _sb_alu_i_expr(ins) -> str:
+    """Expression for a register-immediate ALU op, constants folded."""
+    op, rs1, imm = ins.op, ins.rs1, ins.imm
+    a = f"r[{rs1}]"
+    if op is Op.ADDI:
+        return f"({a} + ({imm})) & {_M}"
+    if op is Op.ANDI:
+        return f"{a} & {imm}"
+    if op is Op.ORI:
+        return f"{a} | {imm}"
+    if op is Op.XORI:
+        return f"{a} ^ {imm}"
+    if op is Op.SLTI:
+        folded = ((imm & 0xFFFFFFFF) ^ _SIGN_FLIP)
+        return f"1 if ({a} ^ {_S}) < {folded} else 0"
+    if op is Op.SLTIU:
+        return f"1 if {a} < {imm} else 0"
+    if op is Op.SLLI:
+        return f"({a} << {imm & 31}) & {_M}"
+    if op is Op.SRLI:
+        return f"{a} >> {imm & 31}"
+    if op is Op.SRAI:
+        return f"(sgn({a}) >> {imm & 31}) & {_M}"
+    if op is Op.LUI:
+        return str((imm << 16) & 0xFFFFFFFF)  # constant-folded
+    raise AssertionError(op)  # pragma: no cover
+
+
+def _sb_term_lines(ins, off: int) -> list[str]:
+    """Statement lines for a fused terminator at block offset *off*."""
+    op = ins.op
+    if op in _SB_BRANCH_COND:
+        taken = off + 4 + (ins.imm << 2)
+        fall = off + 4
+        cond = _SB_BRANCH_COND[op](f"r[{ins.rs1}]", f"r[{ins.rs2}]")
+        return [f"return pc + {taken} if {cond} else pc + {fall}"]
+    if op is Op.J:
+        return [f"return {ins.imm << 2}"]
+    if op is Op.JAL:
+        return [f"r[{RA}] = pc + {off + 4}", f"return {ins.imm << 2}"]
+    if op is Op.JR:
+        return [f"return r[{ins.rs1}]"]
+    if op is Op.JALR:
+        if ins.rd:
+            return [f"v = r[{ins.rs1}]",
+                    f"r[{ins.rd}] = pc + {off + 4}",
+                    "return v"]
+        return [f"return r[{ins.rs1}]"]
+    if op is Op.RET:
+        return [f"return r[{RA}]"]
+    raise AssertionError(op)  # pragma: no cover
+
+
+def _compile_superblock(cpu: CPU, start: int, insns, term):
+    """Generate, compile and bind the superblock closure for *insns*
+    (list of ``(addr, Insn)``) with optional fused terminator *term*."""
+    costs = cpu.costs.op_cycles
+    body: list[str] = []
+    used: set[str] = set()
+    has_mem = False
+    has_store = False
+    tot_n = 0
+    tot_c = 0
+    #: (body line index, block offset, counts incl. that op) per mem op.
+    mem_marks: list[tuple[int, int, int, int]] = []
+
+    for addr, ins in insns:
+        op = ins.op
+        off = addr - start
+        tot_n += 1
+        tot_c += costs[op]
+        if op in _SB_LOADS:
+            reader, sign_bits = _SB_LOADS[op]
+            used.add(reader)
+            has_mem = True
+            addr_expr = f"(r[{ins.rs1}] + ({ins.imm})) & {_M}"
+            rd = ins.rd
+            mem_marks.append((len(body), off, tot_n, tot_c))
+            if rd == 0:
+                # read for fault semantics, discard the value
+                body.append(f"{reader}({addr_expr})")
+            elif sign_bits is None:
+                body.append(f"r[{rd}] = {reader}({addr_expr})")
+            else:
+                flip = 1 << (sign_bits - 1)
+                wrap = 1 << sign_bits
+                body.append(f"v = {reader}({addr_expr})")
+                body.append(
+                    f"r[{rd}] = (v - {wrap}) & {_M} if v & {flip} else v")
+        elif op in _SB_STORES:
+            writer = _SB_STORES[op]
+            used.add(writer)
+            has_mem = True
+            has_store = True
+            mem_marks.append((len(body), off, tot_n, tot_c))
+            body.append(f"{writer}((r[{ins.rs1}] + ({ins.imm})) & {_M}, "
+                        f"r[{ins.rd}])")
+            # the store may have rewritten code (even this block):
+            # commit the executed prefix and fall back to fresh dispatch
+            # so patched words take effect exactly as they would under
+            # per-instruction decode
+            body.append(f"if cw[0] != g: st[0] += {tot_n}; "
+                        f"st[1] += {tot_c}; return pc + {off + 4}")
+        else:
+            if op in _SB_ALU_R:
+                expr = _SB_ALU_R[op](f"r[{ins.rs1}]", f"r[{ins.rs2}]")
+                used.update(_SB_ALU_R_HELPERS.get(op, ()))
+            else:
+                expr = _sb_alu_i_expr(ins)
+                if op is Op.SRAI:
+                    used.add("sgn")
+            if ins.rd:
+                body.append(f"r[{ins.rd}] = {expr}")
+
+    if term is not None:
+        taddr, tins = term
+        tot_n += 1
+        tot_c += costs[tins.op]
+        body.append(f"st[0] += {tot_n}; st[1] += {tot_c}")
+        body.extend(_sb_term_lines(tins, taddr - start))
+    else:
+        body.append(f"st[0] += {tot_n}; st[1] += {tot_c}")
+        body.append(f"return pc + {insns[-1][0] + 4 - start}")
+
+    params = ["pc", "r=_r", "st=_st"]
+    if has_store:
+        params.append("cw=_cw")
+    if has_mem:
+        params.append("C=_C")
+        params.append("F=_F")
+    for name in ("rw", "rh", "rb", "ww", "wh", "wb",
+                 "sgn", "sdiv", "srem"):
+        if name in used:
+            params.append(f"{name}=_{name}")
+    lines = [f"def _sb({', '.join(params)}):"]
+    fixups: dict[int, tuple[int, int, int]] = {}
+    if has_mem:
+        if has_store:
+            lines.append("    g = cw[0]")
+        lines.append("    try:")
+        lines.extend("        " + stmt for stmt in body)
+        lines.append("    except Exception as e:")
+        lines.append("        f = F.get(e.__traceback__.tb_lineno)")
+        lines.append("        if f is not None:")
+        lines.append("            st[0] += f[1]; st[1] += f[2]")
+        lines.append("            C._fault_pc = pc + f[0]")
+        lines.append("        raise")
+        # body line i sits at source line i + base (def line, optional
+        # generation snapshot, try:, then 1-based numbering)
+        base = 3 + (1 if has_store else 0)
+        fixups = {i + base: (off, n, c) for i, off, n, c in mem_marks}
+    else:
+        lines.extend("    " + stmt for stmt in body)
+    src = "\n".join(lines) + "\n"
+
+    code = _SB_CODE_CACHE.get(src)
+    if code is None:
+        code = compile(src, "<superblock>", "exec")
+        _SB_CODE_CACHE[src] = code
+    mem = cpu.mem
+    ns = {
+        "_r": cpu.regs, "_st": cpu.stats, "_cw": cpu._code_gen,
+        "_C": cpu, "_F": fixups, "_rw": mem.read_word,
+        "_rh": mem.read_half, "_rb": mem.read_byte,
+        "_ww": mem.write_word, "_wh": mem.write_half,
+        "_wb": mem.write_byte, "_sgn": to_signed32, "_sdiv": _sdiv,
+        "_srem": _srem,
+    }
+    exec(code, ns)
+    return ns["_sb"]

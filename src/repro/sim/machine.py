@@ -41,6 +41,9 @@ class MachineConfig:
     #: Extra heap bytes mapped beyond the image's static data.
     heap_size: int = 256 * 1024
     costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
+    #: Fuse straight-line code into superblocks (host-side speed only;
+    #: simulated instruction/cycle counts are identical either way).
+    superblocks: bool = True
 
 
 class Machine:
@@ -53,7 +56,8 @@ class Machine:
             raise ValueError("local RAM too large for the memory map")
         self.mem = Memory()
         self._build_memory()
-        self.cpu = CPU(self.mem, self.config.costs)
+        self.cpu = CPU(self.mem, self.config.costs,
+                       superblocks=self.config.superblocks)
         self.cpu.pc = image.entry
         self.output = bytearray()
         #: Hook invoked by the INVALIDATE syscall: ``fn(addr, length)``.

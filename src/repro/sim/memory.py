@@ -14,10 +14,13 @@ dynamic binary rewriting visible to the interpreter.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Callable
 
 from .errors import MemoryFault
+
+_LITTLE_ENDIAN_HOST = sys.byteorder == "little"
 
 
 @dataclass(slots=True)
@@ -31,19 +34,32 @@ class Region:
     writable: bool = True
     executable: bool = False
     buf: bytearray = field(default_factory=bytearray)
+    #: ``base + size``, precomputed for the accessors' hot path.
+    end_addr: int = field(default=0, repr=False)
+    #: 32/16-bit views over ``buf`` (little-endian hosts only); aligned
+    #: word/half accesses go through these instead of slice+from_bytes.
+    view32: "memoryview | None" = field(default=None, repr=False)
+    view16: "memoryview | None" = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if not self.buf:
             self.buf = bytearray(self.size)
         elif len(self.buf) != self.size:
             raise ValueError("buffer length != region size")
+        self.end_addr = self.base + self.size
+        if _LITTLE_ENDIAN_HOST:
+            view = memoryview(self.buf)
+            if self.base % 4 == 0 and self.size % 4 == 0:
+                self.view32 = view.cast("I")
+            if self.base % 2 == 0 and self.size % 2 == 0:
+                self.view16 = view.cast("H")
 
     @property
     def end(self) -> int:
-        return self.base + self.size
+        return self.end_addr
 
     def contains(self, addr: int) -> bool:
-        return self.base <= addr < self.end
+        return self.base <= addr < self.end_addr
 
 
 class Memory:
@@ -90,20 +106,32 @@ class Memory:
     def read_word(self, addr: int) -> int:
         if addr & 3:
             raise MemoryFault(addr, "misaligned word read")
-        region = self.region_at(addr)
+        region = self._last
+        if region is None or addr < region.base or addr >= region.end_addr:
+            region = self.region_at(addr)
         if not region.readable:
             raise MemoryFault(addr, "read from non-readable region")
+        view = region.view32
+        if view is not None:
+            return view[(addr - region.base) >> 2]
         off = addr - region.base
         return int.from_bytes(region.buf[off:off + 4], "little")
 
     def write_word(self, addr: int, value: int) -> None:
         if addr & 3:
             raise MemoryFault(addr, "misaligned word write")
-        region = self.region_at(addr)
+        region = self._last
+        if region is None or addr < region.base or addr >= region.end_addr:
+            region = self.region_at(addr)
         if not region.writable:
             raise MemoryFault(addr, "write to read-only region")
-        off = addr - region.base
-        region.buf[off:off + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
+        view = region.view32
+        if view is not None:
+            view[(addr - region.base) >> 2] = value & 0xFFFFFFFF
+        else:
+            off = addr - region.base
+            region.buf[off:off + 4] = (
+                value & 0xFFFFFFFF).to_bytes(4, "little")
         if region.executable:
             for hook in self.code_write_hooks:
                 hook(addr, 4)
@@ -111,28 +139,43 @@ class Memory:
     def read_half(self, addr: int) -> int:
         if addr & 1:
             raise MemoryFault(addr, "misaligned half read")
-        region = self.region_at(addr)
+        region = self._last
+        if region is None or addr < region.base or addr >= region.end_addr:
+            region = self.region_at(addr)
+        view = region.view16
+        if view is not None:
+            return view[(addr - region.base) >> 1]
         off = addr - region.base
         return int.from_bytes(region.buf[off:off + 2], "little")
 
     def write_half(self, addr: int, value: int) -> None:
         if addr & 1:
             raise MemoryFault(addr, "misaligned half write")
-        region = self.region_at(addr)
+        region = self._last
+        if region is None or addr < region.base or addr >= region.end_addr:
+            region = self.region_at(addr)
         if not region.writable:
             raise MemoryFault(addr, "write to read-only region")
-        off = addr - region.base
-        region.buf[off:off + 2] = (value & 0xFFFF).to_bytes(2, "little")
+        view = region.view16
+        if view is not None:
+            view[(addr - region.base) >> 1] = value & 0xFFFF
+        else:
+            off = addr - region.base
+            region.buf[off:off + 2] = (value & 0xFFFF).to_bytes(2, "little")
         if region.executable:
             for hook in self.code_write_hooks:
                 hook(addr, 2)
 
     def read_byte(self, addr: int) -> int:
-        region = self.region_at(addr)
+        region = self._last
+        if region is None or addr < region.base or addr >= region.end_addr:
+            region = self.region_at(addr)
         return region.buf[addr - region.base]
 
     def write_byte(self, addr: int, value: int) -> None:
-        region = self.region_at(addr)
+        region = self._last
+        if region is None or addr < region.base or addr >= region.end_addr:
+            region = self.region_at(addr)
         if not region.writable:
             raise MemoryFault(addr, "write to read-only region")
         region.buf[addr - region.base] = value & 0xFF

@@ -53,6 +53,9 @@ class SoftCacheConfig:
     #: Enable the Section-3 software data cache (full-system mode).
     #: A :class:`repro.dcache.DataCacheConfig` or None.
     data_cache: object | None = None
+    #: Superblock (threaded-code) execution in the interpreter.  Host
+    #: speed only; never changes simulated counts.
+    superblocks: bool = True
 
 
 @dataclass
@@ -87,6 +90,7 @@ class SoftCacheSystem:
             text_executable=False,   # all fetches go through the tcache
             heap_size=config.heap_size,
             costs=config.costs,
+            superblocks=config.superblocks,
         ))
         if shared_mc is not None:
             if shared_mc.image is not image:

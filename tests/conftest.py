@@ -5,9 +5,18 @@ from __future__ import annotations
 import pytest
 
 from repro.asm import assemble_and_link
+from repro.eval.common import set_trace_cache_dir
 from repro.lang import compile_program
 from repro.sim import Machine, MachineConfig, run_native
 from repro.softcache import SoftCacheConfig, SoftCacheSystem
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _hermetic_trace_cache(tmp_path_factory):
+    """Keep the persistent trace cache out of the repo during tests."""
+    set_trace_cache_dir(tmp_path_factory.mktemp("traces"))
+    yield
+    set_trace_cache_dir(None)
 
 
 def run_asm(source: str, max_instructions: int = 5_000_000) -> Machine:
