@@ -1,0 +1,155 @@
+"""Miss-path benchmark: where the miss-service time goes.
+
+Runs the SoftCache miss path under a thrashing and a comfortable
+tcache, times each run on the host clock, splits the miss service into
+its phases (serve / link / install / patch, both in simulated cycles
+and host seconds), and sweeps the successor-prefetch depth.  Results
+are written to ``BENCH_softcache.json`` so CI can archive them and
+diff runs across commits.
+
+Usage::
+
+    python benchmarks/bench_misspath.py [--repeat N] [--out PATH]
+                                        [--floor-ms MS]
+
+``--floor-ms`` turns the thrash wall-clock into a regression gate:
+exit non-zero if the best-of-N run is slower than the floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.net import LOCAL_LINK, LinkModel  # noqa: E402
+from repro.softcache import SoftCacheConfig, SoftCacheSystem  # noqa: E402
+from repro.workloads import build_workload  # noqa: E402
+
+
+def _phase_dict(stats) -> dict:
+    return {
+        "miss_serve_cycles": stats.miss_serve_cycles,
+        "miss_link_cycles": stats.miss_link_cycles,
+        "miss_install_cycles": stats.miss_install_cycles,
+        "miss_patch_cycles": stats.miss_patch_cycles,
+        "miss_service_cycles": stats.miss_service_cycles,
+        "miss_serve_host_s": stats.miss_serve_host_s,
+        "miss_install_host_s": stats.miss_install_host_s,
+        "miss_patch_host_s": stats.miss_patch_host_s,
+    }
+
+
+def _timed_run(image, config, repeat: int) -> dict:
+    """Best-of-*repeat* wall clock plus the final run's statistics."""
+    walls = []
+    system = None
+    report = None
+    for _ in range(repeat):
+        system = SoftCacheSystem(image, config)
+        t0 = time.perf_counter()
+        report = system.run()
+        walls.append(time.perf_counter() - t0)
+    stats = system.stats
+    return {
+        "wall_s_best": min(walls),
+        "wall_s_mean": sum(walls) / len(walls),
+        "wall_s_all": walls,
+        "instructions": report.instructions,
+        "cycles": report.cycles,
+        "translations": stats.translations,
+        "evictions": stats.evictions,
+        "patches": stats.patches,
+        "phases": _phase_dict(stats),
+    }
+
+
+def run_benchmarks(repeat: int = 3) -> dict:
+    image = build_workload("sensor", 0.05)
+    results: dict = {
+        "schema": "BENCH_softcache/1",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+
+    results["thrash"] = _timed_run(image, SoftCacheConfig(
+        tcache_size=768, link=LOCAL_LINK, record_timeline=False), repeat)
+    results["comfortable"] = _timed_run(image, SoftCacheConfig(
+        tcache_size=8192, link=LOCAL_LINK, record_timeline=False), repeat)
+
+    # successor-prefetch sweep over the networked link: simulated
+    # miss-service time is the figure of merit here, not host time.
+    sweep = []
+    for depth in (0, 1, 2, 4):
+        system = SoftCacheSystem(image, SoftCacheConfig(
+            tcache_size=2048, prefetch_depth=depth, link=LinkModel(),
+            record_timeline=False))
+        report = system.run()
+        s = system.stats
+        sweep.append({
+            "depth": depth,
+            "cycles": report.cycles,
+            "miss_service_cycles": s.miss_service_cycles,
+            "demand_translations": s.demand_translations,
+            "prefetch_installs": s.prefetch_installs,
+            "prefetch_hits": s.prefetch_hits,
+            "prefetch_drops": s.prefetch_drops,
+            "wasted_prefetch_bytes": s.wasted_prefetch_bytes,
+            "link_exchanges": system.link_stats.exchanges,
+            "batched_chunks": system.link_stats.batched_chunks,
+        })
+    results["prefetch_sweep"] = sweep
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--out", type=Path,
+                        default=Path("BENCH_softcache.json"))
+    parser.add_argument("--floor-ms", type=float, default=None,
+                        help="fail if the best thrash run exceeds this")
+    args = parser.parse_args(argv)
+
+    results = run_benchmarks(args.repeat)
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+
+    thrash = results["thrash"]
+    phases = thrash["phases"]
+    print(f"thrash:      best {thrash['wall_s_best'] * 1e3:.1f}ms  "
+          f"mean {thrash['wall_s_mean'] * 1e3:.1f}ms  "
+          f"({thrash['translations']} translations, "
+          f"{thrash['evictions']} evictions)")
+    comfy = results["comfortable"]
+    print(f"comfortable: best {comfy['wall_s_best'] * 1e3:.1f}ms  "
+          f"mean {comfy['wall_s_mean'] * 1e3:.1f}ms")
+    print(f"miss-service cycles (thrash): "
+          f"serve {phases['miss_serve_cycles']}, "
+          f"link {phases['miss_link_cycles']}, "
+          f"install {phases['miss_install_cycles']}, "
+          f"patch {phases['miss_patch_cycles']}")
+    for row in results["prefetch_sweep"]:
+        print(f"prefetch depth {row['depth']}: "
+              f"miss-svc {row['miss_service_cycles']} cycles, "
+              f"{row['link_exchanges']} exchanges, "
+              f"{row['prefetch_hits']} hits, "
+              f"{row['wasted_prefetch_bytes']}B wasted")
+    print(f"wrote {args.out}")
+
+    if args.floor_ms is not None:
+        best_ms = thrash["wall_s_best"] * 1e3
+        if best_ms > args.floor_ms:
+            print(f"FAIL: thrash best {best_ms:.1f}ms exceeds floor "
+                  f"{args.floor_ms:.0f}ms", file=sys.stderr)
+            return 1
+        print(f"floor check OK: {best_ms:.1f}ms <= {args.floor_ms:.0f}ms")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,7 +48,8 @@ def _cmd_run(args) -> int:
     link = LOCAL_LINK if args.local_link else LinkModel()
     config = SoftCacheConfig(
         tcache_size=args.tcache, granularity=args.granularity,
-        policy=args.policy, link=link, data_cache=dcache_config)
+        policy=args.policy, link=link, data_cache=dcache_config,
+        prefetch_depth=args.prefetch_depth)
     system = SoftCacheSystem(image, config)
     report = system.run()
     print(report.output, end="")
@@ -64,6 +65,12 @@ def _cmd_run(args) -> int:
           f"(+{stats.jr_lookups} jr lookups)")
     print(f"  link              : {system.link_stats.exchanges} "
           f"exchanges, {system.link_stats.total_bytes} bytes")
+    if args.prefetch_depth:
+        print(f"  prefetch depth {args.prefetch_depth}  : "
+              f"{stats.prefetch_installs} installed, "
+              f"{stats.prefetch_hits} hit, {stats.prefetch_drops} "
+              f"dropped, {stats.wasted_prefetch_bytes}B wasted; "
+              f"miss service {stats.miss_service_cycles} cycles")
     usage = system.local_memory_in_use
     print(f"  local memory      : {usage}")
     if system.dcache is not None:
@@ -166,6 +173,9 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=("fifo", "flush"))
     run.add_argument("--dcache", type=int, default=0,
                      help="enable the software D-cache with this size")
+    run.add_argument("--prefetch-depth", type=int, default=0,
+                     help="successor chunks batched onto each miss "
+                          "reply (0 = paper-faithful protocol)")
     run.add_argument("--local-link", action="store_true",
                      help="zero-cost MC link (SPARC prototype style)")
 

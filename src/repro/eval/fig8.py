@@ -96,6 +96,76 @@ def fig8(workload: str = "adpcm_enc", scale: float = 0.35,
     return series
 
 
+@dataclass
+class Fig8PrefetchRow:
+    """One depth setting of the proc-granularity prefetch ablation."""
+
+    depth: int
+    cycles: int
+    relative_time: float
+    evictions: int
+    miss_service_cycles: int
+    demand_translations: int
+    prefetch_installs: int
+    prefetch_hits: int
+    wasted_prefetch_bytes: int
+
+
+def fig8_prefetch_ablation(workload: str = "adpcm_enc",
+                           scale: float = 0.35,
+                           memory: int | None = None,
+                           depths: tuple[int, ...] = (0, 1, 2, 4),
+                           max_instructions: int = 400_000_000
+                           ) -> list[Fig8PrefetchRow]:
+    """Sweep ``prefetch_depth`` in the Figure 8 paging regime.
+
+    Uses the middle of the derived CC memories (the one that pages
+    hardest) and the networked link, so the sweep answers: can callee
+    prefetch into a barely-too-small memory buy back miss time, and
+    how much of it is wasted when evictions outrun speculation?
+    """
+    from ..net import LinkModel
+
+    image = build_workload(workload, scale, arm_profile=True)
+    if memory is None:
+        memory = derive_memories(workload, scale)[0]
+    rows: list[Fig8PrefetchRow] = []
+    base_cycles: int | None = None
+    for depth in depths:
+        config = SoftCacheConfig(tcache_size=memory, granularity="proc",
+                                 policy="fifo", prefetch_depth=depth,
+                                 link=LinkModel(),
+                                 record_timeline=False)
+        system = SoftCacheSystem(image, config)
+        report = system.run(max_instructions)
+        if base_cycles is None:
+            base_cycles = report.cycles
+        s = system.stats
+        rows.append(Fig8PrefetchRow(
+            depth=depth, cycles=report.cycles,
+            relative_time=report.cycles / base_cycles,
+            evictions=s.evictions + s.blocks_flushed,
+            miss_service_cycles=s.miss_service_cycles,
+            demand_translations=s.demand_translations,
+            prefetch_installs=s.prefetch_installs,
+            prefetch_hits=s.prefetch_hits,
+            wasted_prefetch_bytes=s.wasted_prefetch_bytes))
+    return rows
+
+
+def render_fig8_prefetch(rows: list[Fig8PrefetchRow]) -> str:
+    table = [[r.depth, r.cycles, f"{r.relative_time:.2f}", r.evictions,
+              r.miss_service_cycles, r.demand_translations,
+              r.prefetch_installs, r.prefetch_hits,
+              r.wasted_prefetch_bytes] for r in rows]
+    return ascii_table(
+        ["depth", "cycles", "rel. time", "evictions", "miss-svc cycles",
+         "demand", "prefetched", "pf hits", "wasted B"],
+        table,
+        title="Figure 8 ablation: successor-prefetch depth "
+              "(proc granularity, networked link)")
+
+
 def render_fig8(series: list[Fig8Series]) -> str:
     parts = ["Figure 8: evictions per second over time vs CC memory"]
     summary_rows = [[s.label, s.total_evictions,

@@ -8,13 +8,26 @@ hop away instead of across the backhaul to the origin server.
 :class:`HubChannel` wraps the CC's channel: an exchange first costs
 the near link; on a hub miss the far link is traversed too and the
 chunk (keyed by original address) is cached at the hub with LRU
-replacement.
+replacement.  Batched (prefetch) replies populate the hub with every
+chunk they carry, so one client's prefetch warms the hub for the whole
+fleet.
+
+Only ``chunk`` traffic is cached.  Every other kind (data refills,
+writebacks, invalidations) is a deliberate **pass-through**: the hub
+holds immutable rewritten code, not data, so non-chunk exchanges
+always pay both hops end to end.  Both hops are recorded in
+:class:`~repro.net.link.LinkStats` — ``busy_seconds``,
+``payload_bytes`` and ``overhead_bytes`` count the near *and* far legs
+of every origin round trip, while ``exchanges`` counts logical RPCs
+(one per client request) and ``exchange_overhead_bytes`` keeps the
+near-hop §2.4 per-exchange metric.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Sequence
 
 from .link import Channel, LinkModel
 
@@ -39,7 +52,8 @@ class HubChannel(Channel):
     Drop-in replacement for :class:`~repro.net.Channel`: the
     SoftCacheSystem is constructed normally and its ``channel`` is
     swapped for a HubChannel (see ``with_hub``).  Only ``chunk``
-    exchanges are cached; data traffic always goes to the origin.
+    exchanges are cached; everything else passes through to the
+    origin (both hops paid and recorded).
     """
 
     def __init__(self, near: LinkModel, far: LinkModel,
@@ -52,11 +66,58 @@ class HubChannel(Channel):
         self._cached_bytes = 0
         #: set per-request by the CC wrapper; identifies the chunk
         self.next_key: int | None = None
+        #: set per-batch by the CC wrapper; one key per batched chunk,
+        #: demanded chunk first.
+        self.next_keys: list[int] | None = None
+
+    # -- far-hop accounting -------------------------------------------
+
+    def _record_far_exchange(self, payload_bytes: int) -> float:
+        """Traverse the far link for one chunk/pass-through exchange.
+
+        The far leg is real traffic: its seconds and bytes land in the
+        channel's LinkStats (they used to be added to the returned time
+        only, undercounting ``busy_seconds``/``payload_bytes`` on every
+        hub miss).  ``exchanges`` is not bumped — the client made one
+        logical RPC — and ``exchange_overhead_bytes`` keeps the
+        near-hop per-exchange overhead metric.
+        """
+        seconds = self.far.exchange_time(payload_bytes)
+        stats = self.stats
+        stats.busy_seconds += seconds
+        stats.payload_bytes += payload_bytes
+        stats.overhead_bytes += self.far.exchange_overhead_bytes
+        return seconds
+
+    def _record_far_batch(self, payload_sizes: Sequence[int]) -> float:
+        seconds = self.far.batch_exchange_time(payload_sizes)
+        stats = self.stats
+        stats.busy_seconds += seconds
+        stats.payload_bytes += sum(payload_sizes)
+        stats.overhead_bytes += self.far.batch_overhead_bytes(
+            len(payload_sizes))
+        return seconds
+
+    # -- cache management ---------------------------------------------
+
+    def _cache_insert(self, key: int, payload_bytes: int) -> None:
+        if key in self._cache:
+            self._cached_bytes -= self._cache.pop(key)
+        self._cached_bytes += payload_bytes
+        self._cache[key] = payload_bytes
+        while self._cached_bytes > self.capacity and self._cache:
+            _, evicted = self._cache.popitem(last=False)
+            self._cached_bytes -= evicted
+            self.hub_stats.evictions += 1
+
+    # -- exchanges ----------------------------------------------------
 
     def exchange(self, kind: str, payload_bytes: int) -> float:
         if kind != "chunk" or self.next_key is None:
+            # non-chunk pass-through: the hub caches code only, so
+            # both hops are always paid (and now recorded).
             seconds = super().exchange(kind, payload_bytes)
-            return seconds + self.far.exchange_time(payload_bytes)
+            return seconds + self._record_far_exchange(payload_bytes)
         key = self.next_key
         self.next_key = None
         self.hub_stats.requests += 1
@@ -69,36 +130,92 @@ class HubChannel(Channel):
         # hub miss: fetch from the origin over the far link and cache
         self.hub_stats.origin_fetches += 1
         self.hub_stats.origin_bytes += payload_bytes
-        seconds += self.far.exchange_time(payload_bytes)
-        self._cached_bytes += payload_bytes
-        self._cache[key] = payload_bytes
-        while self._cached_bytes > self.capacity and self._cache:
-            _, evicted = self._cache.popitem(last=False)
-            self._cached_bytes -= evicted
-            self.hub_stats.evictions += 1
+        seconds += self._record_far_exchange(payload_bytes)
+        self._cache_insert(key, payload_bytes)
+        return seconds
+
+    def batch_exchange(self, kind: str,
+                       payload_sizes: Sequence[int]) -> float:
+        """Batched chunk delivery through the hub.
+
+        The hub forwards one far-link batch for the chunks it lacks
+        and serves the rest from its cache; **every** chunk in the
+        reply is keyed into the hub cache, so chunks a client merely
+        prefetched are hub hits for the next client's demand miss.
+        """
+        keys = self.next_keys
+        self.next_keys = None
+        if kind != "chunk" or keys is None or \
+                len(keys) != len(payload_sizes):
+            seconds = super().batch_exchange(kind, payload_sizes)
+            if len(payload_sizes) <= 1:
+                # super() routed through exchange(); far hop already
+                # recorded by the pass-through path above.
+                return seconds
+            return seconds + self._record_far_batch(payload_sizes)
+        if len(payload_sizes) == 1:
+            # a batch of one is exactly a single keyed exchange; do
+            # not let Channel.batch_exchange re-enter our exchange()
+            # with the key already consumed (that path would treat it
+            # as a pass-through and double-pay the far hop).
+            self.next_key = keys[0]
+            return self.exchange(kind, payload_sizes[0])
+        stats = self.hub_stats
+        seconds = super().batch_exchange(kind, payload_sizes)  # near
+        missing: list[int] = []
+        for key, size in zip(keys, payload_sizes):
+            stats.requests += 1
+            if key in self._cache:
+                self._cache.move_to_end(key)
+                stats.hub_hits += 1
+                stats.hub_bytes += size
+            else:
+                stats.origin_fetches += 1
+                stats.origin_bytes += size
+                missing.append(size)
+        if missing:
+            seconds += self._record_far_batch(missing)
+        for key, size in zip(keys, payload_sizes):
+            self._cache_insert(key, size)
         return seconds
 
 
 def with_hub(system, near: LinkModel | None = None,
              far: LinkModel | None = None,
-             capacity_bytes: int = 64 * 1024) -> HubChannel:
+             capacity_bytes: int = 64 * 1024,
+             hub: HubChannel | None = None) -> HubChannel:
     """Insert a hub cache between *system*'s CC and its MC.
 
     Returns the installed :class:`HubChannel` (whose ``hub_stats``
-    report hit rates).  Call before ``system.run()``.
+    report hit rates).  Call before ``system.run()``.  Pass an
+    existing *hub* to share one mid-tier cache between several client
+    systems (the cell-tower scenario: systems built with a
+    ``shared_mc`` and one hub see each other's chunks).
     """
-    near = near or LinkModel()
-    far = far or LinkModel(bandwidth_bps=2e6, latency_s=5e-3)
-    hub = HubChannel(near, far, capacity_bytes)
+    if hub is None:
+        near = near or LinkModel()
+        far = far or LinkModel(bandwidth_bps=2e6, latency_s=5e-3)
+        hub = HubChannel(near, far, capacity_bytes)
     system.channel = hub
     system.cc.channel = hub
 
     mc = system.mc
+    if getattr(mc, "_hub_wrapped", None) is hub:
+        return hub  # shared MC already feeds this hub's key plumbing
+
     original = mc.serve_chunk
+    original_batch = mc.serve_batch
 
     def serving(orig_addr: int):
         hub.next_key = orig_addr
         return original(orig_addr)
 
+    def serving_batch(orig_addr: int, depth: int, is_resident):
+        batch = original_batch(orig_addr, depth, is_resident)
+        hub.next_keys = [chunk.orig for chunk, _ in batch]
+        return batch
+
     mc.serve_chunk = serving
+    mc.serve_batch = serving_batch
+    mc._hub_wrapped = hub
     return hub

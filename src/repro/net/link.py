@@ -14,6 +14,7 @@ semantics), matching the prototypes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 
 @dataclass(frozen=True)
@@ -28,6 +29,11 @@ class LinkModel:
     request_bytes: int = 24
     #: Application-level header bytes on a reply message.
     reply_header_bytes: int = 36
+    #: Sub-header bytes per *additional* chunk in a batched reply
+    #: (original address + size + exit count).  The demanded chunk
+    #: rides under the main reply header, so a batch of one costs
+    #: exactly :meth:`exchange_time`.
+    batch_subheader_bytes: int = 12
 
     @property
     def exchange_overhead_bytes(self) -> int:
@@ -40,6 +46,25 @@ class LinkModel:
     def exchange_time(self, payload_bytes: int) -> float:
         """Seconds for one blocking RPC carrying *payload_bytes* back."""
         total_bytes = self.exchange_overhead_bytes + payload_bytes
+        return 2 * self.latency_s + total_bytes * 8 / self.bandwidth_bps
+
+    def batch_overhead_bytes(self, nchunks: int) -> int:
+        """Protocol bytes for a batched reply carrying *nchunks* chunks:
+        one request header, one reply header, one sub-header per extra
+        chunk.  This is what amortizes the paper's 60-byte-per-exchange
+        overhead across a prefetch batch."""
+        return (self.exchange_overhead_bytes +
+                self.batch_subheader_bytes * max(0, nchunks - 1))
+
+    def batch_exchange_time(self, payload_sizes: Sequence[int]) -> float:
+        """Seconds for one RPC returning several chunks in one reply.
+
+        One latency pair regardless of batch size; the wire carries the
+        shared headers plus every chunk back to back.  Degenerates to
+        :meth:`exchange_time` for a single chunk.
+        """
+        total_bytes = (self.batch_overhead_bytes(len(payload_sizes)) +
+                       sum(payload_sizes))
         return 2 * self.latency_s + total_bytes * 8 / self.bandwidth_bps
 
     def one_way_time(self, payload_bytes: int) -> float:
@@ -56,8 +81,15 @@ class LinkStats:
     one_way_messages: int = 0
     payload_bytes: int = 0
     overhead_bytes: int = 0
+    #: Base request/reply header bytes of RPC exchanges only (the
+    #: §2.4 per-exchange overhead; batch sub-headers excluded so
+    #: :meth:`overhead_per_exchange` stays the paper's metric).
     exchange_overhead_bytes: int = 0
     busy_seconds: float = 0.0
+    #: Exchanges whose reply carried more than one chunk.
+    batch_exchanges: int = 0
+    #: Chunks delivered inside batched replies (demand + prefetch).
+    batched_chunks: int = 0
     by_kind: dict[str, int] = field(default_factory=dict)
 
     @property
@@ -100,6 +132,30 @@ class Channel:
         stats.exchanges += 1
         stats.payload_bytes += payload_bytes
         stats.overhead_bytes += link.exchange_overhead_bytes
+        stats.exchange_overhead_bytes += link.exchange_overhead_bytes
+        stats.busy_seconds += seconds
+        stats.by_kind[kind] = stats.by_kind.get(kind, 0) + 1
+        return seconds
+
+    def batch_exchange(self, kind: str,
+                       payload_sizes: Sequence[int]) -> float:
+        """One RPC whose reply carries several chunks (miss batching).
+
+        A single-chunk batch is accounted exactly like :meth:`exchange`
+        so ``prefetch_depth=0`` configurations are bit-identical to the
+        unbatched protocol.
+        """
+        if len(payload_sizes) <= 1:
+            return self.exchange(kind, sum(payload_sizes))
+        link = self.link
+        seconds = link.batch_exchange_time(payload_sizes)
+        stats = self.stats
+        stats.exchanges += 1
+        stats.batch_exchanges += 1
+        stats.batched_chunks += len(payload_sizes)
+        stats.payload_bytes += sum(payload_sizes)
+        stats.overhead_bytes += link.batch_overhead_bytes(
+            len(payload_sizes))
         stats.exchange_overhead_bytes += link.exchange_overhead_bytes
         stats.busy_seconds += seconds
         stats.by_kind[kind] = stats.by_kind.get(kind, 0) + 1

@@ -63,6 +63,12 @@ class HaltExecution(Exception):
 TrapHook = Callable[["CPU", int, int, int], int]
 SysHook = Callable[["CPU", int, int], int]
 
+#: Word -> decoded Insn.  Insn is frozen, decoding is pure, and real
+#: programs use a few thousand distinct words, so one process-wide memo
+#: makes repeated decode (tcache retranslation after eviction) a dict
+#: hit.  Words that fail to decode are not memoized.
+_DECODE_MEMO: dict[int, object] = {}
+
 #: Max instructions fused into one superblock (prefix + terminator).
 FUSE_LIMIT = 64
 #: Dispatches per instruction-limit check in the fast loop.
@@ -128,6 +134,19 @@ class CPU:
         self._code_gen = [0]
         #: Precise pc of a fault raised from inside a fused block.
         self._fault_pc: int | None = None
+        #: Content-keyed superblock function cache: raw word tuple ->
+        #: compiled closure.  Generated superblock code is entirely
+        #: offset-relative (absolute targets come from the words
+        #: themselves) and binds only per-CPU state, so identical word
+        #: runs reuse one closure across evict/flush/retranslate cycles
+        #: without re-running codegen or ``exec``.
+        self._sb_fn_cache: dict[tuple[int, ...], Callable[[int], int]] = {}
+        #: Interned id of this CPU's per-op cost table; part of the
+        #: module-level codegen cache key (costs are baked into the
+        #: generated source as literals).
+        sig = tuple(sorted((op.value, c) for op, c in
+                           costs.op_cycles.items()))
+        self._sb_cost_tag = _COST_TAGS.setdefault(sig, len(_COST_TAGS))
         memory.code_write_hooks.append(self._invalidate_decoded)
 
     # -- public accounting ------------------------------------------------
@@ -173,14 +192,15 @@ class CPU:
         """
         self._code_gen[0] += 1
         self.sb_stats.code_writes += 1
-        decoded = self._decoded
-        cover = self._block_cover
+        pop = self._decoded.pop
+        cover_get = self._block_cover.get
+        kill = self._kill_block
         for a in range(addr & ~3, addr + length, 4):
-            decoded.pop(a, None)
-            starts = cover.get(a)
+            pop(a, None)
+            starts = cover_get(a)
             if starts:
                 for start in tuple(starts):
-                    self._kill_block(start)
+                    kill(start)
 
     def _kill_block(self, start: int) -> None:
         self._blocks.pop(start, None)
@@ -213,10 +233,13 @@ class CPU:
             raise FetchFault(pc, "misaligned pc")
         off = pc - region.base
         word = int.from_bytes(region.buf[off:off + 4], "little")
-        try:
-            ins = decode(word)
-        except Exception as exc:
-            raise IllegalInstruction(pc, word) from exc
+        ins = _DECODE_MEMO.get(word)
+        if ins is None:
+            try:
+                ins = decode(word)
+            except Exception as exc:
+                raise IllegalInstruction(pc, word) from exc
+            _DECODE_MEMO[word] = ins
         factory = _FACTORIES.get(ins.op)
         if factory is None:  # pragma: no cover - table is exhaustive
             raise IllegalInstruction(pc, word)
@@ -259,27 +282,43 @@ class CPU:
             # _decode_at raises the precise FetchFault
             return self._register_block(pc, pc + 4, self._decode_at(pc), 0)
         base, end, buf = region.base, region.end, region.buf
+        view = region.view32
+        memo = _DECODE_MEMO
         insns: list[tuple[int, object]] = []
+        words: list[int] = []
         term: tuple[int, object] | None = None
         addr = pc
         while addr + 4 <= end and len(insns) < FUSE_LIMIT - 1:
-            word = int.from_bytes(buf[addr - base:addr - base + 4], "little")
-            try:
-                ins = decode(word)
-            except Exception:
-                break
+            if view is not None:
+                word = view[(addr - base) >> 2]
+            else:
+                word = int.from_bytes(
+                    buf[addr - base:addr - base + 4], "little")
+            ins = memo.get(word)
+            if ins is None:
+                try:
+                    ins = decode(word)
+                except Exception:
+                    break
+                memo[word] = ins
             op = ins.op
             if op in _SB_TERM_OPS:
                 term = (addr, ins)
+                words.append(word)
                 break
             if op not in _SB_STRAIGHT_OPS:
                 break  # TRAP/SYSCALL/BREAK/HALT: per-instruction only
             insns.append((addr, ins))
+            words.append(word)
             addr += 4
         fused = len(insns) + (1 if term is not None else 0)
         if fused < 2:
             return self._register_block(pc, pc + 4, self._decode_at(pc), 0)
-        fn = _compile_superblock(self, pc, insns, term)
+        key = tuple(words)
+        fn = self._sb_fn_cache.get(key)
+        if fn is None:
+            fn = _compile_superblock(self, pc, insns, term, key)
+            self._sb_fn_cache[key] = fn
         end_addr = term[0] + 4 if term is not None else addr
         return self._register_block(pc, end_addr, fn, fused)
 
@@ -771,6 +810,15 @@ _S = "2147483648"       # sign-flip literal
 
 _SB_CODE_CACHE: dict[str, object] = {}
 
+#: (cost tag, word tuple) -> (code object, fault-fixup table).  Lets a
+#: fresh CPU (new benchmark round, new client system) skip source
+#: generation entirely for content it has seen under the same cost
+#: model; only the per-CPU ``exec`` binding runs.
+_SB_COMPILED_CACHE: dict[tuple, tuple[object, dict]] = {}
+
+#: Cost-table signature -> small interned tag (see CPU._sb_cost_tag).
+_COST_TAGS: dict[tuple, int] = {}
+
 _SB_ALU_R = {
     Op.ADD: lambda a, b: f"({a} + {b}) & {_M}",
     Op.SUB: lambda a, b: f"({a} - {b}) & {_M}",
@@ -879,10 +927,39 @@ def _sb_term_lines(ins, off: int) -> list[str]:
     raise AssertionError(op)  # pragma: no cover
 
 
-def _compile_superblock(cpu: CPU, start: int, insns, term):
+def _compile_superblock(cpu: CPU, start: int, insns, term, key=None):
     """Generate, compile and bind the superblock closure for *insns*
-    (list of ``(addr, Insn)``) with optional fused terminator *term*."""
-    costs = cpu.costs.op_cycles
+    (list of ``(addr, Insn)``) with optional fused terminator *term*.
+
+    With *key* (the raw word tuple) the generated code object and its
+    fault-fixup table are reused from :data:`_SB_COMPILED_CACHE`
+    across CPUs sharing a cost table; only the ``exec`` that binds
+    this CPU's registers/stats/memory runs per CPU.
+    """
+    cache_key = (cpu._sb_cost_tag, key) if key is not None else None
+    cached = (_SB_COMPILED_CACHE.get(cache_key)
+              if cache_key is not None else None)
+    if cached is not None:
+        code, fixups = cached
+    else:
+        code, fixups = _sb_codegen(cpu.costs.op_cycles, start, insns, term)
+        if cache_key is not None:
+            _SB_COMPILED_CACHE[cache_key] = (code, fixups)
+    mem = cpu.mem
+    ns = {
+        "_r": cpu.regs, "_st": cpu.stats, "_cw": cpu._code_gen,
+        "_C": cpu, "_F": fixups, "_rw": mem.read_word,
+        "_rh": mem.read_half, "_rb": mem.read_byte,
+        "_ww": mem.write_word, "_wh": mem.write_half,
+        "_wb": mem.write_byte, "_sgn": to_signed32, "_sdiv": _sdiv,
+        "_srem": _srem,
+    }
+    exec(code, ns)
+    return ns["_sb"]
+
+
+def _sb_codegen(costs, start: int, insns, term):
+    """Generate (code object, fixup table) for one superblock."""
     body: list[str] = []
     used: set[str] = set()
     has_mem = False
@@ -985,14 +1062,4 @@ def _compile_superblock(cpu: CPU, start: int, insns, term):
     if code is None:
         code = compile(src, "<superblock>", "exec")
         _SB_CODE_CACHE[src] = code
-    mem = cpu.mem
-    ns = {
-        "_r": cpu.regs, "_st": cpu.stats, "_cw": cpu._code_gen,
-        "_C": cpu, "_F": fixups, "_rw": mem.read_word,
-        "_rh": mem.read_half, "_rb": mem.read_byte,
-        "_ww": mem.write_word, "_wh": mem.write_half,
-        "_wb": mem.write_byte, "_sgn": to_signed32, "_sdiv": _sdiv,
-        "_srem": _srem,
-    }
-    exec(code, ns)
-    return ns["_sb"]
+    return code, fixups

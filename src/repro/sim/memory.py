@@ -71,6 +71,10 @@ class Memory:
         #: executable region (decode-cache invalidation).
         self.code_write_hooks: list[Callable[[int, int], None]] = []
         self._last: Region | None = None
+        #: 4K-page number -> region, for pages fully inside one region;
+        #: O(1) lookup when accesses ping-pong between regions (code in
+        #: local RAM, data on the stack) and the ``_last`` cache misses.
+        self._page_map: dict[int, Region] = {}
 
     # -- mapping --------------------------------------------------------
 
@@ -82,6 +86,12 @@ class Memory:
                     f"region {region.name} overlaps {existing.name}")
         self.regions.append(region)
         self.regions.sort(key=lambda r: r.base)
+        pages = self._page_map
+        for page in range(region.base >> 12,
+                          (region.end_addr + 0xFFF) >> 12):
+            if (page << 12) >= region.base and \
+                    ((page + 1) << 12) <= region.end_addr:
+                pages[page] = region
         return region
 
     def region_named(self, name: str) -> Region:
@@ -93,10 +103,14 @@ class Memory:
     def region_at(self, addr: int) -> Region:
         """Find the region containing *addr* (fast path: last hit)."""
         last = self._last
-        if last is not None and last.base <= addr < last.end:
+        if last is not None and last.base <= addr < last.end_addr:
             return last
+        region = self._page_map.get(addr >> 12)
+        if region is not None:
+            self._last = region
+            return region
         for region in self.regions:
-            if region.base <= addr < region.end:
+            if region.base <= addr < region.end_addr:
                 self._last = region
                 return region
         raise MemoryFault(addr, "unmapped")
@@ -187,14 +201,14 @@ class Memory:
 
     def read_bytes(self, addr: int, length: int) -> bytes:
         region = self.region_at(addr)
-        if addr + length > region.end:
+        if addr + length > region.end_addr:
             raise MemoryFault(addr, f"read of {length} bytes crosses region")
         off = addr - region.base
         return bytes(region.buf[off:off + length])
 
     def write_bytes(self, addr: int, data: bytes) -> None:
         region = self.region_at(addr)
-        if addr + len(data) > region.end:
+        if addr + len(data) > region.end_addr:
             raise MemoryFault(addr, "write crosses region")
         if not region.writable:
             raise MemoryFault(addr, "write to read-only region")

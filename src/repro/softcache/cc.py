@@ -26,6 +26,9 @@ time-shaped results (Figures 5 and 8) fall out of `cpu.cycles`.
 
 from __future__ import annotations
 
+import sys
+from time import perf_counter
+
 from ..isa import Insn, Op, Trap, encode, patch_branch_disp, patch_jump_target
 from ..isa.registers import FP, RA
 from ..layout import FP_SENTINEL
@@ -35,7 +38,7 @@ from .mc import MemoryController
 from .chunks import Chunk, ExitKind
 from .records import ContSlot, JRSite, Link, Redirector, SiteKind, Stub, TBlock
 from .stats import SoftCacheStats
-from .tcache import TCache, TCacheGeometry
+from .tcache import TCache, TCacheFull, TCacheGeometry
 
 
 class SoftCacheError(Exception):
@@ -47,6 +50,30 @@ class _StubExhausted(Exception):
 
 
 _BREAK_WORD = encode(Insn(Op.BREAK, imm=0xDEAD))
+
+_LITTLE_ENDIAN_HOST = sys.byteorder == "little"
+
+
+class _BEWords:
+    """Word view over a bytearray for big-endian hosts (fallback for
+    the ``memoryview.cast("I")`` bulk-install fast path)."""
+
+    __slots__ = ("_buf",)
+
+    def __init__(self, buf: bytearray):
+        self._buf = buf
+
+    def __getitem__(self, i: int) -> int:
+        return int.from_bytes(self._buf[4 * i:4 * i + 4], "little")
+
+    def __setitem__(self, i: int, word: int) -> None:
+        self._buf[4 * i:4 * i + 4] = word.to_bytes(4, "little")
+
+
+def _word_view(buf: bytearray):
+    if _LITTLE_ENDIAN_HOST:
+        return memoryview(buf).cast("I")
+    return _BEWords(buf)
 
 
 class _IdAlloc:
@@ -80,9 +107,11 @@ class BaseCacheController:
     def __init__(self, machine: Machine, mc: MemoryController,
                  channel: Channel, geometry: TCacheGeometry, *,
                  policy: str = "fifo", record_timeline: bool = True,
-                 debug_poison: bool = False):
+                 debug_poison: bool = False, prefetch_depth: int = 0):
         if policy not in ("fifo", "flush"):
             raise ValueError(f"unknown policy {policy!r}")
+        if prefetch_depth < 0:
+            raise ValueError("prefetch_depth must be >= 0")
         self.machine = machine
         self.cpu = machine.cpu
         self.mem = machine.mem
@@ -91,6 +120,7 @@ class BaseCacheController:
         self.channel = channel
         self.tcache = TCache(geometry)
         self.policy = policy
+        self.prefetch_depth = prefetch_depth
         self.record_timeline = record_timeline
         self.debug_poison = debug_poison
         self.stats = SoftCacheStats()
@@ -104,8 +134,10 @@ class BaseCacheController:
     def _charge(self, cycles: int) -> None:
         self.cpu.add_cycles(cycles)
 
-    def _charge_link(self, seconds: float) -> None:
-        self.cpu.add_cycles(int(seconds * self.costs.cpu_hz))
+    def _charge_link(self, seconds: float) -> int:
+        cycles = int(seconds * self.costs.cpu_hz)
+        self.cpu.add_cycles(cycles)
+        return cycles
 
     # -- trap dispatch ------------------------------------------------------
 
@@ -148,15 +180,39 @@ class BaseCacheController:
         self.cpu.pc = block.addr
 
     def ensure_translated(self, orig: int) -> TBlock:
-        """Return the resident block for *orig*, translating on miss."""
+        """Return the resident block for *orig*, translating on miss.
+
+        With ``prefetch_depth > 0`` the miss is serviced as one batched
+        exchange: the demanded chunk plus up to *depth* non-resident
+        successors, installed speculatively after the demand install.
+        """
+        stats = self.stats
         self._charge(self.costs.map_lookup_cycles)
         block = self.tcache.lookup(orig)
         if block is not None and block.alive:
-            self.stats.map_hits += 1
+            stats.map_hits += 1
+            if block.prefetched:
+                block.prefetched = False
+                stats.prefetch_hits += 1
             return block
-        chunk = self.mc.serve_chunk(orig)
-        self._charge_link(self.channel.exchange("chunk", chunk.payload_bytes))
+        t0 = perf_counter()
+        if self.prefetch_depth > 0:
+            batch = self.mc.serve_batch(orig, self.prefetch_depth,
+                                        self._is_resident)
+            chunk, payload = batch[0]
+            stats.miss_serve_host_s += perf_counter() - t0
+            seconds = self.channel.batch_exchange(
+                "chunk", [c.payload_bytes for c, _ in batch])
+        else:
+            batch = None
+            chunk = self.mc.serve_chunk(orig)
+            payload = self.mc.payload_of(chunk)
+            stats.miss_serve_host_s += perf_counter() - t0
+            seconds = self.channel.exchange("chunk", chunk.payload_bytes)
+        stats.miss_link_cycles += self._charge_link(seconds)
         self._charge(self.costs.mc_service_cycles)
+        stats.miss_serve_cycles += self.costs.mc_service_cycles
+        t0 = perf_counter()
         for attempt in (0, 1):
             try:
                 self._make_space(chunk.size)
@@ -165,7 +221,7 @@ class BaseCacheController:
                                orig_size=chunk.orig_size,
                                extra_words=chunk.extra_words,
                                name=chunk.name)
-                self._install(block, chunk)
+                self._install(block, chunk, payload)
                 self.tcache.commit(block)
                 if self.debug_poison:
                     self.tcache.assert_invariants()
@@ -176,14 +232,73 @@ class BaseCacheController:
                         "stub area exhausted even after a flush; "
                         "increase stub_capacity")
                 self.flush()
-        self.stats.translations += 1
+        stats.translations += 1
         if self.record_timeline:
-            self.stats.translation_timestamps.append(self.cpu.cycles)
-        self.stats.words_installed += len(chunk.words)
-        self.stats.extra_words_installed += chunk.extra_words
-        self._charge(self.costs.install_fixed_cycles +
-                     self.costs.install_per_word_cycles * len(chunk.words))
+            stats.translation_timestamps.append(self.cpu.cycles)
+        stats.words_installed += len(chunk.words)
+        stats.extra_words_installed += chunk.extra_words
+        install_cycles = (self.costs.install_fixed_cycles +
+                          self.costs.install_per_word_cycles
+                          * len(chunk.words))
+        self._charge(install_cycles)
+        stats.miss_install_cycles += install_cycles
+        stats.miss_install_host_s += perf_counter() - t0
+        if batch is not None:
+            for extra_chunk, extra_payload in batch[1:]:
+                self._install_prefetched(extra_chunk, extra_payload)
         return block
+
+    def _is_resident(self, orig: int) -> bool:
+        block = self.tcache.lookup(orig)
+        return block is not None and block.alive
+
+    def _install_prefetched(self, chunk: Chunk, payload: bytes) -> None:
+        """Install a speculative chunk from a batched reply.
+
+        Prefetch never evicts resident code and never triggers a
+        flush: if the chunk does not fit — tcache space or stub /
+        redirector headroom — it is dropped on the floor (the bytes
+        were already paid for on the link; that is the wasted-prefetch
+        risk the depth knob trades against).
+        """
+        stats = self.stats
+        existing = self.tcache.lookup(chunk.orig)
+        if existing is not None and existing.alive:
+            return  # became resident while the batch installed
+        try:
+            fits = not self.tcache.needs_eviction(chunk.size)
+        except TCacheFull:
+            fits = False  # larger than the whole tcache
+        if not fits or not self._prefetch_headroom(chunk):
+            stats.prefetch_drops += 1
+            stats.prefetch_dropped_bytes += chunk.payload_bytes
+            return
+        t0 = perf_counter()
+        addr = self.tcache.place(chunk.size)
+        block = TBlock(orig=chunk.orig, addr=addr, size=chunk.size,
+                       orig_size=chunk.orig_size,
+                       extra_words=chunk.extra_words,
+                       name=chunk.name, prefetched=True)
+        self._install(block, chunk, payload)
+        self.tcache.commit(block)
+        if self.debug_poison:
+            self.tcache.assert_invariants()
+        stats.translations += 1
+        stats.prefetch_installs += 1
+        if self.record_timeline:
+            stats.translation_timestamps.append(self.cpu.cycles)
+        stats.words_installed += len(chunk.words)
+        stats.extra_words_installed += chunk.extra_words
+        install_cycles = (self.costs.install_fixed_cycles +
+                          self.costs.install_per_word_cycles
+                          * len(chunk.words))
+        self._charge(install_cycles)
+        stats.miss_install_cycles += install_cycles
+        stats.miss_install_host_s += perf_counter() - t0
+
+    def _prefetch_headroom(self, chunk: Chunk) -> bool:
+        """Whether installing *chunk* cannot exhaust fixed areas."""
+        return True
 
     def _make_space(self, nbytes: int) -> None:
         if self.policy == "flush":
@@ -215,7 +330,7 @@ class BaseCacheController:
         block = TBlock(orig=orig, addr=addr, size=chunk.size,
                        orig_size=chunk.orig_size,
                        extra_words=chunk.extra_words, name=chunk.name)
-        self._install(block, chunk)
+        self._install(block, chunk, self.mc.payload_of(chunk))
         self.tcache.commit_pinned(block)
         self.stats.translations += 1
         self.stats.words_installed += len(chunk.words)
@@ -224,7 +339,8 @@ class BaseCacheController:
                      * len(chunk.words))
         return block
 
-    def _install(self, block: TBlock, chunk: Chunk) -> None:
+    def _install(self, block: TBlock, chunk: Chunk,
+                 payload: bytes) -> None:
         raise NotImplementedError
 
     # -- eviction / flush -------------------------------------------------------
@@ -253,6 +369,7 @@ class BaseCacheController:
     def _patch_site(self, site_addr: int, kind: SiteKind,
                     target: int) -> None:
         """Repoint the control-transfer word at *site_addr* to *target*."""
+        t0 = perf_counter()
         mem = self.mem
         if kind is SiteKind.BRANCH:
             word = mem.read_word(site_addr)
@@ -266,7 +383,9 @@ class BaseCacheController:
         else:  # pragma: no cover
             raise SoftCacheError(f"cannot patch site kind {kind}")
         self.stats.patches += 1
+        self.stats.miss_patch_cycles += self.costs.patch_cycles
         self._charge(self.costs.patch_cycles)
+        self.stats.miss_patch_host_s += perf_counter() - t0
 
     # -- guest-visible invalidation -------------------------------------------------
 
@@ -321,8 +440,14 @@ class BlockCacheController(BaseCacheController):
                   ExitKind.JUMP: SiteKind.JUMP,
                   ExitKind.CALL: SiteKind.CALL}
 
-    def _install(self, block: TBlock, chunk: Chunk) -> None:
-        words = list(chunk.words)
+    def _install(self, block: TBlock, chunk: Chunk,
+                 payload: bytes) -> None:
+        # one patch pass over a local bytearray of the pre-encoded
+        # payload, then a single write into the tcache: the install is
+        # O(exits) word stores plus one memcpy instead of a per-word
+        # re-encode (the bulk-install fast lane).
+        buf = bytearray(payload)
+        words = _word_view(buf)
         addr = block.addr
         for ex in chunk.exits:
             site = addr + 4 * ex.index
@@ -337,11 +462,11 @@ class BlockCacheController(BaseCacheController):
                     words[ex.index] = self._retarget_word(
                         words[ex.index], site_kind, site, dst.addr)
                     link = Link(site, site_kind, block, dst, ex.target)
-                    block.outgoing.append(link)
-                    dst.incoming.append(link)
+                    block.outgoing.add(link)
+                    dst.incoming.add(link)
                 else:
                     stub = self._new_stub(ex.target, site, site_kind, block)
-                    block.stubs.append(stub)
+                    block.stubs.add(stub)
                     words[ex.index] = self._retarget_word(
                         words[ex.index], site_kind, site, stub.addr)
             elif kind is ExitKind.CONT:
@@ -361,8 +486,21 @@ class BlockCacheController(BaseCacheController):
                     Insn(Op.TRAP, rd=Trap.MISS_JR, imm=jr_id))
             else:  # pragma: no cover
                 raise SoftCacheError(f"unexpected exit kind {kind}")
-        self.mem.write_bytes(
-            addr, b"".join(w.to_bytes(4, "little") for w in words))
+        self.mem.write_bytes(addr, bytes(buf))
+
+    def _prefetch_headroom(self, chunk: Chunk) -> bool:
+        # worst case every patchable exit whose target is neither
+        # resident nor the chunk itself needs a fresh stub word; the
+        # admission check is conservative (standalone-slot GC could
+        # free more) because a prefetch must never trigger the
+        # flush-and-retry path a demand miss is allowed.
+        needed = 0
+        for ex in chunk.exits:
+            if ex.kind in self._SITE_KIND and ex.target != chunk.orig:
+                dst = self.tcache.lookup(ex.target)
+                if dst is None or not dst.alive:
+                    needed += 1
+        return needed <= self.tcache.free_stub_slots
 
     @staticmethod
     def _retarget_word(word: int, kind: SiteKind, site: int,
@@ -399,10 +537,7 @@ class BlockCacheController(BaseCacheController):
                 continue
             link = self._contj_links.pop(slot.slot_id, None)
             if link is not None and link.dst.alive:
-                try:
-                    link.dst.incoming.remove(link)
-                except ValueError:
-                    pass
+                link.dst.incoming.discard(link)
             self._free_cont_slot(slot)
 
     def _new_stub(self, orig_target: int, site_addr: int,
@@ -427,10 +562,7 @@ class BlockCacheController(BaseCacheController):
         self._stub_ids.free(stub.stub_id)
         self.tcache.free_stub(stub.addr)
         if stub.src is not None:
-            try:
-                stub.src.stubs.remove(stub)
-            except ValueError:
-                pass
+            stub.src.stubs.discard(stub)
 
     def _new_cont_slot(self, addr: int, orig_target: int,
                        block: TBlock | None, state: str) -> ContSlot:
@@ -475,8 +607,8 @@ class BlockCacheController(BaseCacheController):
             link = Link(stub.site_addr, stub.site_kind, stub.src, target,
                         stub.orig_target)
             if stub.src is not None:
-                stub.src.outgoing.append(link)
-            target.incoming.append(link)
+                stub.src.outgoing.add(link)
+            target.incoming.add(link)
             self._free_stub(stub)
         return target.addr
 
@@ -494,11 +626,12 @@ class BlockCacheController(BaseCacheController):
             link = Link(slot.addr, SiteKind.CONTJ, slot.block, target,
                         slot.orig_target, aux=slot)
             if slot.block is not None:
-                slot.block.outgoing.append(link)
+                slot.block.outgoing.add(link)
             else:
                 self._contj_links[slot.slot_id] = link
-            target.incoming.append(link)
+            target.incoming.add(link)
             self.stats.patches += 1
+            self.stats.miss_patch_cycles += self.costs.patch_cycles
             self._charge(self.costs.patch_cycles)
         return target.addr
 
@@ -522,9 +655,12 @@ class BlockCacheController(BaseCacheController):
     # -- invalidation --------------------------------------------------------------------
 
     def _unlink_block(self, block: TBlock) -> None:
+        if block.prefetched:
+            block.prefetched = False
+            self.stats.wasted_prefetch_bytes += block.size
         # 1. incoming pointers: repoint at fresh miss stubs / traps
         # (iterate a snapshot: stub allocation may GC standalone slots,
-        # which mutates incoming lists)
+        # which mutates incoming indexes)
         for link in list(block.incoming):
             if link.src is block:
                 continue  # self-link dies with the block
@@ -536,23 +672,19 @@ class BlockCacheController(BaseCacheController):
                     slot.state = "trap"
                     if slot.block is None:
                         self._contj_links.pop(slot.slot_id, None)
-                    if (link.src is not None and link.src.alive
-                            and link in link.src.outgoing):
-                        link.src.outgoing.remove(link)
+                    if link.src is not None and link.src.alive:
+                        link.src.outgoing.discard(link)
             elif link.src is not None and link.src.alive:
                 stub = self._new_stub(link.orig_target, link.site_addr,
                                       link.kind, link.src)
-                link.src.stubs.append(stub)
+                link.src.stubs.add(stub)
                 self._patch_site(link.site_addr, link.kind, stub.addr)
-                link.src.outgoing.remove(link)
+                link.src.outgoing.discard(link)
         block.incoming.clear()
         # 2. outgoing pointers: drop reverse registrations
         for link in block.outgoing:
             if link.dst.alive:
-                try:
-                    link.dst.incoming.remove(link)
-                except ValueError:
-                    pass
+                link.dst.incoming.discard(link)
         block.outgoing.clear()
         # 3. unresolved stubs and jr sites owned by the block
         for stub in list(block.stubs):
@@ -654,8 +786,10 @@ class ProcCacheController(BaseCacheController):
 
     # -- install -----------------------------------------------------------
 
-    def _install(self, block: TBlock, chunk: Chunk) -> None:
-        words = list(chunk.words)
+    def _install(self, block: TBlock, chunk: Chunk,
+                 payload: bytes) -> None:
+        buf = bytearray(payload)
+        words = _word_view(buf)
         addr = block.addr
         for ex in chunk.exits:
             if ex.kind is ExitKind.INTERNAL:
@@ -672,11 +806,21 @@ class ProcCacheController(BaseCacheController):
                     Insn(Op.J, imm=ret_target >> 2)))
                 link = Link(redir.addr + 4, SiteKind.LANDING, None,
                             block, ex.target, aux=redir)
-                block.incoming.append(link)
+                block.incoming.add(link)
             else:  # pragma: no cover - chunker emits only these kinds
                 raise SoftCacheError(f"unexpected exit kind {ex.kind}")
-        self.mem.write_bytes(
-            addr, b"".join(w.to_bytes(4, "little") for w in words))
+        self.mem.write_bytes(addr, bytes(buf))
+
+    def _prefetch_headroom(self, chunk: Chunk) -> bool:
+        # every call site without an existing redirector needs one
+        # permanent two-word slot; a prefetched procedure must not be
+        # the one that exhausts the area (that raises for demand
+        # misses, which actually need the code).
+        needed = sum(
+            1 for ex in chunk.exits
+            if ex.kind is ExitKind.CALLSITE
+            and (chunk.orig, ex.index) not in self._redirector_by_site)
+        return needed <= self.tcache.free_redirector_slots
 
     def _redirector_for(self, caller_orig: int, ex) -> Redirector:
         key = (caller_orig, ex.index)
@@ -707,9 +851,10 @@ class ProcCacheController(BaseCacheController):
         callee = self.ensure_translated(redir.callee_orig)
         self.mem.write_word(redir.addr, encode(
             Insn(Op.JAL, imm=callee.addr >> 2)))
-        callee.incoming.append(Link(redir.addr, SiteKind.RCALL, None,
-                                    callee, redir.callee_orig, aux=redir))
+        callee.incoming.add(Link(redir.addr, SiteKind.RCALL, None,
+                                 callee, redir.callee_orig, aux=redir))
         self.stats.patches += 1
+        self.stats.miss_patch_cycles += self.costs.patch_cycles
         self._charge(self.costs.patch_cycles)
         # emulate the jal the redirector now performs
         self.cpu.set_reg(RA, redir.addr + 4)
@@ -726,6 +871,9 @@ class ProcCacheController(BaseCacheController):
     # -- invalidation -------------------------------------------------------------
 
     def _unlink_block(self, block: TBlock) -> None:
+        if block.prefetched:
+            block.prefetched = False
+            self.stats.wasted_prefetch_bytes += block.size
         for link in block.incoming:
             redir: Redirector = link.aux  # type: ignore[assignment]
             if link.kind is SiteKind.RCALL:

@@ -87,6 +87,24 @@ class Chunk:
         """Bytes shipped over the link (body + 4 per exit record)."""
         return self.size + 4 * len(self.exits)
 
+    @property
+    def successors(self) -> tuple[int, ...]:
+        """Original addresses control can transfer to next (static).
+
+        The nodes this chunk points at in the MC's chunk-successor
+        graph: taken-branch and jump targets, call targets and the
+        return continuation.  Computed jumps contribute nothing (their
+        targets live in registers) and intra-chunk fixups are not
+        successors.  Order follows the exit order, de-duplicated.
+        """
+        seen: list[int] = []
+        for ex in self.exits:
+            if ex.kind is ExitKind.INTERNAL or ex.target is None:
+                continue
+            if ex.target != self.orig and ex.target not in seen:
+                seen.append(ex.target)
+        return tuple(seen)
+
 
 class ChunkError(ValueError):
     """The program violates the chunker's programming-model contract."""

@@ -10,12 +10,25 @@ Chunks are cached MC-side so repeated misses on the same address (after
 eviction) are served from the MC's table; the paper notes the MC's
 lookup/preparation time "could easily be reduced to near zero by more
 powerful MC systems", so the cost model charges a small fixed
-``mc_service_cycles`` per request either way.
+``mc_service_cycles`` per request either way.  Alongside each chunk the
+MC caches its **pre-encoded payload bytes** (the position-independent
+body as it crosses the wire), so re-serving an evicted chunk is a dict
+hit plus a buffer handoff, and the CC can install with one patch pass
+over a local ``bytearray``.
+
+The MC also maintains a **static chunk-successor graph** (fallthrough,
+taken-branch and call targets, recorded as chunks are built).  With
+``prefetch_depth > 0`` the CC asks for a *batch*: the demanded chunk
+plus up to N non-resident successors shipped in one reply, amortizing
+the per-exchange protocol overhead — the standard instruction-prefetch
+lever applied to the paper's "could easily be reduced to near zero"
+miss-service cost.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from ..asm.image import Image
 from .chunks import (
@@ -35,6 +48,12 @@ class MCStats:
     chunks_built: int = 0
     chunk_cache_hits: int = 0
     bytes_served: int = 0
+    #: Batched (prefetching) requests serviced.
+    batch_requests: int = 0
+    #: Chunks shipped speculatively inside batched replies.
+    prefetch_chunks_sent: int = 0
+    #: Payload bytes of those speculative chunks.
+    prefetch_bytes_served: int = 0
     data_requests: int = 0
     data_bytes_served: int = 0
     writebacks: int = 0
@@ -58,23 +77,105 @@ class MemoryController:
         self.granularity = granularity
         self.stats = MCStats()
         self._chunk_cache: dict[int, Chunk] = {}
+        #: Pre-encoded body bytes per chunk (what the CC installs).
+        self._payload_cache: dict[int, bytes] = {}
+        #: Static successor graph: orig -> successor origs, recorded as
+        #: chunks are built (chunk content is static, so is the graph).
+        self._successors: dict[int, tuple[int, ...]] = {}
+        #: Successor addresses that failed to chunk (mid-procedure
+        #: entries under proc granularity, targets outside text);
+        #: remembered so batches do not retry them on every miss.
+        self._unchunkable: set[int] = set()
         #: Optional data-access rewriter (full-system mode, §3).
         self.data_rewriter = None
 
-    def serve_chunk(self, orig_addr: int) -> Chunk:
-        """Service one instruction miss: return the rewritten chunk."""
-        self.stats.requests += 1
+    # -- chunk production ---------------------------------------------
+
+    def _obtain(self, orig_addr: int) -> Chunk:
+        """Chunk-cache lookup/build without request accounting."""
         chunk = self._chunk_cache.get(orig_addr)
         if chunk is None:
             chunk = self.chunker.chunk_at(orig_addr)
             if self.data_rewriter is not None:
                 chunk = self.data_rewriter.transform(chunk)
             self._chunk_cache[orig_addr] = chunk
+            self._successors[orig_addr] = chunk.successors
             self.stats.chunks_built += 1
-        else:
+        return chunk
+
+    def payload_of(self, chunk: Chunk) -> bytes:
+        """The chunk's pre-encoded body bytes (cached server-side)."""
+        payload = self._payload_cache.get(chunk.orig)
+        if payload is None:
+            payload = b"".join(
+                w.to_bytes(4, "little") for w in chunk.words)
+            self._payload_cache[chunk.orig] = payload
+        return payload
+
+    def successors_of(self, orig_addr: int) -> tuple[int, ...]:
+        """Static successors of the chunk at *orig_addr* (builds the
+        chunk if the graph has no node for it yet)."""
+        succ = self._successors.get(orig_addr)
+        if succ is None:
+            succ = self._obtain(orig_addr).successors
+        return succ
+
+    # -- miss service -------------------------------------------------
+
+    def serve_chunk(self, orig_addr: int) -> Chunk:
+        """Service one instruction miss: return the rewritten chunk."""
+        self.stats.requests += 1
+        cached = orig_addr in self._chunk_cache
+        chunk = self._obtain(orig_addr)
+        if cached:
             self.stats.chunk_cache_hits += 1
         self.stats.bytes_served += chunk.payload_bytes
         return chunk
+
+    def serve_batch(self, orig_addr: int, depth: int,
+                    is_resident: Callable[[int], bool]
+                    ) -> list[tuple[Chunk, bytes]]:
+        """Service a miss with successor prefetch: one batched reply.
+
+        Returns ``[(chunk, payload_bytes), ...]`` — the demanded chunk
+        first, then up to *depth* additional chunks discovered by a
+        breadth-first walk of the successor graph, skipping anything
+        *is_resident* reports the client already holds.  With
+        ``depth == 0`` the reply is exactly ``serve_chunk``'s.
+        """
+        demand = self.serve_chunk(orig_addr)
+        batch = [(demand, self.payload_of(demand))]
+        if depth <= 0:
+            return batch
+        self.stats.batch_requests += 1
+        picked = {orig_addr}
+        frontier = list(demand.successors)
+        seen = set(frontier) | picked
+        while frontier and len(batch) <= depth:
+            addr = frontier.pop(0)
+            if addr in self._unchunkable:
+                continue
+            if not is_resident(addr):
+                try:
+                    chunk = self._obtain(addr)
+                except ChunkError:
+                    self._unchunkable.add(addr)
+                    continue
+                batch.append((chunk, self.payload_of(chunk)))
+                picked.add(addr)
+                self.stats.prefetch_chunks_sent += 1
+                self.stats.prefetch_bytes_served += chunk.payload_bytes
+                self.stats.bytes_served += chunk.payload_bytes
+            try:
+                successors = self.successors_of(addr)
+            except ChunkError:
+                self._unchunkable.add(addr)
+                continue
+            for succ in successors:
+                if succ not in seen:
+                    seen.add(succ)
+                    frontier.append(succ)
+        return batch
 
     def serve_data(self, addr: int, length: int) -> bytes:
         """Service a data miss (software D-cache refill, §3)."""
@@ -115,4 +216,7 @@ class MemoryController:
                  if orig < addr + length and addr < orig + chunk.orig_size]
         for orig in stale:
             del self._chunk_cache[orig]
+            self._payload_cache.pop(orig, None)
+            self._successors.pop(orig, None)
+        self._unchunkable.clear()
         return len(stale)

@@ -16,6 +16,47 @@ import enum
 from dataclasses import dataclass, field
 
 
+class LinkIndex:
+    """Insertion-ordered identity set of bookkeeping records.
+
+    The per-block link/stub indexes: eviction must drop a specific
+    link from its counterpart block's index, which with plain lists is
+    a linear scan per unlink (quadratic under thrashing).  A dict used
+    as an ordered set keeps O(1) add/discard while preserving exactly
+    the list iteration order the unlink path depends on (stub
+    allocation order, and therefore stats, are unchanged).
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self) -> None:
+        self._items: dict = {}
+
+    def add(self, item) -> None:
+        self._items[item] = None
+
+    def discard(self, item) -> None:
+        self._items.pop(item, None)
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item) -> bool:
+        return item in self._items
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LinkIndex({list(self._items)!r})"
+
+
 class SiteKind(enum.Enum):
     """What kind of patchable word a link's source site is."""
 
@@ -39,12 +80,18 @@ class TBlock:
     name: str = ""       # procedure name (proc chunker) or ""
     alive: bool = True
     pinned: bool = False
+    #: Installed speculatively by a batched (prefetch) reply and not
+    #: yet entered; cleared on first demand hit, counted as wasted
+    #: prefetch if still set at eviction time.
+    prefetched: bool = False
     #: Links whose *site* lies inside this block.
-    outgoing: list["Link"] = field(default_factory=list)
-    #: Links whose *target* lies inside this block.
-    incoming: list["Link"] = field(default_factory=list)
+    outgoing: LinkIndex = field(default_factory=LinkIndex)
+    #: Links whose *target* lies inside this block (the eviction-time
+    #: index: every word pointing at this block, maintained at patch
+    #: time).
+    incoming: LinkIndex = field(default_factory=LinkIndex)
     #: Unresolved exit stubs created for this block's exits.
-    stubs: list["Stub"] = field(default_factory=list)
+    stubs: LinkIndex = field(default_factory=LinkIndex)
     #: Return-continuation slots inside this block (after calls).
     cont_slots: list["ContSlot"] = field(default_factory=list)
     #: Computed-jump sites inside this block.

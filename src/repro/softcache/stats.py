@@ -17,10 +17,24 @@ class SoftCacheStats:
     """Counters maintained by the cache controller."""
 
     # -- misses / translations ------------------------------------------
-    #: Chunks installed into the tcache ("basic blocks translated").
+    #: Chunks installed into the tcache ("basic blocks translated"),
+    #: demand and prefetch alike (each one is an installed chunk).
     translations: int = 0
     #: ensure_translated calls that found the chunk resident.
     map_hits: int = 0
+    #: Chunks installed speculatively from batched replies.
+    prefetch_installs: int = 0
+    #: First demand hit on a block that was installed by prefetch
+    #: (the prefetch paid off: a miss exchange was avoided).
+    prefetch_hits: int = 0
+    #: Prefetched chunks dropped without installing (no free tcache
+    #: space — prefetch never evicts resident code — or stub pressure).
+    prefetch_drops: int = 0
+    #: Payload bytes of dropped prefetched chunks.
+    prefetch_dropped_bytes: int = 0
+    #: Bytes of prefetched blocks evicted without ever being entered
+    #: (the wasted-prefetch traffic measure).
+    wasted_prefetch_bytes: int = 0
     #: Miss traps by cause.
     branch_miss_traps: int = 0
     ret_miss_traps: int = 0
@@ -49,6 +63,30 @@ class SoftCacheStats:
     patches: int = 0
     stubs_created: int = 0
     stubs_peak_bytes: int = 0
+
+    # -- per-phase miss accounting ----------------------------------------
+    # Simulated cycles and host (wall-clock) seconds spent in each
+    # phase of miss service: *serve* (MC chunking/lookup), *link*
+    # (exchange transfer time converted to client cycles), *install*
+    # (CC-side copy into the tcache) and *patch* (backpatching words).
+    miss_serve_cycles: int = 0
+    miss_link_cycles: int = 0
+    miss_install_cycles: int = 0
+    miss_patch_cycles: int = 0
+    miss_serve_host_s: float = 0.0
+    miss_install_host_s: float = 0.0
+    miss_patch_host_s: float = 0.0
+
+    @property
+    def miss_service_cycles(self) -> int:
+        """Total simulated cycles spent servicing misses (all phases)."""
+        return (self.miss_serve_cycles + self.miss_link_cycles +
+                self.miss_install_cycles + self.miss_patch_cycles)
+
+    @property
+    def demand_translations(self) -> int:
+        """Chunks installed because a miss demanded them."""
+        return self.translations - self.prefetch_installs
 
     @property
     def miss_traps(self) -> int:

@@ -36,6 +36,11 @@ class SoftCacheConfig:
     ebb_limit: int = 8
     #: Eviction policy: ``fifo`` (per-chunk) or ``flush`` (drop all).
     policy: str = "fifo"
+    #: Successor-prefetch depth: a miss reply carries up to this many
+    #: extra non-resident successor chunks in one batched exchange.
+    #: 0 (the default) reproduces the paper's one-chunk-per-miss
+    #: protocol exactly.
+    prefetch_depth: int = 0
     #: Stub area size in bytes; default = max(256, tcache_size // 4).
     stub_capacity: int | None = None
     #: Redirector area bytes (proc mode); default sized from the image.
@@ -110,7 +115,8 @@ class SoftCacheSystem:
             self.machine, self.mc, self.channel, geometry,
             policy=config.policy,
             record_timeline=config.record_timeline,
-            debug_poison=config.debug_poison)
+            debug_poison=config.debug_poison,
+            prefetch_depth=config.prefetch_depth)
         self.dcache = None
         if config.data_cache is not None:
             from ..dcache import DataRewriter, SoftDataCache

@@ -245,6 +245,11 @@ class TCache:
     def stub_bytes_in_use(self) -> int:
         return (self.geom.stub_capacity - 4 * len(self._stub_free))
 
+    @property
+    def free_stub_slots(self) -> int:
+        """Stub words still allocatable (prefetch admission check)."""
+        return len(self._stub_free)
+
     # -- pinned area (§4 novel capability) ---------------------------------------
 
     def place_pinned(self, nbytes: int) -> int:
@@ -283,3 +288,9 @@ class TCache:
     @property
     def redirector_bytes_in_use(self) -> int:
         return self._next_redirector - self.geom.redirector_base
+
+    @property
+    def free_redirector_slots(self) -> int:
+        """Two-word redirectors still allocatable."""
+        limit = self.geom.redirector_base + self.geom.redirector_capacity
+        return (limit - self._next_redirector) // 8

@@ -80,3 +80,95 @@ def test_data_traffic_bypasses_hub_cache(image):
     t = hub.exchange("data", 64)
     assert hub.hub_stats.requests == 0
     assert t > 0
+
+
+def test_far_hop_recorded_in_link_stats():
+    """Hub misses traverse the far link; its seconds/bytes must land
+    in LinkStats, not only in the returned time."""
+    near = LinkModel()
+    far = LinkModel(bandwidth_bps=2e6, latency_s=5e-3)
+    hub = HubChannel(near, far)
+
+    hub.next_key = 0x1000
+    t_miss = hub.exchange("chunk", 100)
+    assert t_miss == pytest.approx(
+        near.exchange_time(100) + far.exchange_time(100))
+    stats = hub.stats
+    assert stats.busy_seconds == pytest.approx(t_miss)
+    assert stats.payload_bytes == 200          # both hops carried it
+    assert stats.overhead_bytes == 60 + 60
+    assert stats.exchanges == 1                # one logical RPC
+    # §2.4 metric stays the near-hop per-exchange overhead
+    assert stats.overhead_per_exchange() == pytest.approx(60.0)
+
+    # a hub hit pays (and records) the near hop only
+    hub.next_key = 0x1000
+    t_hit = hub.exchange("chunk", 100)
+    assert t_hit == pytest.approx(near.exchange_time(100))
+    assert stats.busy_seconds == pytest.approx(t_miss + t_hit)
+    assert stats.payload_bytes == 300
+
+
+def test_non_chunk_pass_through_records_both_hops():
+    near = LinkModel()
+    far = LinkModel(bandwidth_bps=2e6, latency_s=5e-3)
+    hub = HubChannel(near, far)
+    t = hub.exchange("data", 64)
+    assert t == pytest.approx(
+        near.exchange_time(64) + far.exchange_time(64))
+    assert hub.stats.busy_seconds == pytest.approx(t)
+    assert hub.stats.payload_bytes == 128
+
+
+def test_batch_populates_hub_with_every_chunk():
+    near = LinkModel()
+    far = LinkModel(bandwidth_bps=2e6, latency_s=5e-3)
+    hub = HubChannel(near, far)
+    hub.next_keys = [0x100, 0x200, 0x300]
+    hub.batch_exchange("chunk", [40, 60, 80])
+    assert hub.hub_stats.origin_fetches == 3
+    # a later demand for a chunk that arrived only as batch cargo hits
+    hub.next_key = 0x300
+    t = hub.exchange("chunk", 80)
+    assert hub.hub_stats.hub_hits == 1
+    assert t == pytest.approx(near.exchange_time(80))
+
+
+def test_batch_forwards_only_missing_chunks_upstream():
+    near = LinkModel()
+    far = LinkModel(bandwidth_bps=2e6, latency_s=5e-3)
+    hub = HubChannel(near, far)
+    hub.next_key = 0x100
+    hub.exchange("chunk", 40)              # warm one chunk
+    hub.next_keys = [0x100, 0x200, 0x300]
+    t = hub.batch_exchange("chunk", [40, 60, 80])
+    assert hub.hub_stats.hub_hits == 1
+    # far leg carried only the two missing chunks
+    assert t == pytest.approx(near.batch_exchange_time([40, 60, 80]) +
+                              far.batch_exchange_time([60, 80]))
+
+
+def test_second_client_hits_hub_on_prefetched_chunk(image):
+    """The fleet scenario: client A's prefetch warms the shared hub,
+    so client B's *demand* miss for that chunk never reaches the
+    origin."""
+    config = SoftCacheConfig(tcache_size=8 * 1024, prefetch_depth=4,
+                             record_timeline=False)
+    sys_a = SoftCacheSystem(image, config)
+    hub = with_hub(sys_a)
+    sys_a.cc.start()           # one batched demand miss at the entry
+    assert sys_a.stats.prefetch_installs > 0
+    prefetched = [b for b in sys_a.cc.tcache.order if b.prefetched]
+    assert prefetched          # chunks A holds but never executed
+    target = prefetched[0].orig
+
+    sys_b = SoftCacheSystem(image, SoftCacheConfig(
+        tcache_size=8 * 1024, prefetch_depth=0,
+        record_timeline=False), shared_mc=sys_a.mc)
+    assert with_hub(sys_b, hub=hub) is hub
+    before = hub.hub_stats.origin_fetches
+    hits_before = hub.hub_stats.hub_hits
+    block = sys_b.cc.ensure_translated(target)
+    assert block.alive and not block.prefetched
+    assert hub.hub_stats.hub_hits == hits_before + 1
+    assert hub.hub_stats.origin_fetches == before
