@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from .isa import disassemble_range
 from .net import LOCAL_LINK, LinkModel
@@ -21,6 +22,59 @@ from .profiling import profile_image
 from .sim import run_native
 from .softcache import SoftCacheConfig, SoftCacheSystem
 from .workloads import WORKLOADS, build_workload
+
+
+def _softcache_config(args, recorder=None) -> SoftCacheConfig:
+    """The SoftCacheConfig shared by run/trace/debug/fleet."""
+    dcache_config = None
+    if getattr(args, "dcache", 0):
+        from .dcache import DataCacheConfig
+        dcache_config = DataCacheConfig(dcache_size=args.dcache)
+    link = LOCAL_LINK if getattr(args, "local_link", False) \
+        else LinkModel()
+    return SoftCacheConfig(
+        tcache_size=args.tcache, granularity=args.granularity,
+        policy=args.policy, link=link, data_cache=dcache_config,
+        prefetch_depth=args.prefetch_depth,
+        debug_poison=getattr(args, "poison", False),
+        recorder=recorder)
+
+
+def _write_trace(recorder, out, *, process_names=None) -> None:
+    """Write a recorder's events as <out>.jsonl + <out>.trace.json."""
+    from .obs import write_chrome_trace, write_jsonl
+    base = Path(out)
+    while base.suffix in (".jsonl", ".json", ".trace"):
+        base = base.with_suffix("")
+    jsonl = write_jsonl(recorder.events, base.with_suffix(".jsonl"),
+                        cpu_hz=recorder.cpu_hz,
+                        dropped=recorder.dropped)
+    chrome = write_chrome_trace(
+        recorder.events, base.with_suffix(".trace.json"),
+        cpu_hz=recorder.cpu_hz, process_names=process_names)
+    print(f"\n[trace] {len(recorder.events)} events "
+          f"({recorder.dropped} dropped)")
+    print(f"  jsonl        : {jsonl}")
+    print(f"  chrome trace : {chrome}  "
+          f"(load in https://ui.perfetto.dev)")
+
+
+def _print_metrics_highlights(recorder) -> None:
+    """The registry values worth a terminal line."""
+    snap = recorder.metrics.snapshot()
+    print("\nmetrics highlights:")
+    for key in ("cc.translations", "cc.miss_traps", "cc.evictions",
+                "cc.miss_service_cycles", "mc.chunks_built",
+                "link.exchanges", "interp.fused_blocks",
+                "sim.cycles"):
+        if key in snap:
+            print(f"  {key:<24} {snap[key]}")
+    for key in ("cc.miss_latency_cycles", "cc.patch_distance_bytes"):
+        hist = snap.get(key)
+        if hist and hist["count"]:
+            print(f"  {key:<24} n={hist['count']} "
+                  f"mean={hist['mean']:.0f} p50={hist['p50']:.0f} "
+                  f"p99={hist['p99']:.0f}")
 
 
 def _cmd_workloads(args) -> int:
@@ -41,15 +95,11 @@ def _cmd_run(args) -> int:
               f"{machine.cpu.cycles} cycles")
         return machine.cpu.exit_code or 0
 
-    dcache_config = None
-    if args.dcache:
-        from .dcache import DataCacheConfig
-        dcache_config = DataCacheConfig(dcache_size=args.dcache)
-    link = LOCAL_LINK if args.local_link else LinkModel()
-    config = SoftCacheConfig(
-        tcache_size=args.tcache, granularity=args.granularity,
-        policy=args.policy, link=link, data_cache=dcache_config,
-        prefetch_depth=args.prefetch_depth)
+    recorder = None
+    if getattr(args, "trace", None):
+        from .obs import FlightRecorder
+        recorder = FlightRecorder()
+    config = _softcache_config(args, recorder=recorder)
     system = SoftCacheSystem(image, config)
     report = system.run()
     print(report.output, end="")
@@ -78,7 +128,79 @@ def _cmd_run(args) -> int:
         print(f"  dcache            : fast={dst.fast_hits} "
               f"slow={dst.slow_hits} miss={dst.misses} "
               f"pred={100 * dst.prediction_accuracy():.0f}%")
+    if recorder is not None:
+        _write_trace(recorder, args.trace)
     return report.exit_code
+
+
+def _cmd_trace(args) -> int:
+    """Run a workload with the flight recorder on, export, report."""
+    from .obs import FlightRecorder, trace_summary
+    image = build_workload(args.workload, args.scale,
+                           arm_profile=(args.granularity == "proc"))
+    recorder = FlightRecorder()
+    config = _softcache_config(args, recorder=recorder)
+    system = SoftCacheSystem(image, config)
+    report = system.run()
+    out = args.out or f"trace-{args.workload}"
+    _write_trace(recorder, out)
+    print()
+    print(trace_summary(recorder.events, cpu_hz=recorder.cpu_hz,
+                        top=args.top))
+    _print_metrics_highlights(recorder)
+    return report.exit_code
+
+
+def _cmd_debug(args) -> int:
+    """Run a workload, audit the CC state, dump its tcache."""
+    from .softcache.debug import (
+        check_consistency,
+        chunk_graph_dot,
+        dump_tcache,
+    )
+    image = build_workload(args.workload, args.scale,
+                           arm_profile=(args.granularity == "proc"))
+    config = _softcache_config(args)
+    system = SoftCacheSystem(image, config)
+    system.run()
+    checked = check_consistency(system.cc)
+    if args.dot:
+        print(chunk_graph_dot(system.cc))
+    else:
+        print(dump_tcache(system.cc))
+    print(f"\n[debug] consistency OK ({checked} items checked)",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_fleet(args) -> int:
+    """Fleet simulation (Figure 1): N clients, one server, one uplink."""
+    from .fleet import simulate_fleet
+    image = build_workload(args.workload, args.scale,
+                           arm_profile=(args.granularity == "proc"))
+    recorder = None
+    if args.trace:
+        from .obs import FlightRecorder
+        recorder = FlightRecorder()
+    config = _softcache_config(args)
+    result = simulate_fleet(image, args.clients, config,
+                            stagger_s=args.stagger, recorder=recorder)
+    print(f"[fleet] {result.n_clients} clients, "
+          f"stagger {args.stagger * 1e3:.1f} ms")
+    print(f"  mc requests       : {result.mc_requests} "
+          f"({result.mc_chunks_built} chunks built, "
+          f"{100 * result.chunk_cache_sharing:.0f}% shared)")
+    print(f"  uplink            : "
+          f"{100 * result.link_utilization:.1f}% utilized over "
+          f"{result.makespan_s * 1e3:.2f} ms makespan")
+    print(f"  queueing          : {result.delayed_requests} delayed, "
+          f"mean {result.mean_queue_delay_s * 1e6:.1f} us, "
+          f"max {result.max_queue_delay_s * 1e6:.1f} us")
+    if recorder is not None:
+        names = {c.client_id: f"client {c.client_id}"
+                 for c in result.clients}
+        _write_trace(recorder, args.trace, process_names=names)
+    return 0
 
 
 def _cmd_profile(args) -> int:
@@ -161,23 +283,63 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("workloads", help="list benchmark programs")
 
+    def add_softcache_opts(p, scale=0.2):
+        p.add_argument("--scale", type=float, default=scale)
+        p.add_argument("--tcache", type=int, default=24 * 1024)
+        p.add_argument("--granularity", default="block",
+                       choices=("block", "ebb", "proc"))
+        p.add_argument("--policy", default="fifo",
+                       choices=("fifo", "flush"))
+        p.add_argument("--prefetch-depth", type=int, default=0,
+                       help="successor chunks batched onto each miss "
+                            "reply (0 = paper-faithful protocol)")
+
     run = sub.add_parser("run", help="run a workload")
     run.add_argument("workload", choices=sorted(WORKLOADS))
-    run.add_argument("--scale", type=float, default=0.2)
+    add_softcache_opts(run)
     run.add_argument("--native", action="store_true",
                      help="run without the SoftCache (ideal baseline)")
-    run.add_argument("--tcache", type=int, default=24 * 1024)
-    run.add_argument("--granularity", default="block",
-                     choices=("block", "ebb", "proc"))
-    run.add_argument("--policy", default="fifo",
-                     choices=("fifo", "flush"))
     run.add_argument("--dcache", type=int, default=0,
                      help="enable the software D-cache with this size")
-    run.add_argument("--prefetch-depth", type=int, default=0,
-                     help="successor chunks batched onto each miss "
-                          "reply (0 = paper-faithful protocol)")
     run.add_argument("--local-link", action="store_true",
                      help="zero-cost MC link (SPARC prototype style)")
+    run.add_argument("--trace", metavar="OUT",
+                     help="record a flight-recorder trace and write "
+                          "OUT.jsonl + OUT.trace.json")
+
+    trace = sub.add_parser(
+        "trace", help="run with the flight recorder on; export "
+                      "JSONL + Perfetto trace and print a report")
+    trace.add_argument("workload", choices=sorted(WORKLOADS))
+    add_softcache_opts(trace)
+    trace.add_argument("--dcache", type=int, default=0)
+    trace.add_argument("--local-link", action="store_true")
+    trace.add_argument("--out", help="output basename "
+                                     "(default trace-<workload>)")
+    trace.add_argument("--top", type=int, default=10,
+                       help="hot chunks listed in the report")
+
+    debug = sub.add_parser(
+        "debug", help="run a workload, audit CC bookkeeping, dump "
+                      "the tcache (or its DOT graph)")
+    debug.add_argument("workload", choices=sorted(WORKLOADS))
+    add_softcache_opts(debug, scale=0.1)
+    debug.add_argument("--dot", action="store_true",
+                       help="emit the resident chunk graph as "
+                            "Graphviz DOT instead of a listing")
+    debug.add_argument("--poison", action="store_true",
+                       help="poison evicted blocks (louder audits)")
+
+    fleet = sub.add_parser(
+        "fleet", help="simulate N clients sharing one MC and uplink")
+    fleet.add_argument("workload", choices=sorted(WORKLOADS))
+    add_softcache_opts(fleet, scale=0.1)
+    fleet.add_argument("--clients", type=int, default=4)
+    fleet.add_argument("--stagger", type=float, default=0.0,
+                       help="boot-time offset between clients (s)")
+    fleet.add_argument("--trace", metavar="OUT",
+                       help="record a fleet-wide trace (per-client "
+                            "timelines merged)")
 
     prof = sub.add_parser("profile", help="flat profile of a workload")
     prof.add_argument("workload", choices=sorted(WORKLOADS))
@@ -210,6 +372,9 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "workloads": _cmd_workloads,
         "run": _cmd_run,
+        "trace": _cmd_trace,
+        "debug": _cmd_debug,
+        "fleet": _cmd_fleet,
         "profile": _cmd_profile,
         "disasm": _cmd_disasm,
         "figures": _cmd_figures,

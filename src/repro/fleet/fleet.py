@@ -77,16 +77,28 @@ class FleetResult:
 def simulate_fleet(image: Image, n_clients: int,
                    config: SoftCacheConfig | None = None, *,
                    stagger_s: float = 0.0,
-                   max_instructions: int = 400_000_000) -> FleetResult:
+                   max_instructions: int = 400_000_000,
+                   recorder=None) -> FleetResult:
     """Run *n_clients* identical devices against one server.
 
     *stagger_s* offsets each client's boot time; 0 means all devices
     power on together (worst case for the shared uplink, e.g. after a
     region-wide reset of a sensor network).
+
+    *recorder* (a :class:`repro.obs.FlightRecorder`) collects a
+    fleet-wide timeline: each *simulated* client runs under its own
+    child recorder whose events are merged back shifted by the
+    client's boot offset and tagged pid=client_id; every client
+    (simulated or replicated) gets a ``fleet.client`` span, and each
+    queued uplink request that actually waited gets a ``fleet.queue``
+    event.
     """
     if n_clients < 1:
         raise ValueError("need at least one client")
     config = config or SoftCacheConfig()
+    recorder = recorder if (recorder is not None
+                            and recorder.enabled) else None
+    cpu_hz = config.costs.cpu_hz
     shared_mc = MemoryController(image, granularity=config.granularity,
                                  ebb_limit=config.ebb_limit)
     clients: list[ClientResult] = []
@@ -99,9 +111,17 @@ def simulate_fleet(image: Image, n_clients: int,
     for client_id in range(n_clients):
         start = client_id * stagger_s
         if client_id < 2 or reference is None:
+            child = None
+            if recorder is not None:
+                from ..obs import FlightRecorder
+                child = FlightRecorder(pid=client_id)
             system = SoftCacheSystem(image, config,
-                                     shared_mc=shared_mc)
+                                     shared_mc=shared_mc,
+                                     recorder=child)
             report = system.run(max_instructions)
+            if child is not None:
+                recorder.merge(child,
+                               cycle_offset=int(start * cpu_hz))
             result = ClientResult(
                 client_id=client_id, start_s=start, report=report,
                 translations=system.stats.translations,
@@ -127,6 +147,15 @@ def simulate_fleet(image: Image, n_clients: int,
             shared_mc.stats.requests += reference.translations
             shared_mc.stats.chunk_cache_hits += reference.translations
         clients.append(result)
+        if recorder is not None:
+            recorder.emit(
+                "fleet.client", "fleet",
+                cycles=int(start * cpu_hz),
+                dur=int(result.report.seconds * cpu_hz),
+                pid=client_id,
+                client=client_id, start_s=start,
+                seconds=result.report.seconds,
+                translations=result.translations)
         for offset, payload in timeline:
             service = (payload + link.exchange_overhead_bytes) * 8 \
                 / link.bandwidth_bps
@@ -143,6 +172,13 @@ def simulate_fleet(image: Image, n_clients: int,
         delay = begin - arrival
         if delay > 0:
             delayed += 1
+            if recorder is not None:
+                recorder.emit(
+                    "fleet.queue", "fleet",
+                    cycles=int(arrival * cpu_hz),
+                    dur=int(delay * cpu_hz),
+                    arrival_s=arrival, delay_s=delay,
+                    service_s=service)
         total_delay += delay
         max_delay = max(max_delay, delay)
         busy_until = begin + service

@@ -87,6 +87,9 @@ class HubChannel(Channel):
         stats.busy_seconds += seconds
         stats.payload_bytes += payload_bytes
         stats.overhead_bytes += self.far.exchange_overhead_bytes
+        if self.tracer is not None:
+            self.tracer.emit("hub.far", "hub", bytes=payload_bytes,
+                             seconds=seconds)
         return seconds
 
     def _record_far_batch(self, payload_sizes: Sequence[int]) -> float:
@@ -96,6 +99,9 @@ class HubChannel(Channel):
         stats.payload_bytes += sum(payload_sizes)
         stats.overhead_bytes += self.far.batch_overhead_bytes(
             len(payload_sizes))
+        if self.tracer is not None:
+            self.tracer.emit("hub.far", "hub",
+                             bytes=sum(payload_sizes), seconds=seconds)
         return seconds
 
     # -- cache management ---------------------------------------------
@@ -126,6 +132,9 @@ class HubChannel(Channel):
             self._cache.move_to_end(key)
             self.hub_stats.hub_hits += 1
             self.hub_stats.hub_bytes += payload_bytes
+            if self.tracer is not None:
+                self.tracer.emit("hub.hit", "hub", key=key,
+                                 bytes=payload_bytes)
             return seconds
         # hub miss: fetch from the origin over the far link and cache
         self.hub_stats.origin_fetches += 1
@@ -169,6 +178,9 @@ class HubChannel(Channel):
                 self._cache.move_to_end(key)
                 stats.hub_hits += 1
                 stats.hub_bytes += size
+                if self.tracer is not None:
+                    self.tracer.emit("hub.hit", "hub", key=key,
+                                     bytes=size)
             else:
                 stats.origin_fetches += 1
                 stats.origin_bytes += size
@@ -196,6 +208,10 @@ def with_hub(system, near: LinkModel | None = None,
         near = near or LinkModel()
         far = far or LinkModel(bandwidth_bps=2e6, latency_s=5e-3)
         hub = HubChannel(near, far, capacity_bytes)
+    if hub.tracer is None:
+        # inherit the flight recorder the system wired into the
+        # channel this hub replaces
+        hub.tracer = system.channel.tracer
     system.channel = hub
     system.cc.channel = hub
 

@@ -123,6 +123,8 @@ class Channel:
     def __init__(self, link: LinkModel | None = None):
         self.link = link or LinkModel()
         self.stats = LinkStats()
+        #: Flight recorder (repro.obs), attached by the system.
+        self.tracer = None
 
     def exchange(self, kind: str, payload_bytes: int) -> float:
         """One request/reply RPC returning *payload_bytes* of payload."""
@@ -135,6 +137,11 @@ class Channel:
         stats.exchange_overhead_bytes += link.exchange_overhead_bytes
         stats.busy_seconds += seconds
         stats.by_kind[kind] = stats.by_kind.get(kind, 0) + 1
+        if self.tracer is not None:
+            self.tracer.emit("link.exchange", "link", kind=kind,
+                             payload=payload_bytes,
+                             overhead=link.exchange_overhead_bytes,
+                             seconds=seconds)
         return seconds
 
     def batch_exchange(self, kind: str,
@@ -159,6 +166,11 @@ class Channel:
         stats.exchange_overhead_bytes += link.exchange_overhead_bytes
         stats.busy_seconds += seconds
         stats.by_kind[kind] = stats.by_kind.get(kind, 0) + 1
+        if self.tracer is not None:
+            self.tracer.emit("link.batch", "link", kind=kind,
+                             chunks=len(payload_sizes),
+                             payload=sum(payload_sizes),
+                             seconds=seconds)
         return seconds
 
     def send(self, kind: str, payload_bytes: int) -> float:
@@ -171,4 +183,7 @@ class Channel:
         stats.overhead_bytes += link.request_bytes
         stats.busy_seconds += seconds
         stats.by_kind[kind] = stats.by_kind.get(kind, 0) + 1
+        if self.tracer is not None:
+            self.tracer.emit("link.send", "link", kind=kind,
+                             payload=payload_bytes, seconds=seconds)
         return seconds

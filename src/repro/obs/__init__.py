@@ -1,0 +1,60 @@
+"""repro.obs — the flight recorder: tracing, metrics, trace export.
+
+The observability layer of the reproduction:
+
+* :class:`FlightRecorder` — zero-overhead-when-disabled structured
+  event tracer threaded through the CC, MC, link/hub, interpreter and
+  fleet; owns a :class:`MetricsRegistry`.
+* :mod:`repro.obs.export` — JSONL and Chrome trace-event (Perfetto)
+  export, plus ASCII timeline / hot-chunk reports for terminals.
+
+Usage::
+
+    from repro.obs import FlightRecorder
+    from repro.softcache import SoftCacheConfig, run_softcache
+
+    rec = FlightRecorder()
+    report, system = run_softcache(
+        image, SoftCacheConfig(tcache_size=2048, recorder=rec))
+    from repro.obs import write_jsonl, write_chrome_trace
+    write_jsonl(rec.events, "run.jsonl", cpu_hz=rec.cpu_hz)
+    write_chrome_trace(rec.events, "run.trace.json", cpu_hz=rec.cpu_hz)
+
+or, from the command line, ``repro trace <workload>`` / ``repro run
+<workload> --trace out.jsonl``.  See docs/OBSERVABILITY.md.
+"""
+
+from .events import (
+    CATEGORY_TRACKS,
+    EVENT_SCHEMA,
+    TRACE_SCHEMA_VERSION,
+    Event,
+    FlightRecorder,
+)
+from .export import (
+    ascii_timeline,
+    load_jsonl,
+    render_hot_chunks,
+    to_chrome_trace,
+    top_hot_chunks,
+    trace_summary,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    publish_dataclass,
+)
+
+__all__ = [
+    "CATEGORY_TRACKS", "EVENT_SCHEMA", "TRACE_SCHEMA_VERSION",
+    "Event", "FlightRecorder",
+    "ascii_timeline", "load_jsonl", "render_hot_chunks",
+    "to_chrome_trace", "top_hot_chunks", "trace_summary",
+    "write_chrome_trace", "write_jsonl",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "publish_dataclass",
+]

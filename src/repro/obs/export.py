@@ -1,0 +1,202 @@
+"""Trace export: JSONL, Chrome trace-event JSON (Perfetto), ASCII.
+
+Formats
+-------
+*JSONL* — one JSON object per line; the first line is a ``meta``
+record carrying the schema version and cpu_hz, every following line is
+an ``event`` record (see :data:`repro.obs.events.EVENT_SCHEMA`).  This
+is the archival format: append-friendly, greppable, diffable.
+
+*Chrome trace-event* — the ``{"traceEvents": [...]}`` JSON that
+`Perfetto <https://ui.perfetto.dev>`_ and ``chrome://tracing`` load
+directly.  Simulated cycles convert to microseconds through the run's
+``cpu_hz``, so the timeline reads in simulated time (the paper's
+axis); each client is a process, each stack layer a named thread.
+
+*ASCII* — a binned event-density timeline and a top-N hot-chunk table
+for terminal use (``repro trace`` prints these).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as _TallyCounter
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .events import CATEGORY_TRACKS, TRACE_SCHEMA_VERSION, Event
+
+# -- JSONL -------------------------------------------------------------
+
+
+def write_jsonl(events: Sequence[Event], path: str | Path, *,
+                cpu_hz: float = 200e6, dropped: int = 0) -> Path:
+    """Write *events* as JSONL with a leading ``meta`` record."""
+    path = Path(path)
+    with path.open("w") as fh:
+        fh.write(json.dumps({
+            "type": "meta", "schema": TRACE_SCHEMA_VERSION,
+            "format": "repro-flight-recorder",
+            "cpu_hz": cpu_hz, "events": len(events),
+            "dropped": dropped,
+        }) + "\n")
+        for ev in events:
+            record = ev.to_record()
+            record["type"] = "event"
+            fh.write(json.dumps(record) + "\n")
+    return path
+
+
+def load_jsonl(path: str | Path) -> tuple[dict, list[Event]]:
+    """Read a JSONL trace back into (meta, events)."""
+    meta: dict = {}
+    events: list[Event] = []
+    with Path(path).open() as fh:
+        for line in fh:
+            record = json.loads(line)
+            if record.get("type") == "meta":
+                meta = record
+                continue
+            events.append(Event(
+                name=record["name"], cat=record["cat"],
+                ph=record["ph"], cycles=record["cycles"],
+                host_s=record["host_s"],
+                dur_cycles=record.get("dur_cycles", 0),
+                pid=record.get("pid", 0), tid=record.get("tid", 0),
+                args=record.get("args", {})))
+    return meta, events
+
+
+# -- Chrome trace-event ------------------------------------------------
+
+
+def to_chrome_trace(events: Iterable[Event], *,
+                    cpu_hz: float = 200e6,
+                    process_names: dict[int, str] | None = None) -> dict:
+    """Convert events to the Chrome trace-event dict (Perfetto-ready).
+
+    ``ts``/``dur`` are microseconds of *simulated* time.  Metadata
+    records name each pid (client) and tid (stack layer) so the
+    Perfetto track list is self-describing.
+    """
+    scale = 1e6 / cpu_hz
+    trace: list[dict] = []
+    pids: set[int] = set()
+    lanes: set[tuple[int, int]] = set()
+    track_names = {tid: cat for cat, tid in CATEGORY_TRACKS.items()}
+    for ev in events:
+        record = {
+            "name": ev.name, "cat": ev.cat, "ph": ev.ph,
+            "ts": ev.cycles * scale, "pid": ev.pid, "tid": ev.tid,
+            "args": dict(ev.args, host_s=ev.host_s),
+        }
+        if ev.ph == "X":
+            record["dur"] = ev.dur_cycles * scale
+        else:
+            record["s"] = "t"       # instant scope: thread
+        trace.append(record)
+        pids.add(ev.pid)
+        lanes.add((ev.pid, ev.tid))
+    for pid in sorted(pids):
+        name = (process_names or {}).get(pid, f"client {pid}")
+        trace.append({"name": "process_name", "ph": "M", "pid": pid,
+                      "tid": 0, "args": {"name": name}})
+    for pid, tid in sorted(lanes):
+        trace.append({"name": "thread_name", "ph": "M", "pid": pid,
+                      "tid": tid,
+                      "args": {"name": track_names.get(tid, f"t{tid}")}})
+    return {"traceEvents": trace, "displayTimeUnit": "ms",
+            "otherData": {"schema": TRACE_SCHEMA_VERSION,
+                          "cpu_hz": cpu_hz}}
+
+
+def write_chrome_trace(events: Iterable[Event], path: str | Path, *,
+                       cpu_hz: float = 200e6,
+                       process_names: dict[int, str] | None = None
+                       ) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(
+        to_chrome_trace(events, cpu_hz=cpu_hz,
+                        process_names=process_names)) + "\n")
+    return path
+
+
+# -- terminal reports --------------------------------------------------
+
+_DENSITY = " .:-=+*#%@"
+
+
+def ascii_timeline(events: Sequence[Event], *, nbins: int = 60,
+                   cpu_hz: float = 200e6) -> str:
+    """Event-density timeline, one row per category, binned by cycles."""
+    if not events:
+        return "(no events)"
+    span = max(ev.cycles for ev in events) or 1
+    cats: dict[str, list[int]] = {}
+    for ev in events:
+        row = cats.get(ev.cat)
+        if row is None:
+            row = cats[ev.cat] = [0] * nbins
+        row[min(nbins - 1, ev.cycles * nbins // span)] += 1
+    peak = max(max(row) for row in cats.values()) or 1
+    width = max(len(c) for c in cats)
+    lines = [f"timeline: {span} cycles "
+             f"({span / cpu_hz * 1e3:.2f} ms simulated), "
+             f"{len(events)} events, peak {peak}/bin"]
+    for cat in sorted(cats, key=lambda c: CATEGORY_TRACKS.get(c, 99)):
+        row = cats[cat]
+        cells = "".join(
+            _DENSITY[min(len(_DENSITY) - 1,
+                         (n * (len(_DENSITY) - 1) + peak - 1) // peak)]
+            for n in row)
+        lines.append(f"  {cat:<{width}} |{cells}|")
+    return "\n".join(lines)
+
+
+def top_hot_chunks(events: Sequence[Event], n: int = 10) -> list[dict]:
+    """The chunks causing the most miss traffic, by demand misses."""
+    misses: _TallyCounter = _TallyCounter()
+    evictions: _TallyCounter = _TallyCounter()
+    names: dict[int, str] = {}
+    sizes: dict[int, int] = {}
+    for ev in events:
+        orig = ev.args.get("orig")
+        if orig is None:
+            continue
+        if ev.name == "cc.miss":
+            misses[orig] += 1
+            if ev.args.get("name"):
+                names[orig] = ev.args["name"]
+            sizes[orig] = ev.args.get("size", 0)
+        elif ev.name == "cc.evict":
+            evictions[orig] += 1
+    return [{"orig": orig, "name": names.get(orig, ""),
+             "size": sizes.get(orig, 0), "misses": count,
+             "evictions": evictions.get(orig, 0)}
+            for orig, count in misses.most_common(n)]
+
+
+def render_hot_chunks(rows: list[dict]) -> str:
+    if not rows:
+        return "(no miss events)"
+    lines = [f"{'orig':>10} {'misses':>7} {'evicts':>7} {'size':>6}  name",
+             "-" * 48]
+    for r in rows:
+        lines.append(f"{r['orig']:#10x} {r['misses']:7d} "
+                     f"{r['evictions']:7d} {r['size']:6d}  {r['name']}")
+    return "\n".join(lines)
+
+
+def trace_summary(events: Sequence[Event], *, cpu_hz: float = 200e6,
+                  top: int = 10, nbins: int = 60) -> str:
+    """The full terminal report ``repro trace`` prints."""
+    tally = _TallyCounter(ev.name for ev in events)
+    parts = ["event counts:"]
+    for name, count in sorted(tally.items()):
+        parts.append(f"  {name:<22} {count}")
+    parts.append("")
+    parts.append(ascii_timeline(events, nbins=nbins, cpu_hz=cpu_hz))
+    parts.append("")
+    parts.append(f"top {top} hot chunks (by demand misses):")
+    parts.append(render_hot_chunks(top_hot_chunks(events, top)))
+    return "\n".join(parts)

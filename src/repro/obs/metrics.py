@@ -1,0 +1,165 @@
+"""Metrics registry: counters, gauges and histograms.
+
+The registry is the aggregate companion of the event tracer: events
+answer *when and why* something happened, metrics answer *how often
+and how much* without storing every occurrence.  The SoftCache's
+existing counter blocks (:class:`~repro.softcache.stats.SoftCacheStats`,
+``MCStats``, ``LinkStats``, ``SuperblockStats``) publish into a
+registry after a run via :func:`publish_dataclass`, and the hot paths
+feed histograms (miss latency, patch distance) live while tracing is
+enabled — the dataclasses stay the single source of truth for the
+figures, so enabling observability never changes their values.
+
+Histograms use power-of-two buckets: ``observe(v)`` lands ``v`` in
+bucket ``ceil(log2(v))`` — coarse, O(1), and exactly what latency
+distributions need.  Quantiles are estimated from the bucket upper
+bounds (conservative: the reported p50/p90 is an upper bound of the
+true quantile).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value (set, not accumulated)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Power-of-two-bucketed distribution of non-negative values."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0
+        self.min: float | None = None
+        self.max: float | None = None
+        #: bucket exponent -> count; values in (2**(e-1), 2**e].
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        e = max(0, int(value) - 1).bit_length()
+        self.buckets[e] = self.buckets.get(e, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper-bound estimate of the *q*-quantile (0 <= q <= 1)."""
+        if not self.count:
+            return 0.0
+        need = q * self.count
+        seen = 0
+        for e in sorted(self.buckets):
+            seen += self.buckets[e]
+            if seen >= need:
+                return float(1 << e)
+        return float(self.max or 0)
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count, "sum": self.total, "mean": self.mean,
+            "min": self.min, "max": self.max,
+            "p50": self.quantile(0.5), "p90": self.quantile(0.9),
+            "p99": self.quantile(0.99),
+            "buckets": {str(1 << e): n
+                        for e, n in sorted(self.buckets.items())},
+        }
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms, create-on-first-use."""
+
+    def __init__(self):
+        self._metrics: dict[str, object] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}")
+        return metric
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> dict:
+        """JSON-serializable dump of every metric."""
+        out: dict = {}
+        for name, metric in sorted(self._metrics.items()):
+            if isinstance(metric, Histogram):
+                out[name] = metric.snapshot()
+            else:
+                out[name] = metric.value
+        return out
+
+
+def publish_dataclass(registry: MetricsRegistry, prefix: str,
+                      stats: object) -> None:
+    """Publish every int/float field of a stats dataclass.
+
+    Ints become counters (idempotent: re-publishing the same object
+    adds only the delta), floats become gauges.  Lists and dicts
+    (timeline arrays, per-kind maps) publish their length as a gauge —
+    the full series belongs in the event trace, not the registry.
+    """
+    for f in dataclasses.fields(stats):
+        value = getattr(stats, f.name)
+        name = f"{prefix}.{f.name}"
+        if isinstance(value, bool):
+            registry.gauge(name).set(int(value))
+        elif isinstance(value, int):
+            counter = registry.counter(name)
+            counter.inc(value - counter.value)
+        elif isinstance(value, float):
+            registry.gauge(name).set(value)
+        elif isinstance(value, (list, dict)):
+            registry.gauge(f"{name}.len").set(len(value))

@@ -122,6 +122,12 @@ class CPU:
         #: Fuse straight-line code into superblocks in :meth:`run`.
         self.superblocks = superblocks
         self.sb_stats = SuperblockStats()
+        #: Flight-recorder hook: ``hook(kind, pc, n)`` with kind one of
+        #: "fuse" (superblock compiled, n = fused instructions),
+        #: "sb_invalidate" (a code write killed the block at pc) or
+        #: "flush" (whole decode/superblock cache dropped).  None keeps
+        #: the hot paths hook-free.
+        self.trace_hook: Callable[[str, int, int], None] | None = None
         self._decoded: dict[int, Callable[[int], int]] = {}
         #: Superblock dispatch table: block-start pc -> closure.
         self._blocks: dict[int, Callable[[int], int]] = {}
@@ -206,6 +212,8 @@ class CPU:
         self._blocks.pop(start, None)
         end = self._block_span.pop(start, None)
         self.sb_stats.invalidated_blocks += 1
+        if self.trace_hook is not None:
+            self.trace_hook("sb_invalidate", start, 0)
         if end is None:
             return
         cover = self._block_cover
@@ -224,6 +232,8 @@ class CPU:
         self._block_cover.clear()
         self._code_gen[0] += 1
         self.sb_stats.flushes += 1
+        if self.trace_hook is not None:
+            self.trace_hook("flush", 0, 0)
 
     def _decode_at(self, pc: int) -> Callable[[int], int]:
         region = self.mem.region_at(pc)  # raises MemoryFault if unmapped
@@ -264,6 +274,8 @@ class CPU:
         if fused:
             self.sb_stats.fused_blocks += 1
             self.sb_stats.fused_instructions += fused
+            if self.trace_hook is not None:
+                self.trace_hook("fuse", start, fused)
         else:
             self.sb_stats.single_closures += 1
         return fn

@@ -107,7 +107,8 @@ class BaseCacheController:
     def __init__(self, machine: Machine, mc: MemoryController,
                  channel: Channel, geometry: TCacheGeometry, *,
                  policy: str = "fifo", record_timeline: bool = True,
-                 debug_poison: bool = False, prefetch_depth: int = 0):
+                 debug_poison: bool = False, prefetch_depth: int = 0,
+                 recorder=None):
         if policy not in ("fifo", "flush"):
             raise ValueError(f"unknown policy {policy!r}")
         if prefetch_depth < 0:
@@ -124,6 +125,20 @@ class BaseCacheController:
         self.record_timeline = record_timeline
         self.debug_poison = debug_poison
         self.stats = SoftCacheStats()
+        #: Flight recorder (repro.obs), or None; every emission site is
+        #: behind one ``is not None`` check so disabled tracing costs
+        #: nothing on the miss path.
+        self.tracer = (recorder if recorder is not None
+                       and recorder.enabled else None)
+        if self.tracer is not None:
+            metrics = self.tracer.metrics
+            self._miss_latency = metrics.histogram(
+                "cc.miss_latency_cycles")
+            self._patch_distance = metrics.histogram(
+                "cc.patch_distance_bytes")
+        else:
+            self._miss_latency = None
+            self._patch_distance = None
         self.cpu.trap_hook = self._on_trap
         machine.invalidate_hook = self.invalidate_original_range
         #: extra trap dispatchers (the D-cache plugs in here).
@@ -195,6 +210,8 @@ class BaseCacheController:
                 block.prefetched = False
                 stats.prefetch_hits += 1
             return block
+        trc = self.tracer
+        miss_start = self.cpu.cycles if trc is not None else 0
         t0 = perf_counter()
         if self.prefetch_depth > 0:
             batch = self.mc.serve_batch(orig, self.prefetch_depth,
@@ -243,6 +260,12 @@ class BaseCacheController:
         self._charge(install_cycles)
         stats.miss_install_cycles += install_cycles
         stats.miss_install_host_s += perf_counter() - t0
+        if trc is not None:
+            dur = self.cpu.cycles - miss_start
+            trc.emit("cc.miss", "cc", miss_start, dur=dur, orig=orig,
+                     name=chunk.name, size=chunk.size,
+                     batch=len(batch) if batch is not None else 1)
+            self._miss_latency.observe(dur)
         if batch is not None:
             for extra_chunk, extra_payload in batch[1:]:
                 self._install_prefetched(extra_chunk, extra_payload)
@@ -262,6 +285,7 @@ class BaseCacheController:
         risk the depth knob trades against).
         """
         stats = self.stats
+        trc = self.tracer
         existing = self.tcache.lookup(chunk.orig)
         if existing is not None and existing.alive:
             return  # became resident while the batch installed
@@ -272,6 +296,10 @@ class BaseCacheController:
         if not fits or not self._prefetch_headroom(chunk):
             stats.prefetch_drops += 1
             stats.prefetch_dropped_bytes += chunk.payload_bytes
+            if trc is not None:
+                trc.emit("cc.prefetch_drop", "cc", orig=chunk.orig,
+                         size=chunk.size,
+                         reason="nospace" if not fits else "headroom")
             return
         t0 = perf_counter()
         addr = self.tcache.place(chunk.size)
@@ -295,6 +323,9 @@ class BaseCacheController:
         self._charge(install_cycles)
         stats.miss_install_cycles += install_cycles
         stats.miss_install_host_s += perf_counter() - t0
+        if trc is not None:
+            trc.emit("cc.prefetch_install", "cc", orig=chunk.orig,
+                     name=chunk.name, size=chunk.size)
 
     def _prefetch_headroom(self, chunk: Chunk) -> bool:
         """Whether installing *chunk* cannot exhaust fixed areas."""
@@ -337,6 +368,8 @@ class BaseCacheController:
         self._charge(self.costs.install_fixed_cycles +
                      self.costs.install_per_word_cycles
                      * len(chunk.words))
+        if self.tracer is not None:
+            self.tracer.emit("cc.pin", "cc", orig=orig, size=chunk.size)
         return block
 
     def _install(self, block: TBlock, chunk: Chunk,
@@ -347,6 +380,10 @@ class BaseCacheController:
 
     def _evict_oldest(self) -> None:
         block = self.tcache.retire_oldest()
+        if self.tracer is not None:
+            self.tracer.emit("cc.evict", "cc", orig=block.orig,
+                             addr=block.addr, size=block.size,
+                             wasted=block.prefetched)
         self._unlink_block(block)
         if self.debug_poison:
             self.mem.write_bytes(
@@ -386,6 +423,17 @@ class BaseCacheController:
         self.stats.miss_patch_cycles += self.costs.patch_cycles
         self._charge(self.costs.patch_cycles)
         self.stats.miss_patch_host_s += perf_counter() - t0
+        if self.tracer is not None:
+            self._trace_patch(site_addr, target, kind)
+
+    def _trace_patch(self, site_addr: int, target: int,
+                     kind: SiteKind) -> None:
+        """Emit the backpatch event + patch-distance observation."""
+        distance = abs(target - site_addr)
+        self.tracer.emit("cc.patch", "cc", site=site_addr,
+                         target=target, kind=kind.value,
+                         distance=distance)
+        self._patch_distance.observe(distance)
 
     # -- guest-visible invalidation -------------------------------------------------
 
@@ -397,6 +445,9 @@ class BaseCacheController:
         MC's cached chunks for the range.
         """
         self.stats.guest_invalidations += 1
+        if self.tracer is not None:
+            self.tracer.emit("cc.guest_invalidate", "cc", addr=addr,
+                             length=length)
         self.mc.invalidate_chunks(addr, length)
         overlaps = any(
             b.orig < addr + length and addr < b.orig + b.orig_size
@@ -599,6 +650,8 @@ class BlockCacheController(BaseCacheController):
         if stub is None or not stub.live:
             raise SoftCacheError(f"trap on dead stub id {operand}")
         self.stats.branch_miss_traps += 1
+        if self.tracer is not None:
+            self.tracer.emit("cc.trap", "cc", kind="branch", id=operand)
         self._charge(self.costs.trap_overhead_cycles)
         target = self.ensure_translated(stub.orig_target)
         # the source block may have been evicted while we translated
@@ -617,6 +670,8 @@ class BlockCacheController(BaseCacheController):
         if slot is None or not slot.live:
             raise SoftCacheError(f"return to dead cont slot {operand}")
         self.stats.ret_miss_traps += 1
+        if self.tracer is not None:
+            self.tracer.emit("cc.trap", "cc", kind="ret", id=operand)
         self._charge(self.costs.trap_overhead_cycles)
         target = self.ensure_translated(slot.orig_target)
         if slot.live and (slot.block is None or slot.block.alive):
@@ -633,6 +688,8 @@ class BlockCacheController(BaseCacheController):
             self.stats.patches += 1
             self.stats.miss_patch_cycles += self.costs.patch_cycles
             self._charge(self.costs.patch_cycles)
+            if self.tracer is not None:
+                self._trace_patch(slot.addr, target.addr, SiteKind.CONTJ)
         return target.addr
 
     def _miss_jr(self, operand: int) -> int:
@@ -646,6 +703,11 @@ class BlockCacheController(BaseCacheController):
         if self.tcache.in_tcache_range(value):
             target_addr = value
         else:
+            # only non-resident computed jumps are trace-worthy: the
+            # resident fast path runs once per jr execution and would
+            # flood the recorder with uninformative events
+            if self.tracer is not None:
+                self.tracer.emit("cc.trap", "cc", kind="jr", id=operand)
             target_addr = self.ensure_translated(value).addr
         if site.rd:
             # jalr: the link register receives the continuation slot
@@ -760,6 +822,8 @@ class BlockCacheController(BaseCacheController):
         stubs and redirector-free bookkeeping survive."""
         self.stats.flushes += 1
         blocks = self.tcache.retire_all()
+        if self.tracer is not None:
+            self.tracer.emit("cc.flush", "cc", blocks=len(blocks))
         self.stats.blocks_flushed += len(blocks)
         if self.record_timeline:
             now = self.cpu.cycles
@@ -847,6 +911,8 @@ class ProcCacheController(BaseCacheController):
     def _miss_call(self, operand: int) -> int:
         redir = self.redirectors[operand]
         self.stats.call_miss_traps += 1
+        if self.tracer is not None:
+            self.tracer.emit("cc.trap", "cc", kind="call", id=operand)
         self._charge(self.costs.trap_overhead_cycles)
         callee = self.ensure_translated(redir.callee_orig)
         self.mem.write_word(redir.addr, encode(
@@ -856,6 +922,8 @@ class ProcCacheController(BaseCacheController):
         self.stats.patches += 1
         self.stats.miss_patch_cycles += self.costs.patch_cycles
         self._charge(self.costs.patch_cycles)
+        if self.tracer is not None:
+            self._trace_patch(redir.addr, callee.addr, SiteKind.RCALL)
         # emulate the jal the redirector now performs
         self.cpu.set_reg(RA, redir.addr + 4)
         return callee.addr
@@ -863,6 +931,8 @@ class ProcCacheController(BaseCacheController):
     def _ret_land(self, operand: int) -> int:
         redir = self.redirectors[operand]
         self.stats.landing_miss_traps += 1
+        if self.tracer is not None:
+            self.tracer.emit("cc.trap", "cc", kind="landing", id=operand)
         self._charge(self.costs.trap_overhead_cycles)
         caller = self.ensure_translated(redir.caller_orig)
         # installing the caller re-patched this landing already
@@ -892,6 +962,8 @@ class ProcCacheController(BaseCacheController):
     def flush(self) -> None:
         self.stats.flushes += 1
         blocks = self.tcache.retire_all()
+        if self.tracer is not None:
+            self.tracer.emit("cc.flush", "cc", blocks=len(blocks))
         self.stats.blocks_flushed += len(blocks)
         if self.record_timeline:
             now = self.cpu.cycles

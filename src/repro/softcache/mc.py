@@ -76,6 +76,9 @@ class MemoryController:
         self.image = image
         self.granularity = granularity
         self.stats = MCStats()
+        #: Flight recorder (repro.obs), attached by the system; the
+        #: fleet rebinds it per simulated client (runs are sequential).
+        self.tracer = None
         self._chunk_cache: dict[int, Chunk] = {}
         #: Pre-encoded body bytes per chunk (what the CC installs).
         self._payload_cache: dict[int, bytes] = {}
@@ -101,6 +104,10 @@ class MemoryController:
             self._chunk_cache[orig_addr] = chunk
             self._successors[orig_addr] = chunk.successors
             self.stats.chunks_built += 1
+            if self.tracer is not None:
+                self.tracer.emit("mc.rewrite", "mc", orig=orig_addr,
+                                 words=len(chunk.words),
+                                 exits=len(chunk.exits))
         return chunk
 
     def payload_of(self, chunk: Chunk) -> bytes:
@@ -130,6 +137,9 @@ class MemoryController:
         if cached:
             self.stats.chunk_cache_hits += 1
         self.stats.bytes_served += chunk.payload_bytes
+        if self.tracer is not None:
+            self.tracer.emit("mc.serve", "mc", orig=orig_addr,
+                             bytes=chunk.payload_bytes, cached=cached)
         return chunk
 
     def serve_batch(self, orig_addr: int, depth: int,
@@ -175,6 +185,11 @@ class MemoryController:
                 if succ not in seen:
                     seen.add(succ)
                     frontier.append(succ)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "mc.batch", "mc", orig=orig_addr, chunks=len(batch),
+                prefetch_bytes=sum(c.payload_bytes
+                                   for c, _ in batch[1:]))
         return batch
 
     def serve_data(self, addr: int, length: int) -> bytes:

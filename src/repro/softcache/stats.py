@@ -104,3 +104,17 @@ class SoftCacheStats:
         if not self.translations:
             return 0.0
         return self.extra_words_installed / self.translations
+
+    def publish(self, registry, prefix: str = "cc") -> None:
+        """Mirror these counters into a metrics registry
+        (:class:`repro.obs.MetricsRegistry`): int fields become
+        counters, floats gauges, the timestamp lists length gauges,
+        plus the derived miss-rate ingredients as counters."""
+        from ..obs.metrics import publish_dataclass
+        publish_dataclass(registry, prefix, self)
+        registry.counter(f"{prefix}.miss_traps").inc(
+            self.miss_traps - registry.counter(
+                f"{prefix}.miss_traps").value)
+        registry.counter(f"{prefix}.miss_service_cycles").inc(
+            self.miss_service_cycles - registry.counter(
+                f"{prefix}.miss_service_cycles").value)

@@ -61,6 +61,11 @@ class SoftCacheConfig:
     #: Superblock (threaded-code) execution in the interpreter.  Host
     #: speed only; never changes simulated counts.
     superblocks: bool = True
+    #: Flight recorder (:class:`repro.obs.FlightRecorder`) to thread
+    #: through every layer, or None (the default: hot paths stay
+    #: tracer-free).  Tracing never charges simulated cycles, so an
+    #: enabled run is cycle-identical to a disabled one.
+    recorder: object | None = None
 
 
 @dataclass
@@ -78,10 +83,13 @@ class SoftCacheSystem:
     """One embedded client running *image* under a SoftCache."""
 
     def __init__(self, image: Image, config: SoftCacheConfig | None = None,
-                 *, shared_mc: MemoryController | None = None):
+                 *, shared_mc: MemoryController | None = None,
+                 recorder: object | None = None):
         """*shared_mc* lets several client systems share one server-side
         memory controller (and its chunk cache) — the deployment shape
-        of Figure 1, where one server feeds a fleet of devices."""
+        of Figure 1, where one server feeds a fleet of devices.
+        *recorder* overrides ``config.recorder`` (the fleet passes a
+        per-client recorder over one shared config)."""
         self.image = image
         self.config = config = config or SoftCacheConfig()
         geometry = self._geometry(image, config)
@@ -108,6 +116,25 @@ class SoftCacheSystem:
                                        granularity=config.granularity,
                                        ebb_limit=config.ebb_limit)
         self.channel = Channel(config.link)
+        rec = recorder if recorder is not None else config.recorder
+        self.recorder = rec if (rec is not None and rec.enabled) else None
+        if self.recorder is not None:
+            cpu = self.machine.cpu
+            self.recorder.bind_clock(lambda: cpu.cycles,
+                                     config.costs.cpu_hz)
+            self.mc.tracer = self.recorder
+            self.channel.tracer = self.recorder
+            trc = self.recorder
+
+            def _interp_hook(kind: str, pc: int, n: int) -> None:
+                if kind == "fuse":
+                    trc.emit("interp.fuse", "interp", pc=pc, fused=n)
+                elif kind == "sb_invalidate":
+                    trc.emit("interp.sb_invalidate", "interp", pc=pc)
+                else:
+                    trc.emit("interp.flush", "interp")
+
+            cpu.trace_hook = _interp_hook
         controller_cls = (ProcCacheController
                           if config.granularity == "proc"
                           else BlockCacheController)
@@ -116,7 +143,8 @@ class SoftCacheSystem:
             policy=config.policy,
             record_timeline=config.record_timeline,
             debug_poison=config.debug_poison,
-            prefetch_depth=config.prefetch_depth)
+            prefetch_depth=config.prefetch_depth,
+            recorder=self.recorder)
         self.dcache = None
         if config.data_cache is not None:
             from ..dcache import DataRewriter, SoftDataCache
@@ -181,6 +209,8 @@ class SoftCacheSystem:
             if self.dcache is not None:
                 self.dcache.finalize()
         cpu = self.machine.cpu
+        if self.recorder is not None:
+            self.publish_metrics()
         return RunReport(
             exit_code=exit_code,
             instructions=cpu.icount,
@@ -188,6 +218,21 @@ class SoftCacheSystem:
             seconds=self.config.costs.cycles_to_seconds(cpu.cycles),
             output=self.machine.output_text,
         )
+
+    def publish_metrics(self) -> None:
+        """Mirror every layer's stats dataclass into the recorder's
+        metrics registry (counters for ints, gauges for the rest)."""
+        if self.recorder is None:
+            return
+        from ..obs.metrics import publish_dataclass
+        registry = self.recorder.metrics
+        self.cc.stats.publish(registry, prefix="cc")
+        publish_dataclass(registry, "mc", self.mc.stats)
+        publish_dataclass(registry, "link", self.channel.stats)
+        publish_dataclass(registry, "interp", self.machine.cpu.sb_stats)
+        cpu = self.machine.cpu
+        registry.gauge("sim.instructions").set(cpu.icount)
+        registry.gauge("sim.cycles").set(cpu.cycles)
 
     # -- reporting --------------------------------------------------------
 

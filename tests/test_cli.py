@@ -72,3 +72,70 @@ def test_figures_unknown(capsys):
 def test_bad_workload_rejected():
     with pytest.raises(SystemExit):
         main(["run", "nonexistent"])
+
+
+def _check_trace_outputs(base):
+    """The two export files exist and convert/load as advertised."""
+    import json
+
+    from repro.obs import load_jsonl
+    meta, events = load_jsonl(f"{base}.jsonl")
+    assert meta["schema"] == 1 and events
+    doc = json.loads(open(f"{base}.trace.json").read())
+    assert doc["traceEvents"]
+    assert {r["ph"] for r in doc["traceEvents"]} <= {"i", "X", "M"}
+
+
+@pytest.mark.parametrize("workload", ["sensor", "adpcm_enc"])
+def test_trace_subcommand(capsys, tmp_path, monkeypatch, workload):
+    monkeypatch.chdir(tmp_path)
+    code = main(["trace", workload, "--scale", "0.05",
+                 "--tcache", "2048", "--out", f"t-{workload}"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "event counts:" in out
+    assert "timeline:" in out
+    assert "hot chunks" in out
+    assert "metrics highlights:" in out
+    _check_trace_outputs(tmp_path / f"t-{workload}")
+
+
+def test_run_with_trace_flag(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code = main(["run", "sensor", "--scale", "0.05",
+                 "--tcache", "2048", "--local-link",
+                 "--trace", "out"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "[trace]" in out
+    _check_trace_outputs(tmp_path / "out")
+
+
+def test_debug_subcommand(capsys):
+    code = main(["debug", "sensor", "--scale", "0.05",
+                 "--tcache", "2048", "--poison"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "tcache:" in captured.out
+    assert "consistency OK" in captured.err
+
+
+def test_debug_dot(capsys):
+    code = main(["debug", "sensor", "--scale", "0.05",
+                 "--tcache", "2048", "--dot"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert out.startswith("digraph tcache {")
+    assert "->" in out
+
+
+def test_fleet_subcommand(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code = main(["fleet", "sensor", "--scale", "0.05",
+                 "--tcache", "2048", "--clients", "3",
+                 "--stagger", "0.001", "--trace", "fleet"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "[fleet] 3 clients" in out
+    assert "uplink" in out
+    _check_trace_outputs(tmp_path / "fleet")

@@ -153,3 +153,30 @@ def test_negative_depth_rejected(chain_image):
     with pytest.raises(ValueError):
         SoftCacheSystem(chain_image,
                         SoftCacheConfig(prefetch_depth=-1))
+
+
+# -- bookkeeping audits (softcache.debug) -----------------------------
+
+
+def test_consistency_after_prefetch_install(sensor_image):
+    """Speculatively installed blocks must be fully linked into the
+    CC graph: audit the whole tcache after a comfortable prefetching
+    run (installs, no eviction pressure)."""
+    from repro.softcache.debug import check_consistency
+    system, _ = run_depth(sensor_image, 4, tcache=8192)
+    assert system.stats.prefetch_installs > 0
+    assert system.stats.evictions == 0
+    assert check_consistency(system.cc) > 0
+
+
+def test_consistency_after_prefetch_eviction(sensor_image):
+    """Evicting prefetched-but-never-entered blocks (and the demand
+    blocks around them) must leave no dangling stubs or links; the
+    thrashing tcache exercises both install and eviction paths, with
+    debug_poison making any stale pointer fault loudly."""
+    from repro.softcache.debug import check_consistency
+    system, _ = run_depth(sensor_image, 4, tcache=768)
+    assert system.stats.prefetch_installs > 0
+    assert system.stats.prefetch_drops > 0
+    assert system.stats.evictions > 0
+    assert check_consistency(system.cc) > 0
