@@ -32,12 +32,17 @@ def _softcache_config(args, recorder=None) -> SoftCacheConfig:
         dcache_config = DataCacheConfig(dcache_size=args.dcache)
     link = LOCAL_LINK if getattr(args, "local_link", False) \
         else LinkModel()
+    fault_plan = None
+    if getattr(args, "fault_plan", None):
+        from .net import FaultPlan
+        fault_plan = FaultPlan.parse(args.fault_plan,
+                                     seed=getattr(args, "seed", 0))
     return SoftCacheConfig(
         tcache_size=args.tcache, granularity=args.granularity,
         policy=args.policy, link=link, data_cache=dcache_config,
         prefetch_depth=args.prefetch_depth,
         debug_poison=getattr(args, "poison", False),
-        recorder=recorder)
+        recorder=recorder, fault_plan=fault_plan)
 
 
 def _write_trace(recorder, out, *, process_names=None) -> None:
@@ -115,6 +120,13 @@ def _cmd_run(args) -> int:
           f"(+{stats.jr_lookups} jr lookups)")
     print(f"  link              : {system.link_stats.exchanges} "
           f"exchanges, {system.link_stats.total_bytes} bytes")
+    if system.faults is not None:
+        fst = system.faults.fault_stats
+        print(f"  faults            : {fst.attempts} attempts / "
+              f"{fst.delivered} delivered, {fst.retries} retries, "
+              f"{fst.checksum_failures} checksum rejects, "
+              f"{stats.link_down_traps} link-down traps "
+              f"({stats.pending_miss_replays} misses replayed)")
     if args.prefetch_depth:
         print(f"  prefetch depth {args.prefetch_depth}  : "
               f"{stats.prefetch_installs} installed, "
@@ -196,10 +208,85 @@ def _cmd_fleet(args) -> int:
     print(f"  queueing          : {result.delayed_requests} delayed, "
           f"mean {result.mean_queue_delay_s * 1e6:.1f} us, "
           f"max {result.max_queue_delay_s * 1e6:.1f} us")
+    if result.link_retries:
+        print(f"  fault retries     : {result.link_retries} replayed "
+              f"exchanges queued on the uplink")
     if recorder is not None:
         names = {c.client_id: f"client {c.client_id}"
                  for c in result.clients}
         _write_trace(recorder, args.trace, process_names=names)
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    """Chaos matrix: N seeded fault plans x M workloads.
+
+    Every cell runs a workload under ``FaultPlan.chaos(seed + i)``
+    (all-transient faults: drops, corruption, delays, partitions, MC
+    crash-restarts) with eviction poisoning and full consistency
+    audits on, then compares the architectural state digest against a
+    fault-free baseline.  Any divergence, consistency failure or crash
+    marks the cell failed: its flight-recorder trace and plan are
+    written to ``--out-dir`` and the command exits nonzero.
+    """
+    from .net import FaultPlan
+    from .obs import FlightRecorder
+    from .softcache.debug import architectural_state, check_consistency
+
+    workloads = [w.strip() for w in args.workloads.split(",")
+                 if w.strip()]
+    out_dir = Path(args.out_dir)
+    failures = 0
+    total = 0
+    for name in workloads:
+        image = build_workload(name, args.scale)
+        # poison evicted blocks in the baseline too: the digest covers
+        # local RAM, so both runs must paint evictions the same way
+        baseline = SoftCacheSystem(image, SoftCacheConfig(
+            tcache_size=args.tcache, record_timeline=False,
+            debug_poison=True))
+        baseline.run()
+        want = architectural_state(baseline)
+        for i in range(args.plans):
+            plan = FaultPlan.chaos(args.seed + i)
+            label = f"{name}-seed{args.seed + i}"
+            recorder = FlightRecorder()
+            total += 1
+            try:
+                system = SoftCacheSystem(image, SoftCacheConfig(
+                    tcache_size=args.tcache, record_timeline=False,
+                    debug_poison=True, recorder=recorder,
+                    fault_plan=plan))
+                system.run()
+                check_consistency(system.cc)
+                got = architectural_state(system)
+                if got != want:
+                    raise AssertionError(
+                        f"architectural state diverged from the "
+                        f"fault-free run: {got[:16]}… != {want[:16]}…")
+            except Exception as exc:
+                failures += 1
+                out_dir.mkdir(parents=True, exist_ok=True)
+                (out_dir / f"chaos-{label}.plan.txt").write_text(
+                    f"workload: {name}\nscale: {args.scale}\n"
+                    f"tcache: {args.tcache}\nplan: {plan!r}\n"
+                    f"error: {exc}\n")
+                _write_trace(recorder, out_dir / f"chaos-{label}")
+                print(f"FAIL {label}: {exc}", file=sys.stderr)
+            else:
+                fst = system.faults.fault_stats
+                cst = system.stats
+                print(f"ok   {label}: {fst.attempts} attempts, "
+                      f"{fst.retries} retries, "
+                      f"{fst.checksum_failures} checksum rejects, "
+                      f"{cst.link_down_traps} link-down, "
+                      f"{system.mc_stats.restarts} mc restarts")
+    if failures:
+        print(f"\n[chaos] {failures}/{total} cells FAILED "
+              f"(artifacts in {out_dir})", file=sys.stderr)
+        return 1
+    print(f"\n[chaos] all {total} cells reached the fault-free "
+          f"architectural state")
     return 0
 
 
@@ -293,6 +380,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--prefetch-depth", type=int, default=0,
                        help="successor chunks batched onto each miss "
                             "reply (0 = paper-faithful protocol)")
+        p.add_argument("--fault-plan", metavar="SPEC",
+                       help="inject link faults: a preset (none, "
+                            "lossy, chaos) or k=v terms like "
+                            "drop=0.1,corrupt=0.05,partition=40:60 "
+                            "(see docs/FAULTS.md)")
+        p.add_argument("--seed", type=int, default=0,
+                       help="PRNG seed for the fault plan")
 
     run = sub.add_parser("run", help="run a workload")
     run.add_argument("workload", choices=sorted(WORKLOADS))
@@ -341,6 +435,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="record a fleet-wide trace (per-client "
                             "timelines merged)")
 
+    chaos = sub.add_parser(
+        "chaos", help="chaos matrix: seeded fault plans x workloads, "
+                      "differential-checked against fault-free runs")
+    chaos.add_argument("--workloads", default="sensor,adpcm_enc",
+                       help="comma-separated workload names")
+    chaos.add_argument("--plans", type=int, default=16,
+                       help="chaos cells (seeds) per workload")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="first seed of the matrix")
+    chaos.add_argument("--scale", type=float, default=0.05)
+    chaos.add_argument("--tcache", type=int, default=2048)
+    chaos.add_argument("--out-dir", default="chaos-artifacts",
+                       help="failing cells' traces + plans land here")
+
     prof = sub.add_parser("profile", help="flat profile of a workload")
     prof.add_argument("workload", choices=sorted(WORKLOADS))
     prof.add_argument("--scale", type=float, default=0.1)
@@ -375,6 +483,7 @@ def main(argv: list[str] | None = None) -> int:
         "trace": _cmd_trace,
         "debug": _cmd_debug,
         "fleet": _cmd_fleet,
+        "chaos": _cmd_chaos,
         "profile": _cmd_profile,
         "disasm": _cmd_disasm,
         "figures": _cmd_figures,

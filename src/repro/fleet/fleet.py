@@ -15,7 +15,7 @@ utilization and the queueing delay a real shared uplink would add.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..asm.image import Image
 from ..net import LinkModel
@@ -58,6 +58,10 @@ class FleetResult:
     mean_queue_delay_s: float
     max_queue_delay_s: float
     delayed_requests: int
+    #: Link-layer retries across the fleet (fault injection); the
+    #: replayed exchanges are real uplink load and are queued like any
+    #: other request.
+    link_retries: int = 0
 
     @property
     def link_utilization(self) -> float:
@@ -78,7 +82,8 @@ def simulate_fleet(image: Image, n_clients: int,
                    config: SoftCacheConfig | None = None, *,
                    stagger_s: float = 0.0,
                    max_instructions: int = 400_000_000,
-                   recorder=None) -> FleetResult:
+                   recorder=None, fault_plan=None,
+                   retry_policy=None) -> FleetResult:
     """Run *n_clients* identical devices against one server.
 
     *stagger_s* offsets each client's boot time; 0 means all devices
@@ -92,10 +97,27 @@ def simulate_fleet(image: Image, n_clients: int,
     (simulated or replicated) gets a ``fleet.client`` span, and each
     queued uplink request that actually waited gets a ``fleet.queue``
     event.
+
+    *fault_plan* (a :class:`repro.net.FaultPlan`; defaults to
+    ``config.fault_plan``) subjects every simulated client's uplink to
+    faults, each client under its own seed (``plan.seed + client_id``)
+    so outages are decorrelated across the fleet; transient faults
+    never change a client's output or translations, so the
+    fleet-divergence assertion still holds.  Replayed exchanges are
+    appended to the shared-uplink queue as real load.
     """
     if n_clients < 1:
         raise ValueError("need at least one client")
     config = config or SoftCacheConfig()
+    if fault_plan is None:
+        fault_plan = config.fault_plan
+    if retry_policy is None:
+        retry_policy = config.retry_policy
+    if config.fault_plan is not None or config.retry_policy is not None:
+        # per-client plans are re-derived below; strip the shared
+        # config so a client never installs the base seed twice
+        config = replace(config, fault_plan=None, retry_policy=None)
+    faults_on = fault_plan is not None and not fault_plan.is_none()
     recorder = recorder if (recorder is not None
                             and recorder.enabled) else None
     cpu_hz = config.costs.cpu_hz
@@ -108,6 +130,8 @@ def simulate_fleet(image: Image, n_clients: int,
     # the shared MC (the second exercises the chunk-cache-hit path and
     # must behave identically), then replicate the timeline
     reference: ClientResult | None = None
+    link_retries = 0
+    ref_retries = 0
     for client_id in range(n_clients):
         start = client_id * stagger_s
         if client_id < 2 or reference is None:
@@ -115,10 +139,20 @@ def simulate_fleet(image: Image, n_clients: int,
             if recorder is not None:
                 from ..obs import FlightRecorder
                 child = FlightRecorder(pid=client_id)
-            system = SoftCacheSystem(image, config,
+            client_config = config
+            if faults_on:
+                client_config = replace(
+                    config,
+                    fault_plan=replace(fault_plan,
+                                       seed=fault_plan.seed + client_id),
+                    retry_policy=retry_policy)
+            system = SoftCacheSystem(image, client_config,
                                      shared_mc=shared_mc,
                                      recorder=child)
             report = system.run(max_instructions)
+            if system.faults is not None:
+                ref_retries = system.faults.fault_stats.retries
+                link_retries += ref_retries
             if child is not None:
                 recorder.merge(child,
                                cycle_offset=int(start * cpu_hz))
@@ -133,11 +167,21 @@ def simulate_fleet(image: Image, n_clients: int,
                     "chunk-cache-served client diverged from the "
                     "first client")
             reference = reference or result
+            timestamps = system.stats.translation_timestamps
+            payloads = _per_request_payloads(system)
             timeline = [
                 (config.costs.cycles_to_seconds(cycle), payload)
-                for cycle, payload in zip(
-                    system.stats.translation_timestamps,
-                    _per_request_payloads(system))]
+                for cycle, payload in zip(timestamps, payloads)]
+            if faults_on and timestamps and \
+                    len(payloads) > len(timestamps):
+                # link-layer retries made more wire exchanges than
+                # translations; the replays are real uplink load, so
+                # queue them too, spread over the same arrival times
+                for i in range(len(payloads) - len(timestamps)):
+                    cycle = timestamps[i % len(timestamps)]
+                    timeline.append(
+                        (config.costs.cycles_to_seconds(cycle),
+                         payloads[len(timestamps) + i]))
         else:
             result = ClientResult(
                 client_id=client_id, start_s=start,
@@ -146,6 +190,7 @@ def simulate_fleet(image: Image, n_clients: int,
                 bytes_requested=reference.bytes_requested)
             shared_mc.stats.requests += reference.translations
             shared_mc.stats.chunk_cache_hits += reference.translations
+            link_retries += ref_retries
         clients.append(result)
         if recorder is not None:
             recorder.emit(
@@ -194,7 +239,8 @@ def simulate_fleet(image: Image, n_clients: int,
         makespan_s=makespan,
         mean_queue_delay_s=(total_delay / len(events)) if events else 0.0,
         max_queue_delay_s=max_delay,
-        delayed_requests=delayed)
+        delayed_requests=delayed,
+        link_retries=link_retries)
 
 
 def _per_request_payloads(system: SoftCacheSystem) -> list[int]:

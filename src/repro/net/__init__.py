@@ -2,15 +2,22 @@
 
 A parameterized bandwidth/latency/overhead link (:class:`LinkModel`),
 an accounting RPC channel (:class:`Channel`), the zero-cost
-:data:`LOCAL_LINK` of the SPARC prototype, and a two-hop
+:data:`LOCAL_LINK` of the SPARC prototype, a two-hop
 :class:`HubChannel` with a mid-tier chunk cache (the paper's
-multilevel-caching remark).  Defaults match the paper's testbed:
+multilevel-caching remark), and a fault-injection layer
+(:class:`FaultyChannel` driven by a seed-deterministic
+:class:`FaultPlan` + :class:`RetryPolicy`) for exercising lossy links
+and degraded resident mode.  Defaults match the paper's testbed:
 10 Mbps Ethernet, 60 application bytes of protocol overhead per chunk
 exchange.
 """
 
+from .faults import (FaultPlan, FaultStats, FaultyChannel, LinkDown,
+                     RetryPolicy, chunk_checksum, install_faults)
 from .hub import HubChannel, HubStats, with_hub
 from .link import Channel, LOCAL_LINK, LinkModel, LinkStats
 
-__all__ = ["Channel", "HubChannel", "HubStats", "LOCAL_LINK",
-           "LinkModel", "LinkStats", "with_hub"]
+__all__ = ["Channel", "FaultPlan", "FaultStats", "FaultyChannel",
+           "HubChannel", "HubStats", "LOCAL_LINK", "LinkDown",
+           "LinkModel", "LinkStats", "RetryPolicy", "chunk_checksum",
+           "install_faults", "with_hub"]

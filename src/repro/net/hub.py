@@ -40,6 +40,13 @@ class HubStats:
     hub_bytes: int = 0
     origin_bytes: int = 0
     evictions: int = 0
+    #: Chunk requests that were link-layer retries of an exchange the
+    #: hub already served once.  Counted here instead of ``requests``
+    #: / ``hub_hits`` — a replayed request would otherwise always hit
+    #: (the first attempt populated the cache) and inflate the rate.
+    replayed_requests: int = 0
+    #: Far-hop payload bytes moved on behalf of replayed requests.
+    replayed_far_bytes: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -69,10 +76,16 @@ class HubChannel(Channel):
         #: set per-batch by the CC wrapper; one key per batched chunk,
         #: demanded chunk first.
         self.next_keys: list[int] | None = None
+        #: set by the fault layer before re-traversing this channel
+        #: for an exchange the hub already saw (a link-layer retry);
+        #: replayed requests keep their wire accounting but are kept
+        #: out of the hub hit-rate denominator.
+        self.replaying = False
 
     # -- far-hop accounting -------------------------------------------
 
-    def _record_far_exchange(self, payload_bytes: int) -> float:
+    def _record_far_exchange(self, payload_bytes: int, *,
+                             replay: bool = False) -> float:
         """Traverse the far link for one chunk/pass-through exchange.
 
         The far leg is real traffic: its seconds and bytes land in the
@@ -80,25 +93,33 @@ class HubChannel(Channel):
         only, undercounting ``busy_seconds``/``payload_bytes`` on every
         hub miss).  ``exchanges`` is not bumped — the client made one
         logical RPC — and ``exchange_overhead_bytes`` keeps the
-        near-hop per-exchange overhead metric.
+        near-hop §2.4 per-exchange metric.  *replay* marks a retried
+        exchange: the wire cost is real and recorded, but the bytes
+        are tallied as :attr:`HubStats.replayed_far_bytes` instead of
+        fresh origin traffic.
         """
         seconds = self.far.exchange_time(payload_bytes)
         stats = self.stats
         stats.busy_seconds += seconds
         stats.payload_bytes += payload_bytes
         stats.overhead_bytes += self.far.exchange_overhead_bytes
+        if replay:
+            self.hub_stats.replayed_far_bytes += payload_bytes
         if self.tracer is not None:
             self.tracer.emit("hub.far", "hub", bytes=payload_bytes,
                              seconds=seconds)
         return seconds
 
-    def _record_far_batch(self, payload_sizes: Sequence[int]) -> float:
+    def _record_far_batch(self, payload_sizes: Sequence[int], *,
+                          replay: bool = False) -> float:
         seconds = self.far.batch_exchange_time(payload_sizes)
         stats = self.stats
         stats.busy_seconds += seconds
         stats.payload_bytes += sum(payload_sizes)
         stats.overhead_bytes += self.far.batch_overhead_bytes(
             len(payload_sizes))
+        if replay:
+            self.hub_stats.replayed_far_bytes += sum(payload_sizes)
         if self.tracer is not None:
             self.tracer.emit("hub.far", "hub",
                              bytes=sum(payload_sizes), seconds=seconds)
@@ -119,26 +140,42 @@ class HubChannel(Channel):
     # -- exchanges ----------------------------------------------------
 
     def exchange(self, kind: str, payload_bytes: int) -> float:
+        replay = self.replaying
+        self.replaying = False
         if kind != "chunk" or self.next_key is None:
             # non-chunk pass-through: the hub caches code only, so
             # both hops are always paid (and now recorded).
             seconds = super().exchange(kind, payload_bytes)
-            return seconds + self._record_far_exchange(payload_bytes)
+            return seconds + self._record_far_exchange(payload_bytes,
+                                                       replay=replay)
         key = self.next_key
         self.next_key = None
-        self.hub_stats.requests += 1
+        stats = self.hub_stats
+        if replay:
+            # link-layer retry of a request this hub already served:
+            # pay the wire again, but keep it out of the hit rate —
+            # the first attempt cached the chunk, so counting the
+            # replay would manufacture a hit out of packet loss.
+            stats.replayed_requests += 1
+            seconds = super().exchange(kind, payload_bytes)
+            if key in self._cache:
+                self._cache.move_to_end(key)
+                return seconds
+            return seconds + self._record_far_exchange(payload_bytes,
+                                                       replay=True)
+        stats.requests += 1
         seconds = super().exchange(kind, payload_bytes)  # near hop
         if key in self._cache:
             self._cache.move_to_end(key)
-            self.hub_stats.hub_hits += 1
-            self.hub_stats.hub_bytes += payload_bytes
+            stats.hub_hits += 1
+            stats.hub_bytes += payload_bytes
             if self.tracer is not None:
                 self.tracer.emit("hub.hit", "hub", key=key,
                                  bytes=payload_bytes)
             return seconds
         # hub miss: fetch from the origin over the far link and cache
-        self.hub_stats.origin_fetches += 1
-        self.hub_stats.origin_bytes += payload_bytes
+        stats.origin_fetches += 1
+        stats.origin_bytes += payload_bytes
         seconds += self._record_far_exchange(payload_bytes)
         self._cache_insert(key, payload_bytes)
         return seconds
@@ -152,27 +189,40 @@ class HubChannel(Channel):
         reply is keyed into the hub cache, so chunks a client merely
         prefetched are hub hits for the next client's demand miss.
         """
+        replay = self.replaying
+        self.replaying = False
         keys = self.next_keys
         self.next_keys = None
         if kind != "chunk" or keys is None or \
                 len(keys) != len(payload_sizes):
+            self.replaying = replay  # exchange() pass-through reads it
             seconds = super().batch_exchange(kind, payload_sizes)
             if len(payload_sizes) <= 1:
                 # super() routed through exchange(); far hop already
                 # recorded by the pass-through path above.
                 return seconds
-            return seconds + self._record_far_batch(payload_sizes)
+            self.replaying = False
+            return seconds + self._record_far_batch(payload_sizes,
+                                                    replay=replay)
         if len(payload_sizes) == 1:
             # a batch of one is exactly a single keyed exchange; do
             # not let Channel.batch_exchange re-enter our exchange()
             # with the key already consumed (that path would treat it
             # as a pass-through and double-pay the far hop).
             self.next_key = keys[0]
+            self.replaying = replay
             return self.exchange(kind, payload_sizes[0])
         stats = self.hub_stats
         seconds = super().batch_exchange(kind, payload_sizes)  # near
         missing: list[int] = []
         for key, size in zip(keys, payload_sizes):
+            if replay:
+                stats.replayed_requests += 1
+                if key in self._cache:
+                    self._cache.move_to_end(key)
+                else:
+                    missing.append(size)
+                continue
             stats.requests += 1
             if key in self._cache:
                 self._cache.move_to_end(key)
@@ -186,7 +236,7 @@ class HubChannel(Channel):
                 stats.origin_bytes += size
                 missing.append(size)
         if missing:
-            seconds += self._record_far_batch(missing)
+            seconds += self._record_far_batch(missing, replay=replay)
         for key, size in zip(keys, payload_sizes):
             self._cache_insert(key, size)
         return seconds

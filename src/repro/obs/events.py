@@ -37,7 +37,9 @@ from typing import Callable
 from .metrics import MetricsRegistry
 
 #: Version of the on-disk event schema (bumped on incompatible change).
-TRACE_SCHEMA_VERSION = 1
+#: v2: fault-injection layer (fault.* track, cc.degraded_* spans,
+#: mc.restart) — see docs/OBSERVABILITY.md and docs/FAULTS.md.
+TRACE_SCHEMA_VERSION = 2
 
 #: Chrome-trace thread lane per event category.  One process (pid) is
 #: one client; within it each layer of the stack gets its own track.
@@ -48,6 +50,7 @@ CATEGORY_TRACKS: dict[str, int] = {
     "hub": 4,      # mid-tier hub cache
     "interp": 5,   # superblock interpreter
     "fleet": 6,    # shared-uplink queue / per-client spans
+    "fault": 7,    # fault injection (drops, retries, reconnects)
 }
 
 #: Every event name the stack emits, with the argument keys it carries.
@@ -64,10 +67,13 @@ EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
     "cc.flush": ("blocks",),
     "cc.pin": ("orig", "size"),
     "cc.guest_invalidate": ("addr", "length"),
+    "cc.degraded_enter": ("orig", "pending"),
+    "cc.degraded_exit": ("orig", "stall_cycles"),
     # memory controller ------------------------------------------------
     "mc.rewrite": ("orig", "words", "exits"),
     "mc.serve": ("orig", "bytes", "cached"),
     "mc.batch": ("orig", "chunks", "prefetch_bytes"),
+    "mc.restart": (),
     # link / hub ---------------------------------------------------------
     "link.exchange": ("kind", "payload", "overhead", "seconds"),
     "link.batch": ("kind", "chunks", "payload", "seconds"),
@@ -81,6 +87,14 @@ EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
     # fleet ----------------------------------------------------------------
     "fleet.client": ("client", "start_s", "seconds", "translations"),
     "fleet.queue": ("arrival_s", "delay_s", "service_s"),
+    # fault injection ------------------------------------------------------
+    "fault.drop": ("kind", "attempt", "where"),
+    "fault.corrupt": ("kind", "attempt"),
+    "fault.duplicate": ("kind",),
+    "fault.delay": ("kind", "seconds"),
+    "fault.retry": ("kind", "attempt", "backoff_s"),
+    "fault.link_down": ("kind", "attempts"),
+    "fault.reconnect": ("stall_s",),
 }
 
 

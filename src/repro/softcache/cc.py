@@ -33,6 +33,7 @@ from ..isa import Insn, Op, Trap, encode, patch_branch_disp, patch_jump_target
 from ..isa.registers import FP, RA
 from ..layout import FP_SENTINEL
 from ..net import Channel
+from ..net.faults import LinkDown
 from ..sim.machine import Machine
 from .mc import MemoryController
 from .chunks import Chunk, ExitKind
@@ -143,6 +144,14 @@ class BaseCacheController:
         machine.invalidate_hook = self.invalidate_original_range
         #: extra trap dispatchers (the D-cache plugs in here).
         self.extra_trap_handlers: dict[int, object] = {}
+        #: Misses stranded by a LinkDown trap, replayed at reconnect.
+        #: Blocking RPC semantics mean at most one is outstanding, but
+        #: the list form is what check_consistency audits.
+        self.pending_misses: list[int] = []
+        #: Fault layer's payload-staging hook (install_faults rebinds
+        #: this); None on a fault-free channel, keeping the miss path
+        #: free of checksum work.
+        self._stager = getattr(channel, "stage_payloads", None)
 
     # -- cost charging -----------------------------------------------------
 
@@ -218,14 +227,14 @@ class BaseCacheController:
                                         self._is_resident)
             chunk, payload = batch[0]
             stats.miss_serve_host_s += perf_counter() - t0
-            seconds = self.channel.batch_exchange(
-                "chunk", [c.payload_bytes for c, _ in batch])
+            seconds = self._exchange_chunk(orig, batch, batched=True)
         else:
             batch = None
             chunk = self.mc.serve_chunk(orig)
             payload = self.mc.payload_of(chunk)
             stats.miss_serve_host_s += perf_counter() - t0
-            seconds = self.channel.exchange("chunk", chunk.payload_bytes)
+            seconds = self._exchange_chunk(orig, [(chunk, payload)],
+                                           batched=False)
         stats.miss_link_cycles += self._charge_link(seconds)
         self._charge(self.costs.mc_service_cycles)
         stats.miss_serve_cycles += self.costs.mc_service_cycles
@@ -274,6 +283,96 @@ class BaseCacheController:
     def _is_resident(self, orig: int) -> bool:
         block = self.tcache.lookup(orig)
         return block is not None and block.alive
+
+    # -- miss exchange / degraded resident mode ---------------------------
+
+    def _exchange_chunk(self, orig: int, pairs, *,
+                        batched: bool) -> float:
+        """One chunk RPC (single or batched reply), fault-aware.
+
+        *pairs* is ``[(chunk, payload), ...]``, demanded chunk first.
+        On a fault-free channel this is exactly the seed exchange; with
+        faults installed the reply payloads and their header checksums
+        are staged first (so corruption is detected on real bytes), and
+        an exhausted retry budget drops into degraded resident mode.
+        """
+        sizes = [c.payload_bytes for c, _ in pairs]
+        if self._stager is not None:
+            mc = self.mc
+            self._stager([(p, mc.checksum_of(c)) for c, p in pairs])
+        try:
+            if batched:
+                return self.channel.batch_exchange("chunk", sizes)
+            return self.channel.exchange("chunk", sizes[0])
+        except LinkDown as down:
+            return down.seconds + self._replay_after_reconnect(
+                orig, batched)
+
+    def _replay_after_reconnect(self, orig: int, batched: bool) -> float:
+        """Degraded resident mode: the link is down mid-miss.
+
+        Resident chunks would keep executing — it is only this miss
+        that cannot make progress — so the blocking-RPC model shows the
+        outage as a recorded stall: the miss is parked on
+        ``pending_misses``, reconnect epochs are waited out (charged as
+        ``degraded_stall_cycles``, not link time), and the miss is
+        replayed — re-served by the MC (which may have crash-restarted;
+        rewriting is deterministic, so the replayed chunks are
+        byte-identical) and re-exchanged until it lands.  Returns the
+        link seconds of the replay attempts.
+        """
+        stats = self.stats
+        stats.link_down_traps += 1
+        stats.link_down_by_chunk[orig] = \
+            stats.link_down_by_chunk.get(orig, 0) + 1
+        stats.degraded_entries += 1
+        self.pending_misses.append(orig)
+        trc = self.tracer
+        if trc is not None:
+            trc.emit("cc.degraded_enter", "cc", orig=orig,
+                     pending=len(self.pending_misses))
+        channel = self.channel
+        costs = self.costs
+        seconds = 0.0
+        stall_cycles = 0
+        for _ in range(1000):
+            stall_s = channel.wait_reconnect()
+            cycles = int(stall_s * costs.cpu_hz)
+            self._charge(cycles)
+            stats.degraded_stall_cycles += cycles
+            stall_cycles += cycles
+            if self.debug_poison:
+                from .debug import check_consistency
+                check_consistency(self)
+            # re-issue the request: re-serve from the MC (re-priming
+            # any hub key plumbing) and re-stage the reply payloads
+            if batched:
+                pairs = self.mc.serve_batch(orig, self.prefetch_depth,
+                                            self._is_resident)
+            else:
+                chunk = self.mc.serve_chunk(orig)
+                pairs = [(chunk, self.mc.payload_of(chunk))]
+            sizes = [c.payload_bytes for c, _ in pairs]
+            if self._stager is not None:
+                mc = self.mc
+                self._stager([(p, mc.checksum_of(c)) for c, p in pairs])
+            try:
+                if batched:
+                    seconds += channel.batch_exchange("chunk", sizes)
+                else:
+                    seconds += channel.exchange("chunk", sizes[0])
+            except LinkDown as down:
+                seconds += down.seconds
+                continue
+            self.pending_misses.remove(orig)
+            stats.pending_miss_replays += 1
+            if trc is not None:
+                trc.emit("cc.degraded_exit", "cc", orig=orig,
+                         stall_cycles=stall_cycles)
+            return seconds
+        raise SoftCacheError(
+            f"miss on {orig:#x} never delivered across 1000 reconnect "
+            f"epochs; the fault plan cannot make progress")
 
     def _install_prefetched(self, chunk: Chunk, payload: bytes) -> None:
         """Install a speculative chunk from a batched reply.
@@ -354,8 +453,8 @@ class BaseCacheController:
                 f"{orig:#x} is already resident unpinned; pin before "
                 f"running")
         chunk = self.mc.serve_chunk(orig)
-        self._charge_link(self.channel.exchange("chunk",
-                                                chunk.payload_bytes))
+        self._charge_link(self._exchange_chunk(
+            orig, [(chunk, self.mc.payload_of(chunk))], batched=False))
         self._charge(self.costs.mc_service_cycles)
         addr = self.tcache.place_pinned(chunk.size)
         block = TBlock(orig=orig, addr=addr, size=chunk.size,

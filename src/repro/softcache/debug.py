@@ -6,6 +6,10 @@
   state is encoded in is decoded and cross-checked.  The test suite
   runs this after exercising eviction/flush/pinning paths; it is also
   a debugging tool for anyone extending the controllers.
+* :func:`architectural_state` — a digest of everything the *program*
+  can observe (memory, registers, pc, exit code, output).  The fault
+  layer's differential tests pin that any all-transient fault plan
+  reaches the exact fault-free digest: faults may only cost time.
 * :func:`dump_tcache` — human-readable listing of resident blocks
   with disassembly and link annotations.
 * :func:`chunk_graph_dot` — Graphviz DOT export of the resident chunk
@@ -13,6 +17,8 @@
 """
 
 from __future__ import annotations
+
+import hashlib
 
 from ..isa import (
     Op,
@@ -78,6 +84,12 @@ def check_consistency(cc: BaseCacheController) -> int:
         checked += 1
 
     for block in resident:
+        # every resident block must be reachable from the link index
+        if tcache.map.get(block.orig) is not block:
+            raise ConsistencyError(
+                f"resident block {block.orig:#x} unreachable from the "
+                f"residency map")
+        checked += 1
         # every incoming link's word must point into this block
         for link in block.incoming:
             target = _site_target(cc, link.site_addr, link.kind)
@@ -108,11 +120,43 @@ def check_consistency(cc: BaseCacheController) -> int:
                     f"from destination's incoming list")
             checked += 1
 
+    # degraded resident mode: a miss may only be parked while the
+    # fault layer actually reports the link down
+    pending = getattr(cc, "pending_misses", None)
+    if pending and not getattr(cc.channel, "down", False):
+        raise ConsistencyError(
+            f"pending misses {[hex(a) for a in pending]} with the "
+            f"link up")
+    if pending is not None:
+        checked += 1
+
     if isinstance(cc, BlockCacheController):
         checked += _check_block_cc(cc)
     elif isinstance(cc, ProcCacheController):
         checked += _check_proc_cc(cc)
     return checked
+
+
+def architectural_state(system) -> str:
+    """SHA-256 digest of the program-visible state of *system*.
+
+    Covers every memory region's bytes, the register file, pc, the
+    exit code and the console output — and deliberately nothing
+    derived from timing (cycles, stats, link counters), since those
+    are exactly what transient link faults are allowed to change.
+    """
+    h = hashlib.sha256()
+    for region in system.machine.mem.regions:
+        h.update(region.name.encode())
+        h.update(bytes(region.buf))
+    cpu = system.machine.cpu
+    for value in cpu.regs:
+        h.update(int(value).to_bytes(8, "little", signed=True))
+    h.update(int(cpu.pc).to_bytes(8, "little", signed=True))
+    exit_code = cpu.exit_code if cpu.exit_code is not None else -1
+    h.update(int(exit_code).to_bytes(8, "little", signed=True))
+    h.update(system.machine.output_text.encode())
+    return h.hexdigest()
 
 
 def _check_block_cc(cc: BlockCacheController) -> int:

@@ -58,6 +58,9 @@ class MCStats:
     data_bytes_served: int = 0
     writebacks: int = 0
     writeback_bytes: int = 0
+    #: Crash-restart epochs survived (fault injection): each one wipes
+    #: the server-side chunk/payload caches and the successor graph.
+    restarts: int = 0
 
 
 class MemoryController:
@@ -89,6 +92,9 @@ class MemoryController:
         #: entries under proc granularity, targets outside text);
         #: remembered so batches do not retry them on every miss.
         self._unchunkable: set[int] = set()
+        #: CRC32 of each chunk's payload, carried in the reply header
+        #: so the client can reject corrupted deliveries (fault layer).
+        self._checksum_cache: dict[int, int] = {}
         #: Optional data-access rewriter (full-system mode, §3).
         self.data_rewriter = None
 
@@ -118,6 +124,16 @@ class MemoryController:
                 w.to_bytes(4, "little") for w in chunk.words)
             self._payload_cache[chunk.orig] = payload
         return payload
+
+    def checksum_of(self, chunk: Chunk) -> int:
+        """The integrity word the reply header carries for *chunk*:
+        CRC32 over the pre-encoded payload, cached server-side."""
+        checksum = self._checksum_cache.get(chunk.orig)
+        if checksum is None:
+            from ..net.faults import chunk_checksum
+            checksum = chunk_checksum(self.payload_of(chunk))
+            self._checksum_cache[chunk.orig] = checksum
+        return checksum
 
     def successors_of(self, orig_addr: int) -> tuple[int, ...]:
         """Static successors of the chunk at *orig_addr* (builds the
@@ -232,6 +248,26 @@ class MemoryController:
         for orig in stale:
             del self._chunk_cache[orig]
             self._payload_cache.pop(orig, None)
+            self._checksum_cache.pop(orig, None)
             self._successors.pop(orig, None)
         self._unchunkable.clear()
         return len(stale)
+
+    def restart(self) -> None:
+        """Simulate an MC crash-restart (fault injection).
+
+        The program image is durable but every server-side cache comes
+        back cold: chunks, payloads, checksums, the successor graph
+        and the unchunkable set are all rebuilt on demand.  Rewriting
+        is deterministic, so the rebuilt chunks are byte-identical —
+        the client only pays extra service time, never sees different
+        code.
+        """
+        self._chunk_cache.clear()
+        self._payload_cache.clear()
+        self._checksum_cache.clear()
+        self._successors.clear()
+        self._unchunkable.clear()
+        self.stats.restarts += 1
+        if self.tracer is not None:
+            self.tracer.emit("mc.restart", "mc")

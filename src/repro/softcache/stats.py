@@ -77,6 +77,18 @@ class SoftCacheStats:
     miss_install_host_s: float = 0.0
     miss_patch_host_s: float = 0.0
 
+    # -- degraded resident mode (fault injection) -------------------------
+    #: LinkDown traps raised by the miss path (retry budget exhausted).
+    link_down_traps: int = 0
+    #: Times the CC entered degraded resident mode.
+    degraded_entries: int = 0
+    #: Client cycles stalled waiting out reconnect epochs.
+    degraded_stall_cycles: int = 0
+    #: Pending misses successfully replayed after a reconnect.
+    pending_miss_replays: int = 0
+    #: LinkDown traps per demanded chunk (which code the outage hit).
+    link_down_by_chunk: dict[int, int] = field(default_factory=dict)
+
     @property
     def miss_service_cycles(self) -> int:
         """Total simulated cycles spent servicing misses (all phases)."""

@@ -66,6 +66,14 @@ class SoftCacheConfig:
     #: tracer-free).  Tracing never charges simulated cycles, so an
     #: enabled run is cycle-identical to a disabled one.
     recorder: object | None = None
+    #: Link fault plan (:class:`repro.net.FaultPlan`) or None.  None or
+    #: ``FaultPlan.none()`` installs nothing: the channel is the plain
+    #: seed :class:`Channel` and every code path is bit-identical to a
+    #: fault-free build.
+    fault_plan: object | None = None
+    #: Retry behaviour under faults (:class:`repro.net.RetryPolicy`);
+    #: None means the default policy.  Ignored without a fault plan.
+    retry_policy: object | None = None
 
 
 @dataclass
@@ -160,6 +168,12 @@ class SoftCacheSystem:
             self.cc.extra_trap_handlers[Trap.SC_ENTER] = dcache.handle_sc
             self.cc.extra_trap_handlers[Trap.SC_EXIT] = dcache.handle_sc
             self.dcache = dcache
+        #: The installed FaultyChannel, or None on a reliable link.
+        self.faults = None
+        if config.fault_plan is not None:
+            from ..net.faults import install_faults
+            self.faults = install_faults(self, config.fault_plan,
+                                         config.retry_policy)
 
     @staticmethod
     def _geometry(image: Image, config: SoftCacheConfig) -> TCacheGeometry:
@@ -230,6 +244,8 @@ class SoftCacheSystem:
         publish_dataclass(registry, "mc", self.mc.stats)
         publish_dataclass(registry, "link", self.channel.stats)
         publish_dataclass(registry, "interp", self.machine.cpu.sb_stats)
+        if self.faults is not None:
+            publish_dataclass(registry, "fault", self.faults.fault_stats)
         cpu = self.machine.cpu
         registry.gauge("sim.instructions").set(cpu.icount)
         registry.gauge("sim.cycles").set(cpu.cycles)

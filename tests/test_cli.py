@@ -78,9 +78,9 @@ def _check_trace_outputs(base):
     """The two export files exist and convert/load as advertised."""
     import json
 
-    from repro.obs import load_jsonl
+    from repro.obs import TRACE_SCHEMA_VERSION, load_jsonl
     meta, events = load_jsonl(f"{base}.jsonl")
-    assert meta["schema"] == 1 and events
+    assert meta["schema"] == TRACE_SCHEMA_VERSION and events
     doc = json.loads(open(f"{base}.trace.json").read())
     assert doc["traceEvents"]
     assert {r["ph"] for r in doc["traceEvents"]} <= {"i", "X", "M"}
@@ -127,6 +127,46 @@ def test_debug_dot(capsys):
     assert code == 0
     assert out.startswith("digraph tcache {")
     assert "->" in out
+
+
+def test_run_with_fault_plan(capsys):
+    code = main(["run", "sensor", "--scale", "0.05",
+                 "--tcache", "2048", "--local-link",
+                 "--fault-plan", "lossy", "--seed", "3"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "faults" in out
+    assert "retries" in out and "delivered" in out
+
+
+def test_chaos_subcommand_ok(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code = main(["chaos", "--workloads", "sensor", "--plans", "2",
+                 "--scale", "0.05", "--tcache", "2048"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "all 2 cells reached the fault-free architectural state" \
+        in out
+    assert not (tmp_path / "chaos-artifacts").exists()
+
+
+def test_chaos_failure_writes_artifacts(capsys, tmp_path, monkeypatch):
+    """A diverging cell exits nonzero and leaves its plan + trace."""
+    monkeypatch.chdir(tmp_path)
+    digests = iter(["baseline", "diverged-cell"])
+    monkeypatch.setattr("repro.softcache.debug.architectural_state",
+                        lambda system: next(digests))
+    code = main(["chaos", "--workloads", "sensor", "--plans", "1",
+                 "--scale", "0.05", "--tcache", "2048",
+                 "--out-dir", "arts"])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "FAIL sensor-seed0" in captured.err
+    assert (tmp_path / "arts" / "chaos-sensor-seed0.plan.txt").exists()
+    plan_text = (tmp_path / "arts" /
+                 "chaos-sensor-seed0.plan.txt").read_text()
+    assert "FaultPlan" in plan_text and "error:" in plan_text
+    _check_trace_outputs(tmp_path / "arts" / "chaos-sensor-seed0")
 
 
 def test_fleet_subcommand(capsys, tmp_path, monkeypatch):

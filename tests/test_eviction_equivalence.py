@@ -132,3 +132,48 @@ def test_random_interleavings_never_dangle(depth, actions):
         check_consistency(cc)   # raises ConsistencyError on any drift
     cc.ensure_translated(image.entry)
     assert check_consistency(cc) > 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2 ** 16),
+    drop=st.floats(min_value=0.0, max_value=0.3),
+    corrupt=st.floats(min_value=0.0, max_value=0.2),
+    partition=st.booleans(),
+    depth=st.integers(min_value=0, max_value=2),
+    actions=st.lists(st.integers(min_value=0, max_value=4),
+                     min_size=1, max_size=25),
+)
+def test_faulty_interleavings_never_dangle(seed, drop, corrupt,
+                                           partition, depth, actions):
+    """The eviction property under fire: random fault plans (loss,
+    corruption, partitions that exhaust the tight retry budget and
+    force degraded-mode replays) composed with random translate/flush
+    interleavings into a tiny tcache must never dangle a backpatch or
+    leave a resident block unreachable from the residency map —
+    `check_consistency` audits both after every action."""
+    from repro.net import FaultPlan, RetryPolicy
+    plan = FaultPlan(seed=seed, drop_request_p=drop / 2,
+                     drop_reply_p=drop / 2, corrupt_p=corrupt,
+                     partitions=((6, 26),) if partition else ())
+    image = churn_image()
+    system = SoftCacheSystem(image, SoftCacheConfig(
+        tcache_size=512, link=LOCAL_LINK, prefetch_depth=depth,
+        record_timeline=False, debug_poison=True, fault_plan=plan,
+        retry_policy=RetryPolicy(max_attempts=3, jitter=0.0)))
+    cc = system.cc
+    cc.start()
+    targets = [image.symbols[name] for name in ("f1", "f2", "f3")]
+    targets.append(image.entry)
+    for action in actions:
+        if action == len(targets):
+            cc.flush()
+        else:
+            block = cc.ensure_translated(targets[action])
+            assert block.alive
+        _assert_no_dangling_links(cc)
+        check_consistency(cc)
+    cc.ensure_translated(image.entry)
+    assert check_consistency(cc) > 0
+    if system.faults is not None:
+        assert not cc.pending_misses

@@ -1,0 +1,106 @@
+"""Differential: faulty runs reach the exact fault-free state.
+
+The survivability claim in one sentence: every fault a
+:class:`~repro.net.FaultPlan` can inject is *transient*, so a run
+under any plan must finish with architectural state — every memory
+region, every register, the PC, the exit code, the output stream —
+bit-identical to the fault-free run.  Timing is allowed (required,
+even) to differ; nothing else is.
+
+Both sides run with ``debug_poison`` so the digest also covers the
+poison words the eviction path writes: a faulty run that evicted or
+replayed differently would leave a different poison footprint even if
+the guest-visible bytes happened to agree.
+"""
+
+import pytest
+
+from repro.net import FaultPlan, RetryPolicy
+from repro.softcache import SoftCacheConfig, SoftCacheSystem
+from repro.softcache.debug import architectural_state, check_consistency
+from repro.workloads import build_workload
+
+WORKLOADS = ("sensor", "adpcm_enc")
+SCALE = 0.05
+
+_images = {}
+
+
+def image_of(workload):
+    if workload not in _images:
+        _images[workload] = build_workload(workload, SCALE)
+    return _images[workload]
+
+
+def run_under(workload, plan=None, policy=None, **kw):
+    config = SoftCacheConfig(tcache_size=2048, record_timeline=False,
+                             debug_poison=True, fault_plan=plan,
+                             retry_policy=policy, **kw)
+    system = SoftCacheSystem(image_of(workload), config)
+    report = system.run()
+    return system, report
+
+
+_baselines = {}
+
+
+def baseline_digest(workload, **kw):
+    key = (workload, tuple(sorted(kw.items())))
+    if key not in _baselines:
+        system, report = run_under(workload, **kw)
+        _baselines[key] = (architectural_state(system), report)
+    return _baselines[key]
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("seed", (0, 1, 3, 7))
+def test_chaos_cells_reach_identical_state(workload, seed):
+    """chaos(0,3) carry partitions, chaos(1) an MC crash, chaos(7) is
+    plain loss — between them every fault path runs."""
+    base_digest, base_report = baseline_digest(workload)
+    system, report = run_under(workload, FaultPlan.chaos(seed))
+    st = system.faults.fault_stats
+    assert st.attempts > st.delivered, "the plan must actually fault"
+    assert architectural_state(system) == base_digest
+    assert report.output == base_report.output
+    assert report.exit_code == base_report.exit_code
+    assert check_consistency(system.cc) > 0
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_partition_plus_crash_with_prefetch(workload):
+    """The worst composite: a partition long enough to exhaust the
+    retry budget (degraded mode + replays), an MC crash-restart in the
+    middle, corruption on top, and batched prefetch exchanges in
+    flight."""
+    plan = FaultPlan(seed=5, drop_request_p=0.03, drop_reply_p=0.03,
+                     corrupt_p=0.04, partitions=((25, 70),),
+                     mc_crash_epochs=(80,))
+    policy = RetryPolicy(max_attempts=3, jitter=0.0)
+    base_digest, base_report = baseline_digest(workload,
+                                               prefetch_depth=2)
+    system, report = run_under(workload, plan, policy,
+                               prefetch_depth=2)
+    s = system.stats
+    fs = system.faults.fault_stats
+    assert s.link_down_traps > 0, "partition must trip degraded mode"
+    assert s.pending_miss_replays > 0
+    assert fs.mc_restarts == 1
+    assert not system.cc.pending_misses
+    assert architectural_state(system) == base_digest
+    assert report.output == base_report.output
+    assert check_consistency(system.cc) > 0
+
+
+def test_digest_is_sensitive():
+    """architectural_state must actually see memory: two different
+    workloads may not collide (sanity check on the oracle itself)."""
+    a, _ = run_under("sensor")
+    b, _ = run_under("adpcm_enc")
+    assert architectural_state(a) != architectural_state(b)
+
+
+def test_digest_is_reproducible():
+    a, _ = run_under("sensor")
+    b, _ = run_under("sensor")
+    assert architectural_state(a) == architectural_state(b)

@@ -53,7 +53,7 @@ def test_event_schema_golden():
     its argument keys must be a deliberate act (update this table, the
     EVENT_SCHEMA table and docs/OBSERVABILITY.md together, and bump
     TRACE_SCHEMA_VERSION on incompatible changes)."""
-    assert TRACE_SCHEMA_VERSION == 1
+    assert TRACE_SCHEMA_VERSION == 2
     assert EVENT_SCHEMA == {
         "cc.trap": ("kind", "id"),
         "cc.miss": ("orig", "name", "size", "batch"),
@@ -64,9 +64,12 @@ def test_event_schema_golden():
         "cc.flush": ("blocks",),
         "cc.pin": ("orig", "size"),
         "cc.guest_invalidate": ("addr", "length"),
+        "cc.degraded_enter": ("orig", "pending"),
+        "cc.degraded_exit": ("orig", "stall_cycles"),
         "mc.rewrite": ("orig", "words", "exits"),
         "mc.serve": ("orig", "bytes", "cached"),
         "mc.batch": ("orig", "chunks", "prefetch_bytes"),
+        "mc.restart": (),
         "link.exchange": ("kind", "payload", "overhead", "seconds"),
         "link.batch": ("kind", "chunks", "payload", "seconds"),
         "link.send": ("kind", "payload", "seconds"),
@@ -78,6 +81,13 @@ def test_event_schema_golden():
         "fleet.client": ("client", "start_s", "seconds",
                          "translations"),
         "fleet.queue": ("arrival_s", "delay_s", "service_s"),
+        "fault.drop": ("kind", "attempt", "where"),
+        "fault.corrupt": ("kind", "attempt"),
+        "fault.duplicate": ("kind",),
+        "fault.delay": ("kind", "seconds"),
+        "fault.retry": ("kind", "attempt", "backoff_s"),
+        "fault.link_down": ("kind", "attempts"),
+        "fault.reconnect": ("stall_s",),
     }
 
 
