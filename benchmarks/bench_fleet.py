@@ -1,35 +1,135 @@
-"""Figure 1 deployment: server scaling across a device fleet."""
+"""Fleet-scale benchmark: the event scheduler vs fleet size.
 
-from conftest import save_result
+Sweeps the discrete-event fleet simulation across client counts up to
+10k+ devices (capture once per distinct client, replay everyone
+through one heap-ordered clock), recording host wall clock, uplink
+utilization, queueing delay, and shard balance at each point.
+Results are written to ``BENCH_fleet.json`` so CI can archive them
+and diff runs across commits.
 
-from repro.eval.render import ascii_table
-from repro.fleet import simulate_fleet
-from repro.softcache import SoftCacheConfig
-from repro.workloads import build_workload
+Usage::
+
+    python benchmarks/bench_fleet.py [--max-clients N] [--shards N]
+                                     [--hub-capacity B] [--out PATH]
+                                     [--budget-s S]
+
+``--budget-s`` turns the largest run's wall clock into a scaling
+gate: exit non-zero if simulating the full fleet took longer than the
+budget (CI pins 10k clients under a fixed budget so the event loop
+can never regress to per-client quadratic behaviour unnoticed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.fleet import simulate_fleet  # noqa: E402
+from repro.softcache import SoftCacheConfig  # noqa: E402
+from repro.workloads import build_workload  # noqa: E402
 
 
-def test_fleet_scaling(benchmark):
-    def run():
-        image = build_workload("sensor", 0.05)
-        config = SoftCacheConfig(tcache_size=8192)
-        return [simulate_fleet(image, n, config) for n in (1, 4, 16)]
+def _point(image, config, n: int, *, shards: int, hub_capacity: int,
+           stagger_s: float) -> dict:
+    t0 = time.perf_counter()
+    r = simulate_fleet(image, n, config, stagger_s=stagger_s,
+                       shards=shards, hub_capacity=hub_capacity)
+    wall = time.perf_counter() - t0
+    return {
+        "clients": n,
+        "distinct_clients": r.distinct_clients,
+        "wall_s": wall,
+        "makespan_s": r.makespan_s,
+        "link_utilization": r.link_utilization,
+        "mean_queue_delay_s": r.mean_queue_delay_s,
+        "max_queue_delay_s": r.max_queue_delay_s,
+        "delayed_requests": r.delayed_requests,
+        "mc_requests": r.mc_requests,
+        "mc_chunks_built": r.mc_chunks_built,
+        "chunk_cache_sharing": r.chunk_cache_sharing,
+        "shard_requests": [s.requests for s in r.shard_loads],
+        "shard_balance": r.shard_balance,
+        "hub_hit_rate": r.hub_hit_rate,
+    }
 
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
-    rows = [[r.n_clients, r.mc_chunks_built, r.mc_requests,
-             f"{100 * r.chunk_cache_sharing:.0f}%",
-             f"{100 * r.link_utilization:.2f}%",
-             f"{r.mean_queue_delay_s * 1e6:.1f}us"] for r in results]
-    save_result("fleet", ascii_table(
-        ["clients", "MC rewrites", "MC requests", "shared",
-         "link util", "mean queue"],
-        rows, title="Figure 1 deployment: one server, many devices "
-                    "(simultaneous boot)"))
-    one, four, sixteen = results
-    # server-side rewriting work is constant in fleet size
-    assert one.mc_chunks_built == four.mc_chunks_built \
-        == sixteen.mc_chunks_built
-    # requests scale linearly; sharing approaches 1
-    assert sixteen.mc_requests == 16 * one.mc_requests
-    assert sixteen.chunk_cache_sharing > 0.9
-    # a simultaneous 16-device boot visibly loads the uplink
-    assert sixteen.link_utilization > four.link_utilization
+
+def run_benchmarks(max_clients: int, shards: int, hub_capacity: int,
+                   stagger_s: float) -> dict:
+    image = build_workload("sensor", 0.05)
+    config = SoftCacheConfig(tcache_size=8192, record_timeline=False)
+    counts = [n for n in (1, 10, 100, 1000, 10_000)
+              if n <= max_clients]
+    if counts[-1] != max_clients:
+        counts.append(max_clients)
+    points = [_point(image, config, n, shards=shards,
+                     hub_capacity=hub_capacity, stagger_s=stagger_s)
+              for n in counts]
+    return {
+        "schema": "BENCH_fleet/1",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "shards": shards,
+        "hub_capacity": hub_capacity,
+        "stagger_s": stagger_s,
+        "scaling": points,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--max-clients", type=int, default=10_000)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--hub-capacity", type=int, default=64 * 1024)
+    parser.add_argument("--stagger-us", type=float, default=50.0,
+                        help="boot-time offset between clients "
+                             "(microseconds)")
+    parser.add_argument("--out", type=Path,
+                        default=Path("BENCH_fleet.json"))
+    parser.add_argument("--budget-s", type=float, default=None,
+                        help="fail if the largest fleet exceeds this "
+                             "wall clock")
+    args = parser.parse_args(argv)
+
+    results = run_benchmarks(args.max_clients, args.shards,
+                             args.hub_capacity,
+                             args.stagger_us * 1e-6)
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+
+    print(f"{'clients':>8} {'wall':>9} {'makespan':>10} {'util':>6} "
+          f"{'mean queue':>11} {'balance':>8} {'hub':>5}")
+    for p in results["scaling"]:
+        print(f"{p['clients']:>8} {p['wall_s'] * 1e3:>7.0f}ms "
+              f"{p['makespan_s']:>9.3f}s "
+              f"{100 * p['link_utilization']:>5.1f}% "
+              f"{p['mean_queue_delay_s'] * 1e6:>9.1f}us "
+              f"{p['shard_balance']:>8.2f} "
+              f"{100 * p['hub_hit_rate']:>4.0f}%")
+    print(f"wrote {args.out}")
+
+    biggest = results["scaling"][-1]
+    # sanity: server-side rewrite work must stay constant in fleet
+    # size (the whole point of the shared chunk cache)
+    smallest = results["scaling"][0]
+    if biggest["mc_chunks_built"] != smallest["mc_chunks_built"]:
+        print("FAIL: MC rewrite work grew with fleet size",
+              file=sys.stderr)
+        return 1
+    if args.budget_s is not None:
+        if biggest["wall_s"] > args.budget_s:
+            print(f"FAIL: {biggest['clients']} clients took "
+                  f"{biggest['wall_s']:.1f}s, budget "
+                  f"{args.budget_s:.0f}s", file=sys.stderr)
+            return 1
+        print(f"budget check OK: {biggest['clients']} clients in "
+              f"{biggest['wall_s']:.1f}s <= {args.budget_s:.0f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -142,6 +142,14 @@ def _cmd_run(args) -> int:
               f"pred={100 * dst.prediction_accuracy():.0f}%")
     if recorder is not None:
         _write_trace(recorder, args.trace)
+    if getattr(args, "prom_out", None):
+        from .obs import MetricsRegistry, write_prometheus
+        registry = (recorder.metrics if recorder is not None
+                    else MetricsRegistry())
+        if recorder is None:
+            system.publish_metrics(registry)
+        write_prometheus(registry, args.prom_out)
+        print(f"  prometheus        : {args.prom_out}")
     return report.exit_code
 
 
@@ -196,9 +204,15 @@ def _cmd_fleet(args) -> int:
         recorder = FlightRecorder()
     config = _softcache_config(args)
     result = simulate_fleet(image, args.clients, config,
-                            stagger_s=args.stagger, recorder=recorder)
-    print(f"[fleet] {result.n_clients} clients, "
-          f"stagger {args.stagger * 1e3:.1f} ms")
+                            stagger_s=args.stagger, recorder=recorder,
+                            queue_model=args.queue_model,
+                            shards=args.shards,
+                            hub_capacity=args.hub_capacity,
+                            distinct_clients=args.distinct)
+    print(f"[fleet] {result.n_clients} clients "
+          f"({result.distinct_clients} distinct), "
+          f"stagger {args.stagger * 1e3:.1f} ms, "
+          f"{result.queue_model} queue model")
     print(f"  mc requests       : {result.mc_requests} "
           f"({result.mc_chunks_built} chunks built, "
           f"{100 * result.chunk_cache_sharing:.0f}% shared)")
@@ -208,6 +222,17 @@ def _cmd_fleet(args) -> int:
     print(f"  queueing          : {result.delayed_requests} delayed, "
           f"mean {result.mean_queue_delay_s * 1e6:.1f} us, "
           f"max {result.max_queue_delay_s * 1e6:.1f} us")
+    if result.n_shards > 1:
+        loads = " ".join(str(s.requests) for s in result.shard_loads)
+        print(f"  shards            : {result.n_shards} "
+              f"(demand requests [{loads}], "
+              f"balance {result.shard_balance:.2f}, shard delay mean "
+              f"{result.mean_shard_delay_s * 1e6:.1f} us)")
+    if result.hub_capacity > 0:
+        print(f"  edge hub          : {result.hub_hits}/"
+              f"{result.hub_requests} hits "
+              f"({100 * result.hub_hit_rate:.0f}%) at "
+              f"{result.hub_capacity}B")
     if result.link_retries:
         print(f"  fault retries     : {result.link_retries} replayed "
               f"exchanges queued on the uplink")
@@ -215,6 +240,12 @@ def _cmd_fleet(args) -> int:
         names = {c.client_id: f"client {c.client_id}"
                  for c in result.clients}
         _write_trace(recorder, args.trace, process_names=names)
+    if args.prom_out:
+        from .obs import MetricsRegistry, write_prometheus
+        registry = MetricsRegistry()
+        result.publish(registry)
+        write_prometheus(registry, args.prom_out)
+        print(f"  prometheus        : {args.prom_out}")
     return 0
 
 
@@ -400,6 +431,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace", metavar="OUT",
                      help="record a flight-recorder trace and write "
                           "OUT.jsonl + OUT.trace.json")
+    run.add_argument("--prom-out", metavar="FILE",
+                     help="write the metrics registry in Prometheus "
+                          "text exposition format")
 
     trace = sub.add_parser(
         "trace", help="run with the flight recorder on; export "
@@ -434,6 +468,22 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--trace", metavar="OUT",
                        help="record a fleet-wide trace (per-client "
                             "timelines merged)")
+    fleet.add_argument("--queue-model", default="event",
+                       choices=("event", "legacy"),
+                       help="event: one simulated clock with live "
+                            "queueing feedback; legacy: the old "
+                            "post-hoc FIFO estimate")
+    fleet.add_argument("--shards", type=int, default=1,
+                       help="consistent-hash MC shards behind the hub")
+    fleet.add_argument("--hub-capacity", type=int, default=0,
+                       help="shared edge-hub chunk cache, bytes "
+                            "(0 = no hub)")
+    fleet.add_argument("--distinct", type=int, default=None,
+                       help="clients actually executed; the rest "
+                            "replay captured timelines")
+    fleet.add_argument("--prom-out", metavar="FILE",
+                       help="write fleet metrics in Prometheus text "
+                            "exposition format")
 
     chaos = sub.add_parser(
         "chaos", help="chaos matrix: seeded fault plans x workloads, "

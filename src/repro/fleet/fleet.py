@@ -1,21 +1,28 @@
-"""Fleet simulation: the paper's Figure-1 deployment.
+"""Fleet simulation: the paper's Figure-1 deployment, event-driven.
 
 "Two examples of this class include a distributed network of low-cost
 sensors with embedded processing and distributed cell phones which
-communicate with cell towers" — one server (MC) feeds many embedded
-clients (CCs) over a shared uplink.
+communicate with cell towers" — one server tier (MC) feeds many
+embedded clients (CCs) over a shared uplink.
 
-Each client is a full :class:`~repro.softcache.SoftCacheSystem`; the
-fleet shares one server-side memory controller (so chunk rewriting is
-done once per chunk, not once per client) and one uplink.  Clients run
-staggered in time; after the per-client runs, the merged miss-request
-timeline is pushed through a FIFO single-server queue to estimate link
-utilization and the queueing delay a real shared uplink would add.
+Each *distinct* client is a full :class:`~repro.softcache.
+SoftCacheSystem` run once under a :class:`~repro.fleet.sched.WireTap`
+(capture); the whole fleet — replicated clients included — is then
+advanced by the discrete-event scheduler on one simulated clock, so
+uplink queueing, origin-shard contention behind the edge hub, and
+fault-retry storms emerge from the event interleaving instead of
+being estimated post hoc (``queue_model="event"``, the default;
+``"legacy"`` keeps the old post-hoc FIFO as a convergence baseline).
+The server side is either one shared
+:class:`~repro.softcache.MemoryController` or — with ``shards > 1`` —
+a consistent-hash :class:`~repro.fleet.shard.ShardedMemoryController`
+whose per-shard rewrite/serve/bytes counters feed the metrics
+registry.  See docs/FLEET.md.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 from ..asm.image import Image
 from ..net import LinkModel
@@ -25,6 +32,15 @@ from ..softcache import (
     SoftCacheConfig,
     SoftCacheSystem,
 )
+from .sched import (
+    ClientTrace,
+    MCProbe,
+    SimOutcome,
+    WireTap,
+    run_event_sim,
+    run_legacy_sim,
+)
+from .shard import ShardedMemoryController
 
 
 @dataclass
@@ -36,10 +52,30 @@ class ClientResult:
     report: RunReport
     translations: int
     bytes_requested: int
+    #: Total queueing wait (uplink + shard) this client accumulated
+    #: on the shared clock; 0 under the legacy model, which does not
+    #: feed delays back into client timelines.
+    queue_delay_s: float = 0.0
 
     @property
     def end_s(self) -> float:
-        return self.start_s + self.report.seconds
+        return self.start_s + self.report.seconds + self.queue_delay_s
+
+
+@dataclass
+class ShardLoad:
+    """One origin shard's view of the fleet run."""
+
+    shard: int
+    #: Demand chunk RPCs the scheduler routed to this shard.
+    requests: int
+    #: Origin service occupancy, seconds.
+    busy_s: float
+    #: Server-side counters (rewrites, serves, bytes) of the shard's
+    #: MemoryController; the whole fleet for an unsharded MC.
+    mc_requests: int = 0
+    mc_chunks_built: int = 0
+    mc_bytes_served: int = 0
 
 
 @dataclass
@@ -62,12 +98,28 @@ class FleetResult:
     #: replayed exchanges are real uplink load and are queued like any
     #: other request.
     link_retries: int = 0
+    #: Which queueing model produced the delay figures.
+    queue_model: str = "event"
+    #: Clients actually executed (the rest replayed captured traces).
+    distinct_clients: int = 0
+    n_shards: int = 1
+    shard_loads: list[ShardLoad] = field(default_factory=list)
+    #: Origin-shard FIFO queueing (event model only).
+    mean_shard_delay_s: float = 0.0
+    max_shard_delay_s: float = 0.0
+    #: Edge-hub traffic (event model with ``hub_capacity > 0``).
+    hub_capacity: int = 0
+    hub_requests: int = 0
+    hub_hits: int = 0
+    #: Architectural digest of the reference client (every client of a
+    #: deterministic fleet reaches the same one); None for n=0.
+    architectural_digest: str | None = None
 
     @property
     def link_utilization(self) -> float:
         """Busy fraction of the shared uplink over the makespan."""
         return (self.total_transfer_s / self.makespan_s
-                if self.makespan_s else 0.0)
+                if self.makespan_s > 0.0 else 0.0)
 
     @property
     def chunk_cache_sharing(self) -> float:
@@ -77,38 +129,128 @@ class FleetResult:
             return 0.0
         return 1.0 - self.mc_chunks_built / self.mc_requests
 
+    @property
+    def shard_balance(self) -> float:
+        """Hottest shard's demand load relative to the mean (1.0 is
+        perfectly balanced; 0.0 when no chunk traffic was routed)."""
+        total = sum(s.requests for s in self.shard_loads)
+        if not total or not self.shard_loads:
+            return 0.0
+        mean = total / len(self.shard_loads)
+        return max(s.requests for s in self.shard_loads) / mean
+
+    @property
+    def hub_hit_rate(self) -> float:
+        return (self.hub_hits / self.hub_requests
+                if self.hub_requests else 0.0)
+
+    def publish(self, registry) -> None:
+        """Publish fleet aggregates and per-shard counters into a
+        :class:`~repro.obs.metrics.MetricsRegistry` (the Prometheus
+        exporter serializes exactly this)."""
+        g = registry.gauge
+        c = registry.counter
+        c("fleet.clients").inc(self.n_clients - c("fleet.clients").value)
+        c("fleet.distinct_clients").inc(
+            self.distinct_clients - c("fleet.distinct_clients").value)
+        c("fleet.mc_requests").inc(
+            self.mc_requests - c("fleet.mc_requests").value)
+        c("fleet.mc_chunks_built").inc(
+            self.mc_chunks_built - c("fleet.mc_chunks_built").value)
+        c("fleet.delayed_requests").inc(
+            self.delayed_requests - c("fleet.delayed_requests").value)
+        c("fleet.link_retries").inc(
+            self.link_retries - c("fleet.link_retries").value)
+        c("fleet.hub_requests").inc(
+            self.hub_requests - c("fleet.hub_requests").value)
+        c("fleet.hub_hits").inc(
+            self.hub_hits - c("fleet.hub_hits").value)
+        g("fleet.makespan_s").set(self.makespan_s)
+        g("fleet.total_transfer_s").set(self.total_transfer_s)
+        g("fleet.link_utilization").set(self.link_utilization)
+        g("fleet.mean_queue_delay_s").set(self.mean_queue_delay_s)
+        g("fleet.max_queue_delay_s").set(self.max_queue_delay_s)
+        g("fleet.mean_shard_delay_s").set(self.mean_shard_delay_s)
+        g("fleet.chunk_cache_sharing").set(self.chunk_cache_sharing)
+        g("fleet.shard_balance").set(self.shard_balance)
+        for load in self.shard_loads:
+            p = f"fleet.shard{load.shard}"
+            c(f"{p}.requests").inc(
+                load.requests - c(f"{p}.requests").value)
+            c(f"{p}.mc_requests").inc(
+                load.mc_requests - c(f"{p}.mc_requests").value)
+            c(f"{p}.mc_chunks_built").inc(
+                load.mc_chunks_built - c(f"{p}.mc_chunks_built").value)
+            c(f"{p}.mc_bytes_served").inc(
+                load.mc_bytes_served - c(f"{p}.mc_bytes_served").value)
+            g(f"{p}.busy_s").set(load.busy_s)
+
+
+def _empty_result(config: SoftCacheConfig, queue_model: str,
+                  shards: int) -> FleetResult:
+    return FleetResult(
+        n_clients=0, link=config.link, clients=[], mc_requests=0,
+        mc_chunks_built=0, total_transfer_s=0.0, makespan_s=0.0,
+        mean_queue_delay_s=0.0, max_queue_delay_s=0.0,
+        delayed_requests=0, queue_model=queue_model,
+        distinct_clients=0, n_shards=max(1, shards),
+        shard_loads=[ShardLoad(shard=i, requests=0, busy_s=0.0)
+                     for i in range(max(1, shards))])
+
 
 def simulate_fleet(image: Image, n_clients: int,
                    config: SoftCacheConfig | None = None, *,
                    stagger_s: float = 0.0,
                    max_instructions: int = 400_000_000,
                    recorder=None, fault_plan=None,
-                   retry_policy=None) -> FleetResult:
-    """Run *n_clients* identical devices against one server.
+                   retry_policy=None,
+                   queue_model: str = "event",
+                   shards: int = 1,
+                   hub_capacity: int = 0,
+                   distinct_clients: int | None = None,
+                   metrics=None) -> FleetResult:
+    """Run *n_clients* identical devices against one server tier.
 
     *stagger_s* offsets each client's boot time; 0 means all devices
     power on together (worst case for the shared uplink, e.g. after a
     region-wide reset of a sensor network).
 
+    *queue_model* selects the shared-uplink simulation: ``"event"``
+    (default) advances every client on one heap-ordered simulated
+    clock with live queueing feedback; ``"legacy"`` reproduces the
+    old post-hoc FIFO pass.  *shards* > 1 splits the MC into a
+    consistent-hash sharded tier; *hub_capacity* (bytes) interposes a
+    shared edge hub that shields the origin shards (event model).
+
+    *distinct_clients* caps how many clients actually execute — the
+    rest replay captured wire timelines (devices are identical and
+    deterministic, so trace replay is exact; the default captures the
+    cold client plus enough warm ones to cover fault decorrelation).
+
     *recorder* (a :class:`repro.obs.FlightRecorder`) collects a
-    fleet-wide timeline: each *simulated* client runs under its own
-    child recorder whose events are merged back shifted by the
-    client's boot offset and tagged pid=client_id; every client
-    (simulated or replicated) gets a ``fleet.client`` span, and each
-    queued uplink request that actually waited gets a ``fleet.queue``
-    event.
+    fleet-wide timeline: distinct clients run under child recorders
+    merged back shifted by boot offset and tagged pid=client_id;
+    every client gets a ``fleet.client`` span, every queueing wait a
+    ``fleet.queue`` event, and each shard a ``fleet.shard`` summary.
+    *metrics* (a :class:`repro.obs.MetricsRegistry`) receives
+    :meth:`FleetResult.publish` — so does ``recorder.metrics``.
 
     *fault_plan* (a :class:`repro.net.FaultPlan`; defaults to
-    ``config.fault_plan``) subjects every simulated client's uplink to
-    faults, each client under its own seed (``plan.seed + client_id``)
-    so outages are decorrelated across the fleet; transient faults
-    never change a client's output or translations, so the
-    fleet-divergence assertion still holds.  Replayed exchanges are
-    appended to the shared-uplink queue as real load.
+    ``config.fault_plan``) subjects every distinct client's uplink to
+    faults, each under its own seed (``plan.seed + client_id``) so
+    outages are decorrelated across the fleet; transient faults never
+    change a client's output or translations, so the fleet-divergence
+    assertion still holds.  Retry traversals are captured as extra
+    wire occupancy, so under the event model a retry storm is live
+    uplink load.
     """
-    if n_clients < 1:
-        raise ValueError("need at least one client")
+    if n_clients < 0:
+        raise ValueError("n_clients must be >= 0")
+    if queue_model not in ("event", "legacy"):
+        raise ValueError(f"unknown queue model {queue_model!r}")
     config = config or SoftCacheConfig()
+    if n_clients == 0:
+        return _empty_result(config, queue_model, shards)
     if fault_plan is None:
         fault_plan = config.fault_plan
     if retry_policy is None:
@@ -120,136 +262,184 @@ def simulate_fleet(image: Image, n_clients: int,
     faults_on = fault_plan is not None and not fault_plan.is_none()
     recorder = recorder if (recorder is not None
                             and recorder.enabled) else None
-    cpu_hz = config.costs.cpu_hz
-    shared_mc = MemoryController(image, granularity=config.granularity,
-                                 ebb_limit=config.ebb_limit)
-    clients: list[ClientResult] = []
-    events: list[tuple[float, float]] = []  # (arrival_s, service_s)
+    costs = config.costs
+    cpu_hz = costs.cpu_hz
     link = config.link
-    # devices are identical and deterministic: simulate two against
-    # the shared MC (the second exercises the chunk-cache-hit path and
-    # must behave identically), then replicate the timeline
-    reference: ClientResult | None = None
-    link_retries = 0
-    ref_retries = 0
-    for client_id in range(n_clients):
+
+    if shards > 1:
+        shared_mc = ShardedMemoryController(
+            image, shards, granularity=config.granularity,
+            ebb_limit=config.ebb_limit)
+    else:
+        shared_mc = MemoryController(image,
+                                     granularity=config.granularity,
+                                     ebb_limit=config.ebb_limit)
+        shards = 1
+    probe = MCProbe(shared_mc)
+
+    if distinct_clients is None:
+        # cold client + one warm chunk-cache-hit client; under faults,
+        # a few more so decorrelated fault seeds shape distinct
+        # timelines instead of one storm replayed in lockstep
+        distinct_clients = 4 if faults_on else 2
+    n_distinct = max(1, min(n_clients, distinct_clients))
+
+    # -- capture phase: run the distinct clients ----------------------
+    traces: list[ClientTrace] = []
+    reports: list[RunReport] = []
+    translations: list[int] = []
+    bytes_requested: list[int] = []
+    digest: str | None = None
+    for client_id in range(n_distinct):
         start = client_id * stagger_s
-        if client_id < 2 or reference is None:
-            child = None
-            if recorder is not None:
-                from ..obs import FlightRecorder
-                child = FlightRecorder(pid=client_id)
-            client_config = config
-            if faults_on:
-                client_config = replace(
-                    config,
-                    fault_plan=replace(fault_plan,
-                                       seed=fault_plan.seed + client_id),
-                    retry_policy=retry_policy)
-            system = SoftCacheSystem(image, client_config,
-                                     shared_mc=shared_mc,
-                                     recorder=child)
-            report = system.run(max_instructions)
-            if system.faults is not None:
-                ref_retries = system.faults.fault_stats.retries
-                link_retries += ref_retries
-            if child is not None:
-                recorder.merge(child,
-                               cycle_offset=int(start * cpu_hz))
-            result = ClientResult(
-                client_id=client_id, start_s=start, report=report,
-                translations=system.stats.translations,
-                bytes_requested=system.link_stats.payload_bytes)
-            if reference is not None and (
-                    report.output != reference.report.output
-                    or result.translations != reference.translations):
-                raise AssertionError(
-                    "chunk-cache-served client diverged from the "
-                    "first client")
-            reference = reference or result
-            timestamps = system.stats.translation_timestamps
-            payloads = _per_request_payloads(system)
-            timeline = [
-                (config.costs.cycles_to_seconds(cycle), payload)
-                for cycle, payload in zip(timestamps, payloads)]
-            if faults_on and timestamps and \
-                    len(payloads) > len(timestamps):
-                # link-layer retries made more wire exchanges than
-                # translations; the replays are real uplink load, so
-                # queue them too, spread over the same arrival times
-                for i in range(len(payloads) - len(timestamps)):
-                    cycle = timestamps[i % len(timestamps)]
-                    timeline.append(
-                        (config.costs.cycles_to_seconds(cycle),
-                         payloads[len(timestamps) + i]))
-        else:
-            result = ClientResult(
-                client_id=client_id, start_s=start,
-                report=reference.report,
-                translations=reference.translations,
-                bytes_requested=reference.bytes_requested)
-            shared_mc.stats.requests += reference.translations
-            shared_mc.stats.chunk_cache_hits += reference.translations
-            link_retries += ref_retries
+        child = None
+        if recorder is not None:
+            from ..obs import FlightRecorder
+            child = FlightRecorder(pid=client_id)
+        client_config = config
+        if faults_on:
+            client_config = replace(
+                config,
+                fault_plan=replace(fault_plan,
+                                   seed=fault_plan.seed + client_id),
+                retry_policy=retry_policy)
+        system = SoftCacheSystem(image, client_config,
+                                 shared_mc=shared_mc,
+                                 recorder=child)
+        tap = WireTap(system, probe)
+        report = system.run(max_instructions)
+        if child is not None:
+            recorder.merge(child, cycle_offset=int(start * cpu_hz))
+        retries = (system.faults.fault_stats.retries
+                   if system.faults is not None else 0)
+        traces.append(tap.to_trace(report.cycles, retries))
+        reports.append(report)
+        translations.append(system.stats.translations)
+        bytes_requested.append(system.link_stats.payload_bytes)
+        if client_id == 0:
+            from ..softcache.debug import architectural_state
+            digest = architectural_state(system)
+        elif report.output != reports[0].output or \
+                translations[-1] != translations[0]:
+            raise AssertionError(
+                "chunk-cache-served client diverged from the first "
+                "client")
+
+    # -- assignment: replicated clients replay warm traces ------------
+    def trace_index(client_id: int) -> int:
+        if client_id < n_distinct:
+            return client_id
+        if n_distinct == 1:
+            return 0
+        # cycle over the warm captures (never the cold client 0: a
+        # replicated device joins a fleet whose server caches are hot)
+        return 1 + (client_id - n_distinct) % (n_distinct - 1)
+
+    assignment = [trace_index(i) for i in range(n_clients)]
+    all_traces = [traces[i] for i in assignment]
+    boots = [i * stagger_s for i in range(n_clients)]
+    link_retries = 0
+    for client_id, t_idx in enumerate(assignment):
+        link_retries += traces[t_idx].retries
+        if client_id >= n_distinct:
+            # the server served this client from its chunk caches:
+            # credit each owning shard with the demand fetches
+            demands = traces[t_idx].shard_demands
+            if isinstance(shared_mc, ShardedMemoryController):
+                shared_mc.credit_replicated(demands)
+            else:
+                n_demands = sum(demands.values())
+                shared_mc.stats.requests += n_demands
+                shared_mc.stats.chunk_cache_hits += n_demands
+
+    # -- queueing phase: one simulated clock over the whole fleet -----
+    if queue_model == "event":
+        sim: SimOutcome = run_event_sim(
+            all_traces, boots, costs=costs, n_shards=shards,
+            origin_service_s=costs.cycles_to_seconds(
+                costs.mc_service_cycles),
+            hub_capacity=hub_capacity, recorder=recorder)
+    else:
+        sim = run_legacy_sim(all_traces, boots, costs=costs,
+                             n_shards=shards, recorder=recorder)
+
+    clients: list[ClientResult] = []
+    for client_id, t_idx in enumerate(assignment):
+        result = ClientResult(
+            client_id=client_id, start_s=boots[client_id],
+            report=reports[t_idx],
+            translations=translations[t_idx],
+            bytes_requested=bytes_requested[t_idx],
+            queue_delay_s=sim.waits[client_id])
         clients.append(result)
         if recorder is not None:
             recorder.emit(
                 "fleet.client", "fleet",
-                cycles=int(start * cpu_hz),
-                dur=int(result.report.seconds * cpu_hz),
+                cycles=int(result.start_s * cpu_hz),
+                dur=int((result.report.seconds +
+                         result.queue_delay_s) * cpu_hz),
                 pid=client_id,
-                client=client_id, start_s=start,
+                client=client_id, start_s=result.start_s,
                 seconds=result.report.seconds,
-                translations=result.translations)
-        for offset, payload in timeline:
-            service = (payload + link.exchange_overhead_bytes) * 8 \
-                / link.bandwidth_bps
-            events.append((start + offset, service))
+                translations=result.translations,
+                delay_s=result.queue_delay_s)
 
-    events.sort()
-    busy_until = 0.0
-    total_delay = 0.0
-    max_delay = 0.0
-    delayed = 0
-    total_service = 0.0
-    for arrival, service in events:
-        begin = max(arrival, busy_until)
-        delay = begin - arrival
-        if delay > 0:
-            delayed += 1
-            if recorder is not None:
-                recorder.emit(
-                    "fleet.queue", "fleet",
-                    cycles=int(arrival * cpu_hz),
-                    dur=int(delay * cpu_hz),
-                    arrival_s=arrival, delay_s=delay,
-                    service_s=service)
-        total_delay += delay
-        max_delay = max(max_delay, delay)
-        busy_until = begin + service
-        total_service += service
+    makespan = max(sim.ends) if sim.ends else 0.0
+    if sim.busy_until > makespan:
+        makespan = sim.busy_until
 
-    makespan = max((c.end_s for c in clients), default=0.0)
-    makespan = max(makespan, busy_until)
-    return FleetResult(
+    if isinstance(shared_mc, ShardedMemoryController):
+        shard_loads = [
+            ShardLoad(shard=i, requests=sim.shard_requests[i],
+                      busy_s=sim.shard_busy_s[i]
+                      if i < len(sim.shard_busy_s) else 0.0,
+                      mc_requests=part.stats.requests,
+                      mc_chunks_built=part.stats.chunks_built,
+                      mc_bytes_served=part.stats.bytes_served)
+            for i, part in enumerate(shared_mc.shards)]
+    else:
+        shard_loads = [ShardLoad(
+            shard=0, requests=sim.shard_requests[0],
+            busy_s=sim.shard_busy_s[0] if sim.shard_busy_s else 0.0,
+            mc_requests=shared_mc.stats.requests,
+            mc_chunks_built=shared_mc.stats.chunks_built,
+            mc_bytes_served=shared_mc.stats.bytes_served)]
+
+    mc_stats = shared_mc.stats
+    fleet = FleetResult(
         n_clients=n_clients, link=link, clients=clients,
-        mc_requests=shared_mc.stats.requests,
-        mc_chunks_built=shared_mc.stats.chunks_built,
-        total_transfer_s=total_service,
+        mc_requests=mc_stats.requests,
+        mc_chunks_built=mc_stats.chunks_built,
+        total_transfer_s=sim.uplink_busy_s,
         makespan_s=makespan,
-        mean_queue_delay_s=(total_delay / len(events)) if events else 0.0,
-        max_queue_delay_s=max_delay,
-        delayed_requests=delayed,
-        link_retries=link_retries)
+        mean_queue_delay_s=sim.mean_queue_delay_s,
+        max_queue_delay_s=sim.max_queue_delay_s,
+        delayed_requests=sim.delayed_requests,
+        link_retries=link_retries,
+        queue_model=queue_model,
+        distinct_clients=n_distinct,
+        n_shards=shards,
+        shard_loads=shard_loads,
+        mean_shard_delay_s=sim.mean_shard_delay_s,
+        max_shard_delay_s=sim.max_shard_delay_s,
+        hub_capacity=hub_capacity,
+        hub_requests=sim.hub_requests,
+        hub_hits=sim.hub_hits,
+        architectural_digest=digest)
 
-
-def _per_request_payloads(system: SoftCacheSystem) -> list[int]:
-    """Approximate per-request payload sizes for the queue model.
-
-    The channel records only totals; spreading the total evenly over
-    the requests keeps the queue analysis first-order while preserving
-    total transfer time exactly.
-    """
-    stats = system.link_stats
-    n = stats.exchanges or 1
-    return [stats.payload_bytes // n] * stats.exchanges
+    if recorder is not None:
+        end_cycles = int(makespan * cpu_hz)
+        for load in shard_loads:
+            util = (load.busy_s / makespan) if makespan > 0.0 else 0.0
+            recorder.emit("fleet.shard", "fleet", cycles=end_cycles,
+                          shard=load.shard, requests=load.requests,
+                          busy_s=load.busy_s, util=util)
+        if hub_capacity > 0:
+            recorder.emit("fleet.hub", "fleet", cycles=end_cycles,
+                          requests=fleet.hub_requests,
+                          hits=fleet.hub_hits,
+                          hit_rate=fleet.hub_hit_rate)
+        fleet.publish(recorder.metrics)
+    if metrics is not None:
+        fleet.publish(metrics)
+    return fleet

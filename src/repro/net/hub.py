@@ -53,6 +53,48 @@ class HubStats:
         return self.hub_hits / self.requests if self.requests else 0.0
 
 
+class LruChunkCache:
+    """A byte-capacity LRU over chunk keys (original addresses).
+
+    The storage half of a hub: used in-line by :class:`HubChannel`
+    (per-exchange, blocking semantics) and by the fleet's event-driven
+    scheduler as the shared edge hub in the edge-hub → origin-shard
+    topology (:mod:`repro.fleet.sched`), so both tiers evict the same
+    way.  ``capacity_bytes == 0`` disables caching entirely: nothing
+    is ever held, every lookup misses.
+    """
+
+    __slots__ = ("capacity", "cached_bytes", "evictions", "_entries")
+
+    def __init__(self, capacity_bytes: int):
+        self.capacity = capacity_bytes
+        self.cached_bytes = 0
+        self.evictions = 0
+        self._entries: OrderedDict[int, int] = OrderedDict()
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def touch(self, key: int) -> None:
+        """Mark *key* most recently used."""
+        self._entries.move_to_end(key)
+
+    def insert(self, key: int, payload_bytes: int) -> None:
+        if self.capacity <= 0:
+            return
+        if key in self._entries:
+            self.cached_bytes -= self._entries.pop(key)
+        self.cached_bytes += payload_bytes
+        self._entries[key] = payload_bytes
+        while self.cached_bytes > self.capacity and self._entries:
+            _, evicted = self._entries.popitem(last=False)
+            self.cached_bytes -= evicted
+            self.evictions += 1
+
+
 class HubChannel(Channel):
     """A two-hop channel with an LRU chunk cache at the near hop.
 
@@ -69,8 +111,7 @@ class HubChannel(Channel):
         self.far = far
         self.capacity = capacity_bytes
         self.hub_stats = HubStats()
-        self._cache: OrderedDict[int, int] = OrderedDict()  # key->bytes
-        self._cached_bytes = 0
+        self._cache = LruChunkCache(capacity_bytes)
         #: set per-request by the CC wrapper; identifies the chunk
         self.next_key: int | None = None
         #: set per-batch by the CC wrapper; one key per batched chunk,
@@ -128,14 +169,8 @@ class HubChannel(Channel):
     # -- cache management ---------------------------------------------
 
     def _cache_insert(self, key: int, payload_bytes: int) -> None:
-        if key in self._cache:
-            self._cached_bytes -= self._cache.pop(key)
-        self._cached_bytes += payload_bytes
-        self._cache[key] = payload_bytes
-        while self._cached_bytes > self.capacity and self._cache:
-            _, evicted = self._cache.popitem(last=False)
-            self._cached_bytes -= evicted
-            self.hub_stats.evictions += 1
+        self._cache.insert(key, payload_bytes)
+        self.hub_stats.evictions = self._cache.evictions
 
     # -- exchanges ----------------------------------------------------
 
@@ -159,14 +194,14 @@ class HubChannel(Channel):
             stats.replayed_requests += 1
             seconds = super().exchange(kind, payload_bytes)
             if key in self._cache:
-                self._cache.move_to_end(key)
+                self._cache.touch(key)
                 return seconds
             return seconds + self._record_far_exchange(payload_bytes,
                                                        replay=True)
         stats.requests += 1
         seconds = super().exchange(kind, payload_bytes)  # near hop
         if key in self._cache:
-            self._cache.move_to_end(key)
+            self._cache.touch(key)
             stats.hub_hits += 1
             stats.hub_bytes += payload_bytes
             if self.tracer is not None:
@@ -219,13 +254,13 @@ class HubChannel(Channel):
             if replay:
                 stats.replayed_requests += 1
                 if key in self._cache:
-                    self._cache.move_to_end(key)
+                    self._cache.touch(key)
                 else:
                     missing.append(size)
                 continue
             stats.requests += 1
             if key in self._cache:
-                self._cache.move_to_end(key)
+                self._cache.touch(key)
                 stats.hub_hits += 1
                 stats.hub_bytes += size
                 if self.tracer is not None:

@@ -67,6 +67,18 @@ class LinkModel:
                        sum(payload_sizes))
         return 2 * self.latency_s + total_bytes * 8 / self.bandwidth_bps
 
+    def wire_time(self, total_bytes: int) -> float:
+        """Seconds *total_bytes* occupy the shared medium.
+
+        Pure serialization time — no latency term.  This is the
+        occupancy one message contributes to a shared uplink: while
+        its bytes are on the wire nobody else can transmit, whereas
+        propagation latency overlaps freely.  The fleet's queueing
+        models (event-driven and legacy) both charge exactly this per
+        exchange, which is what lets them converge at low load.
+        """
+        return total_bytes * 8 / self.bandwidth_bps
+
     def one_way_time(self, payload_bytes: int) -> float:
         """Seconds for a one-way message (writebacks, invalidations)."""
         total_bytes = self.request_bytes + payload_bytes

@@ -48,6 +48,7 @@ from .metrics import (
     MetricsRegistry,
     publish_dataclass,
 )
+from .prom import to_prometheus, write_prometheus
 
 __all__ = [
     "CATEGORY_TRACKS", "EVENT_SCHEMA", "TRACE_SCHEMA_VERSION",
@@ -57,4 +58,5 @@ __all__ = [
     "write_chrome_trace", "write_jsonl",
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "publish_dataclass",
+    "to_prometheus", "write_prometheus",
 ]

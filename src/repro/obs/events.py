@@ -39,7 +39,10 @@ from .metrics import MetricsRegistry
 #: Version of the on-disk event schema (bumped on incompatible change).
 #: v2: fault-injection layer (fault.* track, cc.degraded_* spans,
 #: mc.restart) — see docs/OBSERVABILITY.md and docs/FAULTS.md.
-TRACE_SCHEMA_VERSION = 2
+#: v3: event-driven fleet (fleet.client gains delay_s, fleet.queue
+#: gains where and folds shard waits in, fleet.shard / fleet.hub
+#: summaries) — see docs/FLEET.md.
+TRACE_SCHEMA_VERSION = 3
 
 #: Chrome-trace thread lane per event category.  One process (pid) is
 #: one client; within it each layer of the stack gets its own track.
@@ -85,8 +88,11 @@ EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
     "interp.sb_invalidate": ("pc",),
     "interp.flush": (),
     # fleet ----------------------------------------------------------------
-    "fleet.client": ("client", "start_s", "seconds", "translations"),
-    "fleet.queue": ("arrival_s", "delay_s", "service_s"),
+    "fleet.client": ("client", "start_s", "seconds", "translations",
+                     "delay_s"),
+    "fleet.queue": ("where", "arrival_s", "delay_s", "service_s"),
+    "fleet.shard": ("shard", "requests", "busy_s", "util"),
+    "fleet.hub": ("requests", "hits", "hit_rate"),
     # fault injection ------------------------------------------------------
     "fault.drop": ("kind", "attempt", "where"),
     "fault.corrupt": ("kind", "attempt"),

@@ -1,0 +1,76 @@
+"""Prometheus text-format exposition for the MetricsRegistry.
+
+First slice of the ops plane: serialize a
+:class:`~repro.obs.metrics.MetricsRegistry` in the Prometheus text
+exposition format (version 0.0.4 — the format every scraper and
+``promtool`` accepts), the same way Open-CAS's ``extra/prometheus``
+bridge exports its cache counters.  ``repro run --prom-out`` and
+``repro fleet --prom-out`` write one snapshot after the run; a real
+deployment would serve the same text from an HTTP endpoint.
+
+Mapping:
+
+* :class:`Counter` → ``counter`` (suffix ``_total`` per convention)
+* :class:`Gauge` → ``gauge``
+* :class:`Histogram` → ``histogram``: cumulative ``_bucket{le="..."}``
+  series from the power-of-two buckets, plus ``_sum`` and ``_count``.
+
+Metric names are sanitized (dots become underscores, everything
+prefixed ``repro_``) so ``cc.misses`` scrapes as ``repro_cc_misses``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _sanitize(name: str) -> str:
+    clean = _NAME_RE.sub("_", name)
+    if not clean or not (clean[0].isalpha() or clean[0] in "_:"):
+        clean = "_" + clean
+    return f"repro_{clean}"
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "NaN"
+        if value in (float("inf"), float("-inf")):
+            return "+Inf" if value > 0 else "-Inf"
+        return repr(value)
+    return str(value)
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Serialize *registry* in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for metric in sorted(registry, key=lambda m: m.name):
+        name = _sanitize(metric.name)
+        if isinstance(metric, Counter):
+            lines.append(f"# TYPE {name}_total counter")
+            lines.append(f"{name}_total {_format_value(metric.value)}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_format_value(metric.value)}")
+        elif isinstance(metric, Histogram):
+            lines.append(f"# TYPE {name} histogram")
+            cumulative = 0
+            for exponent in sorted(metric.buckets):
+                cumulative += metric.buckets[exponent]
+                lines.append(
+                    f'{name}_bucket{{le="{float(1 << exponent)}"}} '
+                    f"{cumulative}")
+            lines.append(f'{name}_bucket{{le="+Inf"}} {metric.count}')
+            lines.append(f"{name}_sum {_format_value(metric.total)}")
+            lines.append(f"{name}_count {metric.count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_prometheus(registry: MetricsRegistry, path) -> None:
+    """Write one exposition snapshot of *registry* to *path*."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(to_prometheus(registry))

@@ -208,6 +208,21 @@ class MemoryController:
                                    for c, _ in batch[1:]))
         return batch
 
+    def prefetch_one(self, addr: int) -> tuple[Chunk, bytes]:
+        """Produce one speculative chunk for a batched reply.
+
+        Same accounting as the prefetch arm of :meth:`serve_batch`;
+        split out so a sharded tier can route each prefetched chunk to
+        its owning shard while keeping the walk logic in one place.
+        Raises :class:`ChunkError` if the address cannot be chunked.
+        """
+        chunk = self._obtain(addr)
+        payload = self.payload_of(chunk)
+        self.stats.prefetch_chunks_sent += 1
+        self.stats.prefetch_bytes_served += chunk.payload_bytes
+        self.stats.bytes_served += chunk.payload_bytes
+        return chunk, payload
+
     def serve_data(self, addr: int, length: int) -> bytes:
         """Service a data miss (software D-cache refill, §3)."""
         self.stats.data_requests += 1

@@ -233,13 +233,16 @@ class SoftCacheSystem:
             output=self.machine.output_text,
         )
 
-    def publish_metrics(self) -> None:
-        """Mirror every layer's stats dataclass into the recorder's
-        metrics registry (counters for ints, gauges for the rest)."""
-        if self.recorder is None:
-            return
+    def publish_metrics(self, registry=None) -> None:
+        """Mirror every layer's stats dataclass into a metrics
+        registry (counters for ints, gauges for the rest) — the
+        recorder's by default, or an explicit *registry* (e.g. for
+        ``repro run --prom-out`` without tracing)."""
+        if registry is None:
+            if self.recorder is None:
+                return
+            registry = self.recorder.metrics
         from ..obs.metrics import publish_dataclass
-        registry = self.recorder.metrics
         self.cc.stats.publish(registry, prefix="cc")
         publish_dataclass(registry, "mc", self.mc.stats)
         publish_dataclass(registry, "link", self.channel.stats)

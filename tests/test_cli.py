@@ -177,5 +177,44 @@ def test_fleet_subcommand(capsys, tmp_path, monkeypatch):
     out = capsys.readouterr().out
     assert code == 0
     assert "[fleet] 3 clients" in out
+    assert "event queue model" in out
     assert "uplink" in out
     _check_trace_outputs(tmp_path / "fleet")
+
+
+def test_fleet_sharded_with_hub_and_prom(capsys, tmp_path,
+                                         monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code = main(["fleet", "sensor", "--scale", "0.05",
+                 "--tcache", "2048", "--clients", "6",
+                 "--shards", "4", "--hub-capacity", "65536",
+                 "--prom-out", "fleet.prom"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "shards            : 4" in out
+    assert "edge hub" in out
+    prom = (tmp_path / "fleet.prom").read_text()
+    assert "repro_fleet_clients_total 6" in prom
+    assert "repro_fleet_shard3_requests_total" in prom
+
+
+def test_fleet_legacy_queue_model(capsys):
+    code = main(["fleet", "sensor", "--scale", "0.05",
+                 "--tcache", "2048", "--clients", "2",
+                 "--queue-model", "legacy"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "legacy queue model" in out
+
+
+def test_run_prom_out(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code = main(["run", "sensor", "--scale", "0.05",
+                 "--tcache", "2048", "--local-link",
+                 "--prom-out", "run.prom"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "prometheus" in out
+    prom = (tmp_path / "run.prom").read_text()
+    assert "# TYPE repro_cc_translations_total counter" in prom
+    assert "repro_sim_cycles" in prom

@@ -1,10 +1,23 @@
-"""Fleet simulation (Figure 1: one server, many devices)."""
+"""Fleet simulation (Figure 1: one server, many devices).
+
+The fleet runs on a discrete-event scheduler: one simulated clock,
+live uplink/shard contention, with the old post-hoc FIFO kept as
+``queue_model="legacy"``.  These tests pin the contract: a 1-client
+event fleet is bit-identical to a solo run, the two queue models agree
+at low utilization, fault plans compose with the live queue, and
+sharding the MC never changes architectural state.  See docs/FLEET.md.
+"""
 
 import pytest
 
 from repro.fleet import simulate_fleet
-from repro.net import LinkModel
-from repro.softcache import MemoryController, SoftCacheConfig, SoftCacheSystem
+from repro.net import FaultPlan, LinkModel, RetryPolicy
+from repro.softcache import (
+    MemoryController,
+    SoftCacheConfig,
+    SoftCacheSystem,
+)
+from repro.softcache.debug import architectural_state
 from repro.workloads import build_workload
 
 
@@ -25,6 +38,19 @@ def test_single_client(image, config):
     assert result.mean_queue_delay_s == 0.0 or \
         result.delayed_requests >= 0
     assert result.chunk_cache_sharing == 0.0  # nothing to share
+
+
+def test_single_client_bit_identical_to_solo(image, config):
+    """A 1-client event fleet IS the solo run: same simulated seconds
+    (exactly — arrivals are derived from integer cycle counts, never
+    accumulated float deltas) and same architectural digest."""
+    solo = SoftCacheSystem(image, config)
+    report = solo.run()
+    fleet = simulate_fleet(image, 1, config)
+    assert fleet.makespan_s == report.seconds
+    assert fleet.clients[0].report.seconds == report.seconds
+    assert fleet.clients[0].queue_delay_s == 0.0
+    assert fleet.architectural_digest == architectural_state(solo)
 
 
 def test_chunk_cache_sharing_grows_with_fleet(image, config):
@@ -51,6 +77,82 @@ def test_stagger_spreads_load(image, config):
     assert burst.max_queue_delay_s > 0
 
 
+def test_event_and_legacy_agree_at_low_load(image, config):
+    """Acceptance: below 20% uplink utilization the live event model
+    and the post-hoc legacy model agree on mean queue delay within 5%
+    (both collapse to ~zero — no contention means no feedback for the
+    models to disagree about)."""
+    ev = simulate_fleet(image, 6, config, stagger_s=0.04,
+                        queue_model="event")
+    leg = simulate_fleet(image, 6, config, stagger_s=0.04,
+                         queue_model="legacy")
+    assert ev.link_utilization < 0.20
+    a, b = ev.mean_queue_delay_s, leg.mean_queue_delay_s
+    assert abs(a - b) <= max(0.05 * max(a, b), 1e-9)
+
+
+def test_event_feedback_disperses_collisions(image, config):
+    """Under contention the event model's feedback lets staggered
+    request trains self-organize apart after the first collision; the
+    legacy model re-collides every period, so it can only overestimate."""
+    burst_ev = simulate_fleet(image, 6, config, queue_model="event")
+    burst_leg = simulate_fleet(image, 6, config, queue_model="legacy")
+    assert burst_ev.delayed_requests > 0
+    assert burst_ev.mean_queue_delay_s <= burst_leg.mean_queue_delay_s
+    # legacy never feeds delay back into client timelines
+    assert all(c.queue_delay_s == 0.0 for c in burst_leg.clients)
+    assert any(c.queue_delay_s > 0.0 for c in burst_ev.clients)
+
+
+def test_chaos_fleet_composes_with_event_queue(image, config):
+    """PR 4 fault plans under the event scheduler: retries are live
+    uplink load (more wire occupancy than the fault-free fleet), yet
+    architectural state is bit-identical — transient faults shift
+    timing, never execution."""
+    clean = simulate_fleet(image, 4, config)
+    chaos = simulate_fleet(
+        image, 4, config, fault_plan=FaultPlan.chaos(seed=7),
+        retry_policy=RetryPolicy(max_attempts=8,
+                                 backoff_base_s=1e-4, jitter=0.0))
+    assert chaos.link_retries > 0
+    assert chaos.architectural_digest == clean.architectural_digest
+    assert chaos.total_transfer_s > clean.total_transfer_s
+
+
+def test_sharded_mc_is_architecturally_invisible(image, config):
+    """Consistent-hash sharding repartitions the server tier without
+    changing what any client executes or how much the tier serves."""
+    mono = simulate_fleet(image, 6, config, shards=1)
+    sharded = simulate_fleet(image, 6, config, shards=4)
+    assert sharded.n_shards == 4
+    assert len(sharded.shard_loads) == 4
+    assert sharded.architectural_digest == mono.architectural_digest
+    assert sharded.mc_requests == mono.mc_requests
+    assert sharded.mc_chunks_built == mono.mc_chunks_built
+    # every demand chunk RPC was routed to exactly one shard
+    assert sum(s.requests for s in sharded.shard_loads) == \
+        sum(s.requests for s in mono.shard_loads)
+    # the ring spread the key space: no shard owns everything
+    loaded = [s for s in sharded.shard_loads if s.requests > 0]
+    assert len(loaded) > 1
+    assert sharded.shard_balance >= 1.0
+
+
+def test_edge_hub_shields_origin_shards(image, config):
+    """A shared edge hub absorbs repeat chunk fetches before they
+    reach the origin shards — and stays architecturally invisible."""
+    plain = simulate_fleet(image, 6, config, shards=2)
+    hubbed = simulate_fleet(image, 6, config, shards=2,
+                            hub_capacity=64 * 1024)
+    assert hubbed.hub_requests > 0
+    assert hubbed.hub_hits > 0
+    assert 0.0 < hubbed.hub_hit_rate <= 1.0
+    assert hubbed.architectural_digest == plain.architectural_digest
+    # hub hits never reach a shard FIFO
+    assert sum(s.requests for s in hubbed.shard_loads) < \
+        sum(s.requests for s in plain.shard_loads)
+
+
 def test_slow_link_raises_utilization(image):
     fast = simulate_fleet(
         image, 4, SoftCacheConfig(tcache_size=8192,
@@ -72,6 +174,38 @@ def test_shared_mc_validation(image, config):
         SoftCacheSystem(image, config, shared_mc=mc2)
 
 
-def test_zero_clients_rejected(image, config):
+def test_empty_fleet(image, config):
+    """n_clients=0 is a degenerate fleet, not an error: every
+    aggregate reads as zero and no division blows up."""
+    empty = simulate_fleet(image, 0, config)
+    assert empty.n_clients == 0
+    assert empty.clients == []
+    assert empty.makespan_s == 0.0
+    assert empty.link_utilization == 0.0
+    assert empty.mean_queue_delay_s == 0.0
+    assert empty.chunk_cache_sharing == 0.0
+    assert empty.shard_balance == 0.0
+    assert empty.hub_hit_rate == 0.0
+    assert empty.architectural_digest is None
+
+
+def test_negative_clients_rejected(image, config):
     with pytest.raises(ValueError):
-        simulate_fleet(image, 0, config)
+        simulate_fleet(image, -1, config)
+
+
+def test_unknown_queue_model_rejected(image, config):
+    with pytest.raises(ValueError, match="queue model"):
+        simulate_fleet(image, 2, config, queue_model="quantum")
+
+
+def test_replication_preserves_server_accounting(image, config):
+    """Replicated clients (beyond distinct_clients) replay captured
+    traces, but the server tier is still billed for every demand
+    fetch they would have issued."""
+    small = simulate_fleet(image, 4, config, distinct_clients=2)
+    big = simulate_fleet(image, 32, config, distinct_clients=2)
+    assert big.distinct_clients == 2
+    assert big.mc_chunks_built == small.mc_chunks_built
+    assert big.mc_requests == big.mc_chunks_built * 32
+    assert big.chunk_cache_sharing == pytest.approx(31 / 32)

@@ -53,7 +53,7 @@ def test_event_schema_golden():
     its argument keys must be a deliberate act (update this table, the
     EVENT_SCHEMA table and docs/OBSERVABILITY.md together, and bump
     TRACE_SCHEMA_VERSION on incompatible changes)."""
-    assert TRACE_SCHEMA_VERSION == 2
+    assert TRACE_SCHEMA_VERSION == 3
     assert EVENT_SCHEMA == {
         "cc.trap": ("kind", "id"),
         "cc.miss": ("orig", "name", "size", "batch"),
@@ -79,8 +79,10 @@ def test_event_schema_golden():
         "interp.sb_invalidate": ("pc",),
         "interp.flush": (),
         "fleet.client": ("client", "start_s", "seconds",
-                         "translations"),
-        "fleet.queue": ("arrival_s", "delay_s", "service_s"),
+                         "translations", "delay_s"),
+        "fleet.queue": ("where", "arrival_s", "delay_s", "service_s"),
+        "fleet.shard": ("shard", "requests", "busy_s", "util"),
+        "fleet.hub": ("requests", "hits", "hit_rate"),
         "fault.drop": ("kind", "attempt", "where"),
         "fault.corrupt": ("kind", "attempt"),
         "fault.duplicate": ("kind",),

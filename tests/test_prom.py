@@ -1,0 +1,72 @@
+"""Prometheus text exposition of the MetricsRegistry."""
+
+from repro.obs import MetricsRegistry, to_prometheus, write_prometheus
+
+
+def test_counter_and_gauge_exposition():
+    reg = MetricsRegistry()
+    reg.counter("cc.misses").inc(42)
+    reg.gauge("fleet.link_utilization").set(0.25)
+    text = to_prometheus(reg)
+    assert "# TYPE repro_cc_misses_total counter" in text
+    assert "repro_cc_misses_total 42" in text
+    assert "# TYPE repro_fleet_link_utilization gauge" in text
+    assert "repro_fleet_link_utilization 0.25" in text
+    assert text.endswith("\n")
+
+
+def test_histogram_buckets_are_cumulative():
+    reg = MetricsRegistry()
+    h = reg.histogram("cc.miss_cycles")
+    for v in (1, 2, 3, 100):
+        h.observe(v)
+    text = to_prometheus(reg)
+    lines = text.splitlines()
+    assert "# TYPE repro_cc_miss_cycles histogram" in lines
+    buckets = [ln for ln in lines if "_bucket" in ln]
+    # cumulative counts never decrease and end at +Inf == count
+    counts = [int(ln.rsplit(" ", 1)[1]) for ln in buckets]
+    assert counts == sorted(counts)
+    assert buckets[-1] == 'repro_cc_miss_cycles_bucket{le="+Inf"} 4'
+    assert "repro_cc_miss_cycles_sum 106" in lines
+    assert "repro_cc_miss_cycles_count 4" in lines
+
+
+def test_names_sanitized_and_sorted():
+    reg = MetricsRegistry()
+    reg.counter("b.metric-with dashes").inc(1)
+    reg.counter("a.first").inc(1)
+    text = to_prometheus(reg)
+    assert "repro_b_metric_with_dashes_total 1" in text
+    assert text.index("repro_a_first_total") < \
+        text.index("repro_b_metric_with_dashes_total")
+
+
+def test_empty_registry_is_empty_string():
+    assert to_prometheus(MetricsRegistry()) == ""
+
+
+def test_write_prometheus_roundtrip(tmp_path):
+    reg = MetricsRegistry()
+    reg.counter("mc.requests").inc(7)
+    out = tmp_path / "metrics.prom"
+    write_prometheus(reg, out)
+    assert out.read_text() == to_prometheus(reg)
+
+
+def test_fleet_publish_exports(tmp_path):
+    """End to end: a fleet run published into a registry scrapes with
+    per-shard series present."""
+    from repro.fleet import simulate_fleet
+    from repro.softcache import SoftCacheConfig
+    from repro.workloads import build_workload
+
+    image = build_workload("sensor", 0.05)
+    reg = MetricsRegistry()
+    simulate_fleet(image, 3, SoftCacheConfig(tcache_size=8192),
+                   shards=2, metrics=reg)
+    text = to_prometheus(reg)
+    assert "repro_fleet_clients_total 3" in text
+    assert "repro_fleet_shard0_requests_total" in text
+    assert "repro_fleet_shard1_requests_total" in text
+    assert "repro_fleet_makespan_s" in text
