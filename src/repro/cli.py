@@ -42,6 +42,8 @@ def _softcache_config(args, recorder=None) -> SoftCacheConfig:
         policy=args.policy, link=link, data_cache=dcache_config,
         prefetch_depth=args.prefetch_depth,
         debug_poison=getattr(args, "poison", False),
+        jit=getattr(args, "jit", "hot"),
+        jit_threshold=getattr(args, "jit_threshold", 16),
         recorder=recorder, fault_plan=fault_plan)
 
 
@@ -176,6 +178,7 @@ def _cmd_debug(args) -> int:
     from .softcache.debug import (
         check_consistency,
         chunk_graph_dot,
+        dump_superblock,
         dump_tcache,
     )
     image = build_workload(args.workload, args.scale,
@@ -184,7 +187,10 @@ def _cmd_debug(args) -> int:
     system = SoftCacheSystem(image, config)
     system.run()
     checked = check_consistency(system.cc)
-    if args.dot:
+    if args.dump_superblock is not None:
+        print(dump_superblock(system.machine.cpu,
+                              int(args.dump_superblock, 0)))
+    elif args.dot:
         print(chunk_graph_dot(system.cc))
     else:
         print(dump_tcache(system.cc))
@@ -418,6 +424,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "(see docs/FAULTS.md)")
         p.add_argument("--seed", type=int, default=0,
                        help="PRNG seed for the fault plan")
+        p.add_argument("--jit", default="hot",
+                       choices=("off", "hot", "all"),
+                       help="template-JIT tier for superblocks: off = "
+                            "closure tier only, hot = promote after "
+                            "--jit-threshold executions (default), "
+                            "all = compile every fused block eagerly")
+        p.add_argument("--jit-threshold", type=int, default=16,
+                       help="superblock executions before JIT "
+                            "promotion (jit=hot)")
 
     run = sub.add_parser("run", help="run a workload")
     run.add_argument("workload", choices=sorted(WORKLOADS))
@@ -457,6 +472,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "Graphviz DOT instead of a listing")
     debug.add_argument("--poison", action="store_true",
                        help="poison evicted blocks (louder audits)")
+    debug.add_argument("--dump-superblock", metavar="PC",
+                       help="print tier, hit count, guest disassembly "
+                            "and generated Python source for the "
+                            "superblock(s) covering PC (hex or "
+                            "decimal) at end of run")
 
     fleet = sub.add_parser(
         "fleet", help="simulate N clients sharing one MC and uplink")

@@ -23,6 +23,7 @@ from .common import (
     clear_trace_cache,
     native_trace,
     set_trace_cache_dir,
+    sweep_stale_cache_versions,
     trace_cache_dir,
 )
 from .dcache_eval import DCacheRow, dcache_eval, render_dcache
@@ -64,6 +65,6 @@ __all__ = [
     "render_fig7", "render_fig8", "render_fig9", "render_netcost",
     "render_table1", "render_tagspace", "replay_tcache",
     "generate_report", "section_titles", "series_plot",
-    "set_trace_cache_dir", "sweep_tcache", "table1", "tagspace",
-    "trace_cache_dir",
+    "set_trace_cache_dir", "sweep_stale_cache_versions", "sweep_tcache",
+    "table1", "tagspace", "trace_cache_dir",
 ]

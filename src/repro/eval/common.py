@@ -29,14 +29,20 @@ from pathlib import Path
 import numpy as np
 
 from ..asm.image import Image
+from ..sim import jitcache
 from ..sim.costs import DEFAULT_COSTS
 from ..sim.machine import Machine
 from ..workloads import build_workload
 
 #: Bump whenever the stored format or trace semantics change: every
-#: existing on-disk entry becomes unreachable (stale keys are never
-#: read, only ever overwritten by ``clear_trace_cache(disk=True)``).
-_CACHE_VERSION = 1
+#: existing on-disk entry becomes unreachable (stale entries are also
+#: deleted by :func:`sweep_stale_cache_versions`, which runs on every
+#: store).  v2: the version moved into the *filename*
+#: (``trace-v{N}-{digest}.npz``) so the directory is shared with the
+#: JIT's compiled-superblock artifacts (``jit-*``,
+#: :mod:`repro.sim.jitcache`) without any chance of collision, and so
+#: stale generations are enumerable.
+_CACHE_VERSION = 2
 
 
 @dataclass
@@ -70,9 +76,13 @@ def trace_cache_dir() -> Path:
 
 def set_trace_cache_dir(path: "os.PathLike | str | None") -> None:
     """Override the on-disk cache directory (``None`` restores the
-    default / ``$REPRO_TRACE_CACHE`` behaviour)."""
+    default / ``$REPRO_TRACE_CACHE`` behaviour).  Forwards to
+    :func:`repro.sim.jitcache.set_artifact_dir` so the native-trace
+    store and the JIT's compiled-superblock store always share one
+    directory (tests and sweeps redirect both with one call)."""
     global _cache_dir_override
     _cache_dir_override = Path(path) if path is not None else None
+    jitcache.set_artifact_dir(path)
 
 
 def _trace_key(workload: str, scale: float, arm_profile: bool,
@@ -141,7 +151,7 @@ def native_trace(workload: str, scale: float = 1.0, *,
     image = build_workload(workload, scale, arm_profile=arm_profile)
     digest = _trace_key(workload, scale, arm_profile, image,
                         max_instructions)
-    path = trace_cache_dir() / f"{digest}.npz"
+    path = trace_cache_dir() / f"trace-v{_CACHE_VERSION}-{digest}.npz"
     run = _load_disk(path, workload, scale, image) if path.is_file() \
         else None
     if run is None:
@@ -153,6 +163,7 @@ def native_trace(workload: str, scale: float = 1.0, *,
             instructions=machine.cpu.icount, cycles=machine.cpu.cycles,
             output=machine.output_text, exit_code=exit_code)
         _store_disk(path, run)
+        sweep_stale_cache_versions()
     _trace_cache[key] = run
     return run
 
@@ -169,3 +180,28 @@ def clear_trace_cache(disk: bool = False) -> None:
                     entry.unlink()
                 except OSError:
                     pass
+
+
+def sweep_stale_cache_versions(directory: "os.PathLike | str | None"
+                               = None) -> int:
+    """Evict artifacts written by other cache generations: ``*.npz``
+    traces whose filename version isn't :data:`_CACHE_VERSION`
+    (including pre-v2 bare-digest names) and JIT superblock artifacts
+    from other codegen versions / interpreters
+    (:func:`repro.sim.jitcache.sweep_stale`).  Returns the number of
+    files removed; best-effort, never raises on I/O errors."""
+    directory = (Path(directory) if directory is not None
+                 else trace_cache_dir())
+    removed = jitcache.sweep_stale(directory)
+    if not directory.is_dir():
+        return removed
+    keep = f"trace-v{_CACHE_VERSION}-"
+    for entry in directory.glob("*.npz"):
+        if entry.name.startswith(keep):
+            continue
+        try:
+            entry.unlink()
+        except OSError:
+            continue
+        removed += 1
+    return removed

@@ -42,7 +42,9 @@ from .metrics import MetricsRegistry
 #: v3: event-driven fleet (fleet.client gains delay_s, fleet.queue
 #: gains where and folds shard waits in, fleet.shard / fleet.hub
 #: summaries) — see docs/FLEET.md.
-TRACE_SCHEMA_VERSION = 3
+#: v4: template-JIT tier (cpu track: cpu.jit_compile / cpu.jit_load /
+#: cpu.jit_promote) — see docs/PERFORMANCE.md.
+TRACE_SCHEMA_VERSION = 4
 
 #: Chrome-trace thread lane per event category.  One process (pid) is
 #: one client; within it each layer of the stack gets its own track.
@@ -54,6 +56,7 @@ CATEGORY_TRACKS: dict[str, int] = {
     "interp": 5,   # superblock interpreter
     "fleet": 6,    # shared-uplink queue / per-client spans
     "fault": 7,    # fault injection (drops, retries, reconnects)
+    "cpu": 8,      # template-JIT tier (codegen/load/promotion)
 }
 
 #: Every event name the stack emits, with the argument keys it carries.
@@ -87,6 +90,10 @@ EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
     "interp.fuse": ("pc", "fused"),
     "interp.sb_invalidate": ("pc",),
     "interp.flush": (),
+    # template-JIT tier --------------------------------------------------
+    "cpu.jit_compile": ("pc", "fused"),
+    "cpu.jit_load": ("pc", "fused"),
+    "cpu.jit_promote": ("pc", "count"),
     # fleet ----------------------------------------------------------------
     "fleet.client": ("client", "start_s", "seconds", "translations",
                      "delay_s"),

@@ -1,0 +1,131 @@
+"""Persistent compiled-superblock artifact store (the JIT warm path).
+
+Lives alongside the native-trace cache in ``.cache/traces/`` (same
+directory resolution: an explicit override, else ``$REPRO_TRACE_CACHE``,
+else ``.cache/traces``).  Each artifact is ``marshal``-serialized
+``(code object, fault fix-ups, source text)`` keyed by a blake2b digest
+of ``(codegen version, cost signature, raw instruction words)`` — the
+same content identity the in-process superblock caches use, so a warm
+process can bind a compiled block without ever running codegen.
+
+File names are fully self-describing:
+
+    jit-v{JIT_CODEGEN_VERSION}-{interpreter cache_tag}-{digest}.sbc
+
+``marshal`` byte streams are only readable by the interpreter version
+that wrote them, so the interpreter's ``cache_tag`` participates in the
+name (not just the key) and :func:`sweep_stale` deletes any ``jit-*``
+artifact whose prefix doesn't match the running process — codegen bumps
+and interpreter upgrades garbage-collect themselves.  Loads treat any
+undecodable file as a miss; stores are atomic (tmp file + rename) and
+best-effort: a read-only or missing cache directory degrades to
+cold-compiling every block, never to an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import marshal
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+from .jit import JIT_CODEGEN_VERSION
+
+_TAG = sys.implementation.cache_tag or "python"
+
+#: Current artifact filename prefix; anything else under ``jit-*`` is
+#: a stale generation and fair game for :func:`sweep_stale`.
+ARTIFACT_PREFIX = f"jit-v{JIT_CODEGEN_VERSION}-{_TAG}-"
+ARTIFACT_SUFFIX = ".sbc"
+
+_dir_override: Path | None = None
+_swept_dirs: set[Path] = set()
+
+
+def artifact_dir() -> Path:
+    """Directory holding compiled-superblock artifacts."""
+    if _dir_override is not None:
+        return _dir_override
+    env = os.environ.get("REPRO_TRACE_CACHE")
+    if env:
+        return Path(env)
+    return Path(".cache") / "traces"
+
+
+def set_artifact_dir(path) -> None:
+    """Override the artifact directory (``None`` restores defaults).
+
+    :func:`repro.eval.common.set_trace_cache_dir` forwards here so the
+    trace cache and the JIT store always share one directory.
+    """
+    global _dir_override
+    _dir_override = Path(path) if path is not None else None
+
+
+def artifact_key(cost_sig, words) -> str:
+    """Content digest for one superblock's compiled artifact."""
+    h = hashlib.blake2b(digest_size=20)
+    h.update(repr((JIT_CODEGEN_VERSION, _TAG, cost_sig,
+                   tuple(words))).encode())
+    return h.hexdigest()
+
+
+def artifact_path(digest: str) -> Path:
+    return artifact_dir() / f"{ARTIFACT_PREFIX}{digest}{ARTIFACT_SUFFIX}"
+
+
+def load(digest: str):
+    """Return ``(code, fixups, src)`` or ``None`` (miss / undecodable)."""
+    try:
+        blob = artifact_path(digest).read_bytes()
+        code, fixups, src = marshal.loads(blob)
+    except Exception:
+        return None
+    if not isinstance(src, str) or not isinstance(fixups, dict):
+        return None
+    return code, fixups, src
+
+
+def store(digest: str, code, fixups, src: str) -> bool:
+    """Persist one artifact atomically; best-effort (returns success)."""
+    path = artifact_path(digest)
+    directory = path.parent
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        if directory not in _swept_dirs:
+            _swept_dirs.add(directory)
+            sweep_stale(directory)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(marshal.dumps((code, fixups, src)))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except (OSError, ValueError):
+        return False
+    return True
+
+
+def sweep_stale(directory=None) -> int:
+    """Delete ``jit-*`` artifacts from other codegen versions or
+    interpreters.  Returns the number of files removed."""
+    directory = Path(directory) if directory is not None else artifact_dir()
+    if not directory.is_dir():
+        return 0
+    removed = 0
+    for entry in directory.glob(f"jit-*{ARTIFACT_SUFFIX}"):
+        if entry.name.startswith(ARTIFACT_PREFIX):
+            continue
+        try:
+            entry.unlink()
+        except OSError:
+            continue
+        removed += 1
+    return removed

@@ -52,6 +52,29 @@ class _StubExhausted(Exception):
 
 _BREAK_WORD = encode(Insn(Op.BREAK, imm=0xDEAD))
 
+#: (trap code, operand) -> encoded TRAP word, and (op, imm) -> encoded
+#: J/JAL word.  Stub/slot ids recycle and tcache targets repeat under
+#: eviction churn, so the same words are re-encoded constantly on the
+#: miss path; both operand spaces are 20-bit, keeping the memos small.
+_TRAP_WORD_MEMO: dict[tuple[int, int], int] = {}
+_JUMP_WORD_MEMO: dict[tuple[Op, int], int] = {}
+
+
+def _trap_word(code, imm: int) -> int:
+    word = _TRAP_WORD_MEMO.get((code, imm))
+    if word is None:
+        word = encode(Insn(Op.TRAP, rd=code, imm=imm))
+        _TRAP_WORD_MEMO[(code, imm)] = word
+    return word
+
+
+def _jump_word(op: Op, imm: int) -> int:
+    word = _JUMP_WORD_MEMO.get((op, imm))
+    if word is None:
+        word = encode(Insn(op, imm=imm))
+        _JUMP_WORD_MEMO[(op, imm)] = word
+    return word
+
 _LITTLE_ENDIAN_HOST = sys.byteorder == "little"
 
 
@@ -515,7 +538,7 @@ class BaseCacheController:
             word = mem.read_word(site_addr)
             mem.write_word(site_addr, patch_jump_target(word, target))
         elif kind is SiteKind.CONTJ:
-            mem.write_word(site_addr, encode(Insn(Op.J, imm=target >> 2)))
+            mem.write_word(site_addr, _jump_word(Op.J, target >> 2))
         else:  # pragma: no cover
             raise SoftCacheError(f"cannot patch site kind {kind}")
         self.stats.patches += 1
@@ -621,8 +644,7 @@ class BlockCacheController(BaseCacheController):
                         words[ex.index], site_kind, site, stub.addr)
             elif kind is ExitKind.CONT:
                 slot = self._new_cont_slot(site, ex.target, block, "trap")
-                words[ex.index] = encode(
-                    Insn(Op.TRAP, rd=Trap.MISS_RET, imm=slot.slot_id))
+                words[ex.index] = _trap_word(Trap.MISS_RET, slot.slot_id)
             elif kind is ExitKind.CONT_INLINE:
                 self._new_cont_slot(site, ex.target, block, "inline")
                 # the continuation code itself sits here; word untouched
@@ -632,8 +654,7 @@ class BlockCacheController(BaseCacheController):
                 rec = JRSite(jr_id, ex.rs1, ex.rd, cont_addr, block)
                 self.jr_sites[jr_id] = rec
                 block.jr_sites.append(rec)
-                words[ex.index] = encode(
-                    Insn(Op.TRAP, rd=Trap.MISS_JR, imm=jr_id))
+                words[ex.index] = _trap_word(Trap.MISS_JR, jr_id)
             else:  # pragma: no cover
                 raise SoftCacheError(f"unexpected exit kind {kind}")
         self.mem.write_bytes(addr, bytes(buf))
@@ -697,8 +718,8 @@ class BlockCacheController(BaseCacheController):
         stub = Stub(stub_id, slot_addr, orig_target, site_addr,
                     site_kind, src)
         self.stubs[stub_id] = stub
-        self.mem.write_word(slot_addr, encode(
-            Insn(Op.TRAP, rd=Trap.MISS_BRANCH, imm=stub_id)))
+        self.mem.write_word(slot_addr,
+                            _trap_word(Trap.MISS_BRANCH, stub_id))
         self.stats.stubs_created += 1
         self.stats.stubs_peak_bytes = max(
             self.stats.stubs_peak_bytes, self.tcache.stub_bytes_in_use)
@@ -727,8 +748,7 @@ class BlockCacheController(BaseCacheController):
         """A return stub in the stub area (created by stack fixing)."""
         addr = self._alloc_stub_slot()
         slot = self._new_cont_slot(addr, orig_target, None, "trap")
-        self.mem.write_word(addr, encode(
-            Insn(Op.TRAP, rd=Trap.MISS_RET, imm=slot.slot_id)))
+        self.mem.write_word(addr, _trap_word(Trap.MISS_RET, slot.slot_id))
         self.stats.stubs_created += 1
         return slot
 
@@ -774,8 +794,7 @@ class BlockCacheController(BaseCacheController):
         self._charge(self.costs.trap_overhead_cycles)
         target = self.ensure_translated(slot.orig_target)
         if slot.live and (slot.block is None or slot.block.alive):
-            self.mem.write_word(slot.addr, encode(
-                Insn(Op.J, imm=target.addr >> 2)))
+            self.mem.write_word(slot.addr, _jump_word(Op.J, target.addr >> 2))
             slot.state = "jump"
             link = Link(slot.addr, SiteKind.CONTJ, slot.block, target,
                         slot.orig_target, aux=slot)
@@ -828,8 +847,9 @@ class BlockCacheController(BaseCacheController):
             if link.kind is SiteKind.CONTJ:
                 slot: ContSlot = link.aux  # type: ignore[assignment]
                 if slot.live and (slot.block is None or slot.block.alive):
-                    self.mem.write_word(slot.addr, encode(
-                        Insn(Op.TRAP, rd=Trap.MISS_RET, imm=slot.slot_id)))
+                    self.mem.write_word(
+                        slot.addr,
+                        _trap_word(Trap.MISS_RET, slot.slot_id))
                     slot.state = "trap"
                     if slot.block is None:
                         self._contj_links.pop(slot.slot_id, None)
@@ -965,8 +985,8 @@ class ProcCacheController(BaseCacheController):
                     words[ex.index], redir.addr)
                 # the permanent landing now returns into this placement
                 ret_target = addr + ex.ret_offset
-                self.mem.write_word(redir.addr + 4, encode(
-                    Insn(Op.J, imm=ret_target >> 2)))
+                self.mem.write_word(redir.addr + 4,
+                                    _jump_word(Op.J, ret_target >> 2))
                 link = Link(redir.addr + 4, SiteKind.LANDING, None,
                             block, ex.target, aux=redir)
                 block.incoming.add(link)
@@ -999,10 +1019,8 @@ class ProcCacheController(BaseCacheController):
                            ex.ret_offset)
         self.redirectors[rid] = redir
         self._redirector_by_site[key] = redir
-        self.mem.write_word(addr, encode(
-            Insn(Op.TRAP, rd=Trap.MISS_CALL, imm=rid)))
-        self.mem.write_word(addr + 4, encode(
-            Insn(Op.TRAP, rd=Trap.RET_LAND, imm=rid)))
+        self.mem.write_word(addr, _trap_word(Trap.MISS_CALL, rid))
+        self.mem.write_word(addr + 4, _trap_word(Trap.RET_LAND, rid))
         return redir
 
     # -- miss handlers --------------------------------------------------------
@@ -1014,8 +1032,8 @@ class ProcCacheController(BaseCacheController):
             self.tracer.emit("cc.trap", "cc", kind="call", id=operand)
         self._charge(self.costs.trap_overhead_cycles)
         callee = self.ensure_translated(redir.callee_orig)
-        self.mem.write_word(redir.addr, encode(
-            Insn(Op.JAL, imm=callee.addr >> 2)))
+        self.mem.write_word(redir.addr,
+                            _jump_word(Op.JAL, callee.addr >> 2))
         callee.incoming.add(Link(redir.addr, SiteKind.RCALL, None,
                                  callee, redir.callee_orig, aux=redir))
         self.stats.patches += 1
@@ -1046,11 +1064,11 @@ class ProcCacheController(BaseCacheController):
         for link in block.incoming:
             redir: Redirector = link.aux  # type: ignore[assignment]
             if link.kind is SiteKind.RCALL:
-                self.mem.write_word(redir.addr, encode(
-                    Insn(Op.TRAP, rd=Trap.MISS_CALL, imm=redir.rid)))
+                self.mem.write_word(redir.addr,
+                                    _trap_word(Trap.MISS_CALL, redir.rid))
             elif link.kind is SiteKind.LANDING:
-                self.mem.write_word(redir.addr + 4, encode(
-                    Insn(Op.TRAP, rd=Trap.RET_LAND, imm=redir.rid)))
+                self.mem.write_word(redir.addr + 4,
+                                    _trap_word(Trap.RET_LAND, redir.rid))
             else:  # pragma: no cover
                 raise SoftCacheError(
                     f"unexpected incoming link kind {link.kind}")

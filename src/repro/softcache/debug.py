@@ -269,6 +269,40 @@ def dump_tcache(cc: BaseCacheController) -> str:
     return "\n".join(lines)
 
 
+def dump_superblock(cpu, pc: int) -> str:
+    """Human-readable report on the superblock(s) covering *pc*: span,
+    tier (jit / closure / single), execution count where tracked, the
+    guest disassembly and — for compiled tiers — the generated Python
+    source actually dispatched (``repro debug --dump-superblock``)."""
+    infos = cpu.superblock_info(pc)
+    if not infos:
+        return (f"no live superblock covers pc {pc:#x} "
+                f"(not yet dispatched, invalidated, or not executable)")
+    lines = []
+    for info in infos:
+        lines.append(f"superblock @{info['start']:#x}..{info['end']:#x} "
+                     f"tier={info['tier']} "
+                     f"instructions={info['instructions']}"
+                     + (f" hits={info['hits']}"
+                        if info['hits'] is not None else ""))
+        words = info.get("words")
+        if words:
+            lines.append("  guest code:")
+            for i, word in enumerate(words):
+                addr = info["start"] + 4 * i
+                try:
+                    text = disassemble_word(word, addr)
+                except Exception:
+                    text = f".word {word:#010x}"
+                lines.append(f"    {addr:#010x}: {text}")
+        if info.get("source"):
+            lines.append("  generated source:")
+            lines.extend("    " + ln
+                         for ln in info["source"].rstrip().splitlines())
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
 def chunk_graph_dot(cc: BaseCacheController) -> str:
     """Graphviz DOT of resident chunks and their patched edges."""
     lines = ["digraph tcache {", '  node [shape=box, fontsize=10];']

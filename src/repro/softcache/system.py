@@ -61,6 +61,10 @@ class SoftCacheConfig:
     #: Superblock (threaded-code) execution in the interpreter.  Host
     #: speed only; never changes simulated counts.
     superblocks: bool = True
+    #: Template-JIT tier policy ("off" | "hot" | "all") and the hotness
+    #: threshold for "hot".  Host speed only; cycle-identical.
+    jit: str = "hot"
+    jit_threshold: int = 16
     #: Flight recorder (:class:`repro.obs.FlightRecorder`) to thread
     #: through every layer, or None (the default: hot paths stay
     #: tracer-free).  Tracing never charges simulated cycles, so an
@@ -112,6 +116,8 @@ class SoftCacheSystem:
             heap_size=config.heap_size,
             costs=config.costs,
             superblocks=config.superblocks,
+            jit=config.jit,
+            jit_threshold=config.jit_threshold,
         ))
         if shared_mc is not None:
             if shared_mc.image is not image:
@@ -139,6 +145,12 @@ class SoftCacheSystem:
                     trc.emit("interp.fuse", "interp", pc=pc, fused=n)
                 elif kind == "sb_invalidate":
                     trc.emit("interp.sb_invalidate", "interp", pc=pc)
+                elif kind == "jit_compile":
+                    trc.emit("cpu.jit_compile", "cpu", pc=pc, fused=n)
+                elif kind == "jit_load":
+                    trc.emit("cpu.jit_load", "cpu", pc=pc, fused=n)
+                elif kind == "jit_promote":
+                    trc.emit("cpu.jit_promote", "cpu", pc=pc, count=n)
                 else:
                     trc.emit("interp.flush", "interp")
 
@@ -247,6 +259,7 @@ class SoftCacheSystem:
         publish_dataclass(registry, "mc", self.mc.stats)
         publish_dataclass(registry, "link", self.channel.stats)
         publish_dataclass(registry, "interp", self.machine.cpu.sb_stats)
+        publish_dataclass(registry, "cpu", self.machine.cpu.jit_stats)
         if self.faults is not None:
             publish_dataclass(registry, "fault", self.faults.fault_stats)
         cpu = self.machine.cpu
