@@ -13,6 +13,11 @@ slower (CI uses 2%).
 The *enabled* cost is also measured and reported — informational only,
 since enabling tracing is an explicit opt-in.
 
+The same ceiling gates the live ops plane: a ``--serve`` endpoint
+that is attached but never scraped adds only one attribute read per
+miss (the control plane's ``pending`` flag), so the served-but-idle
+configuration must stay under the same ``--max-overhead-pct``.
+
 Usage::
 
     python benchmarks/bench_trace_overhead.py [--repeat N]
@@ -37,11 +42,13 @@ from repro.softcache import SoftCacheConfig, SoftCacheSystem  # noqa: E402
 from repro.workloads import build_workload  # noqa: E402
 
 
-def _time_config(image, config, repeat: int) -> list[float]:
+def _time_config(image, config, repeat: int, server=None) -> list[float]:
     SoftCacheSystem(image, config).run()  # warm-up, untimed
     walls = []
     for _ in range(repeat):
         system = SoftCacheSystem(image, config)
+        if server is not None:
+            server.attach_system(system)
         t0 = time.perf_counter()
         system.run()
         walls.append(time.perf_counter() - t0)
@@ -60,10 +67,19 @@ def run_benchmark(repeat: int = 5) -> dict:
         image, thrash_config(FlightRecorder(enabled=False)), repeat)
     enabled = _time_config(
         image, thrash_config(FlightRecorder()), repeat)
+    # the ops endpoint is bound once outside the timed region (the
+    # socket is process setup, not per-run cost) and re-attached per
+    # run; nothing ever scrapes it, matching a fleet that carries
+    # --serve but has no collector pointed at it yet
+    from repro.obs import ObsServer
+    with ObsServer("127.0.0.1", 0) as obs_server:
+        served = _time_config(image, thrash_config(), repeat,
+                              server=obs_server)
 
     best_base = min(baseline)
     best_disabled = min(disabled)
     best_enabled = min(enabled)
+    best_served = min(served)
     return {
         "schema": "BENCH_trace_overhead/1",
         "python": platform.python_version(),
@@ -78,10 +94,15 @@ def run_benchmark(repeat: int = 5) -> dict:
         "enabled_recorder": {"wall_s_best": best_enabled,
                              "wall_s_p50": statistics.median(enabled),
                              "wall_s_all": enabled},
+        "served_unscraped": {"wall_s_best": best_served,
+                             "wall_s_p50": statistics.median(served),
+                             "wall_s_all": served},
         "disabled_overhead_pct":
             100.0 * (best_disabled / best_base - 1.0),
         "enabled_overhead_pct":
             100.0 * (best_enabled / best_base - 1.0),
+        "served_overhead_pct":
+            100.0 * (best_served / best_base - 1.0),
     }
 
 
@@ -101,22 +122,29 @@ def main(argv: list[str] | None = None) -> int:
     base = results["baseline"]["wall_s_best"] * 1e3
     dis = results["disabled_recorder"]["wall_s_best"] * 1e3
     ena = results["enabled_recorder"]["wall_s_best"] * 1e3
+    srv = results["served_unscraped"]["wall_s_best"] * 1e3
     print(f"baseline (no recorder)   : best {base:.1f}ms")
     print(f"recorder(enabled=False)  : best {dis:.1f}ms  "
           f"({results['disabled_overhead_pct']:+.2f}%)")
     print(f"recorder(enabled=True)   : best {ena:.1f}ms  "
           f"({results['enabled_overhead_pct']:+.2f}%, informational)")
+    print(f"served, never scraped    : best {srv:.1f}ms  "
+          f"({results['served_overhead_pct']:+.2f}%)")
     print(f"wrote {args.out}")
 
-    if results["disabled_overhead_pct"] > args.max_overhead_pct:
-        print(f"FAIL: disabled-recorder overhead "
-              f"{results['disabled_overhead_pct']:.2f}% exceeds "
-              f"{args.max_overhead_pct:.1f}%", file=sys.stderr)
-        return 1
-    print(f"overhead check OK: "
-          f"{results['disabled_overhead_pct']:.2f}% <= "
-          f"{args.max_overhead_pct:.1f}%")
-    return 0
+    failed = False
+    for label, key in (("disabled-recorder", "disabled_overhead_pct"),
+                       ("served-unscraped", "served_overhead_pct")):
+        if results[key] > args.max_overhead_pct:
+            print(f"FAIL: {label} overhead {results[key]:.2f}% "
+                  f"exceeds {args.max_overhead_pct:.1f}%",
+                  file=sys.stderr)
+            failed = True
+        else:
+            print(f"overhead check OK ({label}): "
+                  f"{results[key]:.2f}% <= "
+                  f"{args.max_overhead_pct:.1f}%")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

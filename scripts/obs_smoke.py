@@ -1,0 +1,200 @@
+#!/usr/bin/env python
+"""CI scrape smoke for the live ops plane.
+
+Two checks, both against real HTTP:
+
+1. **Subprocess scrape** — launch ``repro run --serve`` as a child
+   process, scrape ``/metrics`` and ``/inspect/tcache`` *while the
+   simulation is still running*, validate both payloads, and save
+   them as CI artifacts.
+2. **Digest differential** — run the same workload twice in-process,
+   once unserved and once served with a scraper thread hammering
+   every GET route, and require bit-identical architectural state
+   (the served run must be observably identical to the unserved one).
+
+Exit nonzero on any failure.  Usage::
+
+    python scripts/obs_smoke.py [--artifact-dir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import socket
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+_REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO / "src"))
+
+WORKLOAD = ("sensor", "0.4")
+TCACHE = "2048"
+
+# one Prometheus text-0.4 sample or comment line
+_PROM_LINE = re.compile(
+    r"^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+"
+    r"|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? "
+    r"(-?\d+(\.\d+)?([eE][+-]?\d+)?|\+Inf|-Inf|NaN))$")
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _get(url: str, timeout: float = 5.0) -> str:
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return resp.read().decode()
+
+
+def _validate_metrics(text: str) -> int:
+    lines = text.splitlines()
+    assert lines, "empty /metrics payload"
+    for line in lines:
+        assert _PROM_LINE.match(line), \
+            f"unparseable exposition line: {line!r}"
+    assert any(ln.startswith("repro_cc_translations_total ")
+               for ln in lines), "no cc.translations in scrape"
+    assert any(ln.startswith("repro_build_info{") for ln in lines), \
+        "no build-info gauge in scrape"
+    return len(lines)
+
+
+def _validate_tcache(snap: dict) -> None:
+    assert snap["capacity"] == int(TCACHE)
+    assert 0 <= snap["used"] <= snap["capacity"]
+    assert snap["resident_blocks"] == len(snap["blocks"])
+    for block in snap["blocks"]:
+        assert block["size"] > 0 and block["orig"] >= 0
+
+
+def subprocess_scrape(artifact_dir: Path) -> None:
+    """Scrape a live ``repro run --serve`` child mid-simulation."""
+    port = _free_port()
+    base = f"http://127.0.0.1:{port}"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "run", WORKLOAD[0],
+         "--scale", WORKLOAD[1], "--tcache", TCACHE, "--local-link",
+         "--serve", f"127.0.0.1:{port}"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        cwd=_REPO, env=env)
+    try:
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                out = proc.stdout.read() if proc.stdout else ""
+                raise SystemExit(
+                    f"FAIL: run exited before it could be scraped "
+                    f"(rc={proc.returncode}):\n{out}")
+            try:
+                health = json.loads(_get(base + "/healthz",
+                                         timeout=1.0))
+                if health.get("system"):
+                    break
+            except (urllib.error.URLError, OSError):
+                time.sleep(0.05)
+        else:
+            raise SystemExit("FAIL: /healthz never came up")
+
+        metrics = _get(base + "/metrics")
+        tcache = _get(base + "/inspect/tcache")
+        mid_run = proc.poll() is None
+        n_lines = _validate_metrics(metrics)
+        snap = json.loads(tcache)
+        _validate_tcache(snap)
+
+        artifact_dir.mkdir(parents=True, exist_ok=True)
+        (artifact_dir / "scrape-metrics.prom").write_text(metrics)
+        (artifact_dir / "scrape-tcache.json").write_text(tcache)
+
+        rc = proc.wait(timeout=300)
+        if rc != 0:
+            out = proc.stdout.read() if proc.stdout else ""
+            raise SystemExit(f"FAIL: served run exited rc={rc}:\n{out}")
+        print(f"ok   subprocess scrape: {n_lines} exposition lines, "
+              f"{snap['resident_blocks']} resident blocks "
+              f"({'mid-run' if mid_run else 'post-run'} scrape)")
+        if not mid_run:
+            print("warn: the run finished before the scrape landed; "
+                  "payloads were still validated", file=sys.stderr)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+def digest_differential() -> None:
+    """Served-and-scraped must equal unserved, bit for bit."""
+    from repro.obs import ObsServer
+    from repro.softcache import SoftCacheConfig, SoftCacheSystem
+    from repro.softcache.debug import architectural_state
+    from repro.workloads import build_workload
+
+    image = build_workload("sensor", 0.1)
+    config = SoftCacheConfig(tcache_size=int(TCACHE),
+                             debug_poison=True)
+    plain = SoftCacheSystem(image, config)
+    plain_report = plain.run()
+    want = architectural_state(plain)
+
+    served = SoftCacheSystem(image, config)
+    scrapes = []
+    with ObsServer("127.0.0.1", 0) as server:
+        server.attach_system(served)
+        stop = threading.Event()
+
+        def scraper():
+            routes = ("/metrics", "/inspect/tcache",
+                      "/inspect/superblocks", "/inspect/shards",
+                      "/healthz")
+            while not stop.is_set():
+                for route in routes:
+                    try:
+                        _get(server.url + route, timeout=5)
+                        scrapes.append(route)
+                    except urllib.error.HTTPError:
+                        pass
+
+        thread = threading.Thread(target=scraper, daemon=True)
+        thread.start()
+        report = served.run()
+        stop.set()
+        thread.join(timeout=10)
+
+    got = architectural_state(served)
+    assert report.output == plain_report.output, \
+        "FAIL: served run produced different output"
+    assert report.cycles == plain_report.cycles, \
+        f"FAIL: served run cycle count diverged " \
+        f"({report.cycles} != {plain_report.cycles})"
+    assert got == want, \
+        f"FAIL: served digest {got[:16]}… != unserved {want[:16]}…"
+    print(f"ok   digest differential: {len(scrapes)} scrapes landed, "
+          f"architectural state identical ({want[:16]}…)")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--artifact-dir", default="obs-smoke-artifacts",
+                        help="scraped payloads land here (CI uploads)")
+    args = parser.parse_args(argv)
+    subprocess_scrape(Path(args.artifact_dir))
+    digest_differential()
+    print("\n[obs-smoke] live ops plane OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

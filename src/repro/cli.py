@@ -66,6 +66,57 @@ def _write_trace(recorder, out, *, process_names=None) -> None:
           f"(load in https://ui.perfetto.dev)")
 
 
+def _tcache_size(value: str):
+    """``--tcache``/``--tcache-size``: a byte count or ``auto``."""
+    if value.strip().lower() == "auto":
+        return "auto"
+    return int(value)
+
+
+def _resolve_auto_tcache(args, image) -> None:
+    """Replace ``--tcache-size auto`` with the profiler's estimate."""
+    if getattr(args, "tcache", None) != "auto":
+        return
+    from .profiling import estimate_tcache_size
+    est = estimate_tcache_size(image, granularity=args.granularity)
+    args.tcache = est.tcache_size
+    print(f"[auto-tcache] {est.tcache_size}B sized from the hot set "
+          f"[{', '.join(est.hot_procs)}]: {est.hot_code_bytes}B static "
+          f"-> {est.rewritten_hot_bytes}B rewritten, "
+          f"x{est.slack:g} slack")
+
+
+def _write_prom_out(path, registry=None, *, recorder=None,
+                    fill=None) -> None:
+    """The one ``--prom-out`` writer shared by run/trace/fleet/chaos.
+
+    Priority: an explicit *registry*, else the recorder's (already
+    populated by the run), else a fresh one populated by *fill*.
+    """
+    from .obs import MetricsRegistry, write_prometheus
+    if registry is None:
+        if recorder is not None:
+            registry = recorder.metrics
+        else:
+            registry = MetricsRegistry()
+            if fill is not None:
+                fill(registry)
+    write_prometheus(registry, path)
+    print(f"  prometheus        : {path}")
+
+
+def _start_server(args):
+    """Start the live ops endpoint for ``--serve HOST:PORT``."""
+    if not getattr(args, "serve", None):
+        return None
+    from .obs import ObsServer, parse_serve
+    host, port = parse_serve(args.serve)
+    server = ObsServer(host, port).start()
+    print(f"[serve] ops endpoint on {server.url}  "
+          f"(/metrics /inspect/tcache /admin/...)", flush=True)
+    return server
+
+
 def _print_metrics_highlights(recorder) -> None:
     """The registry values worth a terminal line."""
     snap = recorder.metrics.snapshot()
@@ -102,13 +153,21 @@ def _cmd_run(args) -> int:
               f"{machine.cpu.cycles} cycles")
         return machine.cpu.exit_code or 0
 
+    _resolve_auto_tcache(args, image)
     recorder = None
     if getattr(args, "trace", None):
         from .obs import FlightRecorder
         recorder = FlightRecorder()
     config = _softcache_config(args, recorder=recorder)
-    system = SoftCacheSystem(image, config)
-    report = system.run()
+    server = _start_server(args)
+    try:
+        system = SoftCacheSystem(image, config)
+        if server is not None:
+            server.attach_system(system)
+        report = system.run()
+    finally:
+        if server is not None:
+            server.close()
     print(report.output, end="")
     stats = system.stats
     print(f"\n[softcache {args.granularity}/{args.policy} "
@@ -135,6 +194,9 @@ def _cmd_run(args) -> int:
               f"{stats.prefetch_hits} hit, {stats.prefetch_drops} "
               f"dropped, {stats.wasted_prefetch_bytes}B wasted; "
               f"miss service {stats.miss_service_cycles} cycles")
+    if stats.admin_commands:
+        print(f"  admin commands    : {stats.admin_commands} applied "
+              f"at miss boundaries")
     usage = system.local_memory_in_use
     print(f"  local memory      : {usage}")
     if system.dcache is not None:
@@ -145,13 +207,8 @@ def _cmd_run(args) -> int:
     if recorder is not None:
         _write_trace(recorder, args.trace)
     if getattr(args, "prom_out", None):
-        from .obs import MetricsRegistry, write_prometheus
-        registry = (recorder.metrics if recorder is not None
-                    else MetricsRegistry())
-        if recorder is None:
-            system.publish_metrics(registry)
-        write_prometheus(registry, args.prom_out)
-        print(f"  prometheus        : {args.prom_out}")
+        _write_prom_out(args.prom_out, recorder=recorder,
+                        fill=system.publish_metrics)
     return report.exit_code
 
 
@@ -160,6 +217,7 @@ def _cmd_trace(args) -> int:
     from .obs import FlightRecorder, trace_summary
     image = build_workload(args.workload, args.scale,
                            arm_profile=(args.granularity == "proc"))
+    _resolve_auto_tcache(args, image)
     recorder = FlightRecorder()
     config = _softcache_config(args, recorder=recorder)
     system = SoftCacheSystem(image, config)
@@ -170,6 +228,8 @@ def _cmd_trace(args) -> int:
     print(trace_summary(recorder.events, cpu_hz=recorder.cpu_hz,
                         top=args.top))
     _print_metrics_highlights(recorder)
+    if getattr(args, "prom_out", None):
+        _write_prom_out(args.prom_out, recorder=recorder)
     return report.exit_code
 
 
@@ -183,6 +243,7 @@ def _cmd_debug(args) -> int:
     )
     image = build_workload(args.workload, args.scale,
                            arm_profile=(args.granularity == "proc"))
+    _resolve_auto_tcache(args, image)
     config = _softcache_config(args)
     system = SoftCacheSystem(image, config)
     system.run()
@@ -204,17 +265,25 @@ def _cmd_fleet(args) -> int:
     from .fleet import simulate_fleet
     image = build_workload(args.workload, args.scale,
                            arm_profile=(args.granularity == "proc"))
+    _resolve_auto_tcache(args, image)
     recorder = None
     if args.trace:
         from .obs import FlightRecorder
         recorder = FlightRecorder()
     config = _softcache_config(args)
-    result = simulate_fleet(image, args.clients, config,
-                            stagger_s=args.stagger, recorder=recorder,
-                            queue_model=args.queue_model,
-                            shards=args.shards,
-                            hub_capacity=args.hub_capacity,
-                            distinct_clients=args.distinct)
+    server = _start_server(args)
+    try:
+        result = simulate_fleet(image, args.clients, config,
+                                stagger_s=args.stagger,
+                                recorder=recorder,
+                                queue_model=args.queue_model,
+                                shards=args.shards,
+                                hub_capacity=args.hub_capacity,
+                                distinct_clients=args.distinct,
+                                server=server)
+    finally:
+        if server is not None:
+            server.close()
     print(f"[fleet] {result.n_clients} clients "
           f"({result.distinct_clients} distinct), "
           f"stagger {args.stagger * 1e3:.1f} ms, "
@@ -247,11 +316,7 @@ def _cmd_fleet(args) -> int:
                  for c in result.clients}
         _write_trace(recorder, args.trace, process_names=names)
     if args.prom_out:
-        from .obs import MetricsRegistry, write_prometheus
-        registry = MetricsRegistry()
-        result.publish(registry)
-        write_prometheus(registry, args.prom_out)
-        print(f"  prometheus        : {args.prom_out}")
+        _write_prom_out(args.prom_out, fill=result.publish)
     return 0
 
 
@@ -275,6 +340,9 @@ def _cmd_chaos(args) -> int:
     out_dir = Path(args.out_dir)
     failures = 0
     total = 0
+    agg = {"fault_attempts": 0, "fault_delivered": 0,
+           "fault_retries": 0, "checksum_failures": 0,
+           "link_down_traps": 0, "mc_restarts": 0}
     for name in workloads:
         image = build_workload(name, args.scale)
         # poison evicted blocks in the baseline too: the digest covers
@@ -313,11 +381,24 @@ def _cmd_chaos(args) -> int:
             else:
                 fst = system.faults.fault_stats
                 cst = system.stats
+                agg["fault_attempts"] += fst.attempts
+                agg["fault_delivered"] += fst.delivered
+                agg["fault_retries"] += fst.retries
+                agg["checksum_failures"] += fst.checksum_failures
+                agg["link_down_traps"] += cst.link_down_traps
+                agg["mc_restarts"] += system.mc_stats.restarts
                 print(f"ok   {label}: {fst.attempts} attempts, "
                       f"{fst.retries} retries, "
                       f"{fst.checksum_failures} checksum rejects, "
                       f"{cst.link_down_traps} link-down, "
                       f"{system.mc_stats.restarts} mc restarts")
+    if getattr(args, "prom_out", None):
+        def fill(registry):
+            registry.counter("chaos.cells").inc(total)
+            registry.counter("chaos.failures").inc(failures)
+            for key, value in agg.items():
+                registry.counter(f"chaos.{key}").inc(value)
+        _write_prom_out(args.prom_out, fill=fill)
     if failures:
         print(f"\n[chaos] {failures}/{total} cells FAILED "
               f"(artifacts in {out_dir})", file=sys.stderr)
@@ -325,6 +406,111 @@ def _cmd_chaos(args) -> int:
     print(f"\n[chaos] all {total} cells reached the fault-free "
           f"architectural state")
     return 0
+
+
+def _admin_offline(args) -> int:
+    """``repro admin --from FILE``: inspect a recorded trace.
+
+    The offline half of the casadm-style CLI: stats prints the
+    registry rendered from the recorded events, inspect prints the
+    hot-chunk table — no live endpoint required.
+    """
+    from .obs import load_jsonl, render_hot_chunks, top_hot_chunks
+    if args.verb not in ("stats", "inspect"):
+        print(f"admin {args.verb} needs a live endpoint "
+              f"(control verbs cannot apply to a recorded trace)",
+              file=sys.stderr)
+        return 2
+    meta, events = load_jsonl(args.from_file)
+    if args.verb == "stats":
+        print(f"# recorded trace {args.from_file} "
+              f"(schema {meta.get('schema_version')}, "
+              f"{len(events)} events)")
+        counts = {}
+        for ev in events:
+            counts[ev.cat] = counts.get(ev.cat, 0) + 1
+        for cat in sorted(counts):
+            print(f"trace_events_total{{category=\"{cat}\"}} "
+                  f"{counts[cat]}")
+        return 0
+    hot = top_hot_chunks(events, n=args.top)
+    print(render_hot_chunks(hot))
+    print(f"\n{len(hot)} hot chunks from {len(events)} recorded "
+          f"events")
+    return 0
+
+
+def _cmd_admin(args) -> int:
+    """casadm-style ops CLI against a live ``--serve`` endpoint."""
+    import json
+    import urllib.error
+    import urllib.request
+
+    if args.from_file:
+        return _admin_offline(args)
+
+    base = args.url.rstrip("/")
+    if "://" not in base:
+        base = "http://" + base
+
+    def get(path):
+        with urllib.request.urlopen(base + path,
+                                    timeout=args.timeout) as resp:
+            return resp.status, resp.read().decode()
+
+    def post(path, payload):
+        wait = "0" if args.no_wait else f"{args.timeout:g}"
+        req = urllib.request.Request(
+            f"{base}{path}?wait={wait}",
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST")
+        with urllib.request.urlopen(req,
+                                    timeout=args.timeout + 5) as resp:
+            return resp.status, resp.read().decode()
+
+    try:
+        if args.verb == "stats":
+            status, body = get("/metrics")
+            print(body, end="")
+            return 0
+        if args.verb == "inspect":
+            route = "" if args.route == "all" else f"/{args.route}"
+            status, body = get(f"/inspect{route}")
+            print(json.dumps(json.loads(body), indent=2))
+            return 0
+        if args.verb == "flush":
+            payload = {}
+        elif args.verb == "set":
+            payload = {}
+            if args.prefetch_depth is not None:
+                payload["prefetch_depth"] = args.prefetch_depth
+            if args.jit is not None:
+                payload["jit"] = args.jit
+            if args.jit_threshold is not None:
+                payload["jit_threshold"] = args.jit_threshold
+            if not payload:
+                print("admin set needs --prefetch-depth, --jit "
+                      "and/or --jit-threshold", file=sys.stderr)
+                return 2
+        else:  # resize
+            if args.tcache_size is None:
+                print("admin resize needs --tcache-size",
+                      file=sys.stderr)
+                return 2
+            payload = {"tcache_size": args.tcache_size}
+        status, body = post(f"/admin/{args.verb}", payload)
+        print(json.dumps(json.loads(body), indent=2))
+        return 0
+    except urllib.error.HTTPError as exc:
+        detail = exc.read().decode(errors="replace")
+        print(f"admin {args.verb}: HTTP {exc.code} from {base}: "
+              f"{detail}", file=sys.stderr)
+        return 1
+    except (urllib.error.URLError, OSError) as exc:
+        print(f"admin {args.verb}: cannot reach {base}: {exc} "
+              f"(is the run serving with --serve?)", file=sys.stderr)
+        return 1
 
 
 def _cmd_profile(args) -> int:
@@ -409,7 +595,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_softcache_opts(p, scale=0.2):
         p.add_argument("--scale", type=float, default=scale)
-        p.add_argument("--tcache", type=int, default=24 * 1024)
+        p.add_argument("--tcache", "--tcache-size", dest="tcache",
+                       type=_tcache_size, default=24 * 1024,
+                       help="tcache bytes, or 'auto' to size from "
+                            "the profiled hot working set")
         p.add_argument("--granularity", default="block",
                        choices=("block", "ebb", "proc"))
         p.add_argument("--policy", default="fifo",
@@ -449,6 +638,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--prom-out", metavar="FILE",
                      help="write the metrics registry in Prometheus "
                           "text exposition format")
+    run.add_argument("--serve", metavar="HOST:PORT",
+                     help="serve the live ops endpoint during the "
+                          "run: /metrics, /inspect/*, /admin/*")
 
     trace = sub.add_parser(
         "trace", help="run with the flight recorder on; export "
@@ -461,6 +653,9 @@ def build_parser() -> argparse.ArgumentParser:
                                      "(default trace-<workload>)")
     trace.add_argument("--top", type=int, default=10,
                        help="hot chunks listed in the report")
+    trace.add_argument("--prom-out", metavar="FILE",
+                       help="write the metrics registry in Prometheus "
+                            "text exposition format")
 
     debug = sub.add_parser(
         "debug", help="run a workload, audit CC bookkeeping, dump "
@@ -504,6 +699,10 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--prom-out", metavar="FILE",
                        help="write fleet metrics in Prometheus text "
                             "exposition format")
+    fleet.add_argument("--serve", metavar="HOST:PORT",
+                       help="serve the live ops endpoint during the "
+                            "simulation (/inspect/shards shows "
+                            "per-shard load)")
 
     chaos = sub.add_parser(
         "chaos", help="chaos matrix: seeded fault plans x workloads, "
@@ -518,6 +717,49 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--tcache", type=int, default=2048)
     chaos.add_argument("--out-dir", default="chaos-artifacts",
                        help="failing cells' traces + plans land here")
+    chaos.add_argument("--prom-out", metavar="FILE",
+                       help="write matrix-level counters (cells, "
+                            "failures, fault totals) in Prometheus "
+                            "text exposition format")
+
+    admin = sub.add_parser(
+        "admin", help="inspect or steer a live run served with "
+                      "--serve (or inspect a recorded trace offline)")
+    admin.add_argument("verb",
+                       choices=("stats", "inspect", "flush", "set",
+                                "resize"),
+                       help="stats: raw /metrics; inspect: JSON "
+                            "snapshot; flush/set/resize: control "
+                            "verbs applied at the next miss boundary")
+    admin.add_argument("--url", default="http://127.0.0.1:9178",
+                       help="base URL of the live ops endpoint")
+    admin.add_argument("--from", dest="from_file", metavar="FILE",
+                       help="offline mode: read a recorded .jsonl "
+                            "trace instead of a live endpoint "
+                            "(stats/inspect only)")
+    admin.add_argument("--route", default="tcache",
+                       choices=("tcache", "superblocks", "shards",
+                                "all"),
+                       help="inspect: which snapshot section")
+    admin.add_argument("--prefetch-depth", type=int, default=None,
+                       help="set: new prefetch depth")
+    admin.add_argument("--jit", default=None,
+                       choices=("off", "hot", "all"),
+                       help="set: new JIT mode")
+    admin.add_argument("--jit-threshold", type=int, default=None,
+                       help="set: new JIT promotion threshold")
+    admin.add_argument("--tcache-size", type=int, default=None,
+                       help="resize: new effective tcache size, "
+                            "bytes (flushes; applied at the next "
+                            "miss boundary)")
+    admin.add_argument("--no-wait", action="store_true",
+                       help="queue the control verb and return "
+                            "immediately (HTTP 202)")
+    admin.add_argument("--timeout", type=float, default=10.0,
+                       help="seconds to wait for the verb to reach "
+                            "a miss boundary")
+    admin.add_argument("--top", type=int, default=10,
+                       help="offline inspect: hot chunks listed")
 
     prof = sub.add_parser("profile", help="flat profile of a workload")
     prof.add_argument("workload", choices=sorted(WORKLOADS))
@@ -554,6 +796,7 @@ def main(argv: list[str] | None = None) -> int:
         "debug": _cmd_debug,
         "fleet": _cmd_fleet,
         "chaos": _cmd_chaos,
+        "admin": _cmd_admin,
         "profile": _cmd_profile,
         "disasm": _cmd_disasm,
         "figures": _cmd_figures,

@@ -208,7 +208,7 @@ def simulate_fleet(image: Image, n_clients: int,
                    shards: int = 1,
                    hub_capacity: int = 0,
                    distinct_clients: int | None = None,
-                   metrics=None) -> FleetResult:
+                   metrics=None, server=None) -> FleetResult:
     """Run *n_clients* identical devices against one server tier.
 
     *stagger_s* offsets each client's boot time; 0 means all devices
@@ -234,6 +234,12 @@ def simulate_fleet(image: Image, n_clients: int,
     ``fleet.queue`` event, and each shard a ``fleet.shard`` summary.
     *metrics* (a :class:`repro.obs.MetricsRegistry`) receives
     :meth:`FleetResult.publish` — so does ``recorder.metrics``.
+
+    *server* (a :class:`repro.obs.ObsServer`) serves the run live:
+    the shared MC tier is attached for ``/inspect/shards`` and each
+    distinct client is attached read-only while it captures (control
+    verbs are fleet-unsafe: the replay contract requires identical
+    clients).
 
     *fault_plan* (a :class:`repro.net.FaultPlan`; defaults to
     ``config.fault_plan``) subjects every distinct client's uplink to
@@ -275,6 +281,10 @@ def simulate_fleet(image: Image, n_clients: int,
                                      granularity=config.granularity,
                                      ebb_limit=config.ebb_limit)
         shards = 1
+    if server is not None:
+        # live ops plane (repro fleet --serve): /inspect/shards and
+        # /metrics track the shared server tier while the fleet runs
+        server.attach_fleet(shared_mc, shards)
     probe = MCProbe(shared_mc)
 
     if distinct_clients is None:
@@ -306,6 +316,10 @@ def simulate_fleet(image: Image, n_clients: int,
         system = SoftCacheSystem(image, client_config,
                                  shared_mc=shared_mc,
                                  recorder=child)
+        if server is not None:
+            # read-only: mid-capture retuning would break the
+            # clients-are-identical replay contract
+            server.attach_system(system, control=False)
         tap = WireTap(system, probe)
         report = system.run(max_instructions)
         if child is not None:

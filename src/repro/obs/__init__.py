@@ -7,6 +7,10 @@ The observability layer of the reproduction:
   fleet; owns a :class:`MetricsRegistry`.
 * :mod:`repro.obs.export` — JSONL and Chrome trace-event (Perfetto)
   export, plus ASCII timeline / hot-chunk reports for terminals.
+* :mod:`repro.obs.server` — the live ops plane: an in-run HTTP
+  endpoint (``--serve HOST:PORT``) with a Prometheus ``/metrics``
+  scrape, JSON ``/inspect/*`` snapshots and queued ``/admin/*``
+  control verbs applied at miss boundaries (``repro admin``).
 
 Usage::
 
@@ -49,6 +53,7 @@ from .metrics import (
     publish_dataclass,
 )
 from .prom import to_prometheus, write_prometheus
+from .server import AdminCommand, ControlPlane, ObsServer, parse_serve
 
 __all__ = [
     "CATEGORY_TRACKS", "EVENT_SCHEMA", "TRACE_SCHEMA_VERSION",
@@ -59,4 +64,5 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "publish_dataclass",
     "to_prometheus", "write_prometheus",
+    "AdminCommand", "ControlPlane", "ObsServer", "parse_serve",
 ]

@@ -566,6 +566,48 @@ class CPU:
             })
         return out
 
+    def superblock_census(self, top: int = 10) -> dict:
+        """Tier counts + hottest blocks over every live superblock.
+
+        The ops plane's ``/inspect/superblocks`` snapshot: how many
+        live blocks run at each interpreter tier
+        ("jit"/"closure"/"single"), the JIT policy knobs, and the
+        *top* hottest tracked blocks by hotness-cell count.  Read-only
+        over the dispatch tables; hotness cells are None when
+        untracked (``jit="all"`` promotes eagerly and keeps no
+        counts).
+        """
+        tiers = {"jit": 0, "closure": 0, "single": 0}
+        entries: list[tuple[int, int, str, int, int | None]] = []
+        jit_fns = self._sb_jit_fns
+        key_get = self._block_key.get
+        span_get = self._block_span.get
+        count_get = self._sb_counts.get
+        for start in list(self._blocks):
+            key = key_get(start)
+            if key is None:
+                tiers["single"] += 1
+                continue
+            tier = "jit" if key in jit_fns else "closure"
+            tiers[tier] += 1
+            cell = count_get(key)
+            entries.append((start, span_get(start, start + 4), tier,
+                            len(key), cell[0] if cell else None))
+        entries.sort(key=lambda e: -1 if e[4] is None else e[4],
+                     reverse=True)
+        return {
+            "blocks": tiers["jit"] + tiers["closure"] + tiers["single"],
+            "tiers": tiers,
+            "jit_mode": self.jit,
+            "jit_threshold": self.jit_threshold,
+            "jit_codegen": self.jit_stats.jit_codegen,
+            "jit_promotions": self.jit_stats.jit_promotions,
+            "hottest": [
+                {"start": s, "end": e, "tier": t, "instructions": n,
+                 "hits": h}
+                for s, e, t, n, h in entries[:top]],
+        }
+
     # -- execution ---------------------------------------------------------
 
     def run(self, max_instructions: int = 2_000_000_000) -> int:

@@ -175,6 +175,13 @@ class BaseCacheController:
         #: this); None on a fault-free channel, keeping the miss path
         #: free of checksum work.
         self._stager = getattr(channel, "stage_payloads", None)
+        #: Ops-plane control queue (:class:`repro.obs.server.
+        #: ControlPlane`), or None.  Admin commands posted over HTTP
+        #: are applied at the next miss boundary — the only safe
+        #: point: no placed-but-uncommitted block, no mid-install
+        #: pointer state.  Unattached (the default) the miss path
+        #: pays one ``is not None`` comparison, nothing else.
+        self._control = None
 
     # -- cost charging -----------------------------------------------------
 
@@ -242,6 +249,9 @@ class BaseCacheController:
                 block.prefetched = False
                 stats.prefetch_hits += 1
             return block
+        ctl = self._control
+        if ctl is not None and ctl.pending:
+            self._apply_admin(ctl)
         trc = self.tracer
         miss_start = self.cpu.cycles if trc is not None else 0
         t0 = perf_counter()
@@ -577,6 +587,94 @@ class BaseCacheController:
         if overlaps:
             self.flush()
 
+    # -- ops-plane control (applied at miss boundaries) --------------------
+
+    def _apply_admin(self, ctl) -> None:
+        """Drain the control queue at a miss boundary.
+
+        Each command is billed one MC service round trip of simulated
+        time: a real CC would learn about the command from its server
+        on the exchange it is already making.
+        """
+        for cmd in ctl.drain():
+            self._charge(self.costs.mc_service_cycles)
+            self.stats.admin_commands += 1
+            try:
+                result = self._admin_dispatch(cmd.verb, cmd.args)
+            except (ValueError, TCacheFull, SoftCacheError) as exc:
+                cmd.fail(str(exc))
+            else:
+                ctl.applied += 1
+                cmd.complete(result)
+
+    def _admin_dispatch(self, verb: str, args: dict) -> dict:
+        if verb == "flush":
+            return self.admin_flush()
+        if verb == "set":
+            return self.admin_set(**args)
+        if verb == "resize":
+            return self.admin_resize(**args)
+        raise ValueError(f"unknown admin verb {verb!r}")
+
+    def admin_flush(self) -> dict:
+        """casadm-style ``flush``: drop every unpinned block now."""
+        dropped = self.tcache.resident_blocks
+        self.flush()
+        return {"verb": "flush", "blocks_dropped": dropped}
+
+    def admin_set(self, *, prefetch_depth: int | None = None,
+                  jit: str | None = None,
+                  jit_threshold: int | None = None) -> dict:
+        """Retune the runtime knobs that are safe to flip mid-run.
+
+        ``prefetch_depth`` shapes the *next* miss exchange (the check
+        site runs before the serve path reads it); ``jit`` /
+        ``jit_threshold`` steer the host-speed-only interpreter tier
+        and can never change simulated counts.
+        """
+        applied: dict = {"verb": "set"}
+        if prefetch_depth is not None:
+            depth = int(prefetch_depth)
+            if depth < 0:
+                raise ValueError("prefetch_depth must be >= 0")
+            self.prefetch_depth = depth
+            applied["prefetch_depth"] = depth
+        if jit is not None:
+            if jit not in ("off", "hot", "all"):
+                raise ValueError(f"unknown jit mode {jit!r}")
+            self.cpu.jit = jit
+            applied["jit"] = jit
+        if jit_threshold is not None:
+            threshold = int(jit_threshold)
+            if threshold < 1:
+                raise ValueError("jit_threshold must be >= 1")
+            self.cpu.jit_threshold = threshold
+            applied["jit_threshold"] = threshold
+        if len(applied) == 1:
+            raise ValueError("admin set: no knob given")
+        return applied
+
+    def admin_resize(self, *, tcache_size: int) -> dict:
+        """Resize the effective block area within the boot geometry.
+
+        The flush is mandatory — resident blocks are pinned in place
+        by every patched word that targets them — and is billed to
+        simulated time like any flush, so a resize shows up in the
+        figures as the miss storm it would really cause.
+        """
+        new_size = int(tcache_size)
+        old_size = self.tcache.size
+        # validate before flushing so a rejected resize is a no-op
+        if not 0 < new_size <= self.tcache.geom.size:
+            raise ValueError(
+                f"tcache size must be in (0, {self.tcache.geom.size}] "
+                f"bytes (boot geometry is the hardware ceiling); "
+                f"got {new_size}")
+        self.flush()
+        self.tcache.resize(new_size)
+        return {"verb": "resize", "tcache_size": new_size,
+                "previous_size": old_size}
+
     # -- reporting --------------------------------------------------------------------
 
     @property
@@ -584,7 +682,7 @@ class BaseCacheController:
         """Byte accounting of the CC's local memory areas."""
         tc = self.tcache
         return {
-            "tcache_capacity": tc.geom.size,
+            "tcache_capacity": tc.size,
             "tcache_used": tc.used_bytes,
             "stub_bytes": tc.stub_bytes_in_use,
             "redirector_bytes": tc.redirector_bytes_in_use,

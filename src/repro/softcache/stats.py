@@ -77,6 +77,10 @@ class SoftCacheStats:
     miss_install_host_s: float = 0.0
     miss_patch_host_s: float = 0.0
 
+    # -- ops plane ---------------------------------------------------------
+    #: Admin commands (flush/set/resize) applied at miss boundaries.
+    admin_commands: int = 0
+
     # -- degraded resident mode (fault injection) -------------------------
     #: LinkDown traps raised by the miss path (retry budget exhausted).
     link_down_traps: int = 0

@@ -245,6 +245,67 @@ class SoftCacheSystem:
             output=self.machine.output_text,
         )
 
+    def inspect(self) -> dict:
+        """Read-only snapshot of the live cache state (the ops plane).
+
+        Serves ``/inspect/tcache`` and ``/inspect/superblocks``:
+        tcache residency (per-block origin, placement, size, link
+        occupancy from the LinkIndex), stub/redirector/pinned area
+        occupancy, per-chunk heat (demand misses seen by the flight
+        recorder, when one is attached), and the interpreter's
+        superblock tier census.  Touches nothing: no simulated cycles
+        are charged, no state mutated, so snapshots are invisible to
+        the architectural digest.
+        """
+        cc = self.cc
+        tc = cc.tcache
+        blocks = []
+        for b in list(tc.order):
+            blocks.append({
+                "orig": b.orig, "addr": b.addr, "size": b.size,
+                "orig_size": b.orig_size, "name": b.name,
+                "prefetched": b.prefetched,
+                "incoming_links": len(b.incoming),
+                "outgoing_links": len(b.outgoing),
+                "stubs": len(b.stubs),
+            })
+        pinned = [{"orig": b.orig, "addr": b.addr, "size": b.size,
+                   "name": b.name} for b in list(tc.pinned_blocks)]
+        heat: list[dict] = []
+        if self.recorder is not None:
+            from ..obs.export import top_hot_chunks
+            heat = top_hot_chunks(list(self.recorder.events))
+        stats = cc.stats
+        return {
+            "tcache": {
+                "capacity": tc.size,
+                "boot_capacity": tc.geom.size,
+                "used": tc.used_bytes,
+                "resident_blocks": len(blocks),
+                "map_entries": len(tc.map),
+                "stub_bytes": tc.stub_bytes_in_use,
+                "stub_capacity": tc.geom.stub_capacity,
+                "redirector_bytes": tc.redirector_bytes_in_use,
+                "redirector_capacity": tc.geom.redirector_capacity,
+                "pinned_bytes": tc.pinned_bytes_in_use,
+                "policy": cc.policy,
+                "prefetch_depth": cc.prefetch_depth,
+                "blocks": blocks,
+                "pinned": pinned,
+                "heat": heat,
+            },
+            "superblocks": self.machine.cpu.superblock_census(),
+            "stats": {
+                "translations": stats.translations,
+                "evictions": stats.evictions,
+                "flushes": stats.flushes,
+                "miss_traps": stats.miss_traps,
+                "admin_commands": stats.admin_commands,
+                "instructions": self.machine.cpu.icount,
+                "cycles": self.machine.cpu.cycles,
+            },
+        }
+
     def publish_metrics(self, registry=None) -> None:
         """Mirror every layer's stats dataclass into a metrics
         registry (counters for ints, gauges for the rest) — the

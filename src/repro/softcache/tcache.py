@@ -62,6 +62,12 @@ class TCache:
 
     def __init__(self, geometry: TCacheGeometry):
         self.geom = geometry
+        #: Effective block-area capacity in bytes.  Boot-time geometry
+        #: is the hardware ceiling (the stub/redirector/pinned bases
+        #: derived from it are baked into patched words and stack
+        #: slots, so they can never move); :meth:`resize` shrinks or
+        #: re-grows the usable block area within it at run time.
+        self.size = geometry.size
         #: original address -> resident TBlock (the tcache map).
         self.map: dict[int, TBlock] = {}
         #: residency order, oldest first (eviction order).
@@ -121,11 +127,11 @@ class TCache:
 
     def needs_eviction(self, nbytes: int) -> bool:
         """Would allocating *nbytes* require evicting or flushing?"""
-        if nbytes > self.geom.size:
+        if nbytes > self.size:
             raise TCacheFull(
                 f"chunk of {nbytes} bytes exceeds tcache size "
-                f"{self.geom.size}")
-        end = self.geom.stub_base
+                f"{self.size}")
+        end = self.geom.base + self.size
         if not self.order:
             return False
         if not self._wrapped:
@@ -144,7 +150,7 @@ class TCache:
         Raises :class:`TCacheFull` if space still does not suffice
         (allocator invariant violation).
         """
-        end = self.geom.stub_base
+        end = self.geom.base + self.size
         if not self.order:
             self._head = self._tail = self.geom.base
             self._wrapped = False
@@ -182,15 +188,38 @@ class TCache:
         """
         spans = sorted((b.addr, b.end) for b in self.order)
         prev_end = self.geom.base
+        limit = self.geom.base + self.size
         for start, end in spans:
             if start < prev_end:
                 raise AssertionError(
                     f"tcache blocks overlap at {start:#x} (prev end "
                     f"{prev_end:#x})")
-            if end > self.geom.stub_base:
+            if end > limit:
                 raise AssertionError(
                     f"block [{start:#x},{end:#x}) beyond block area")
             prev_end = end
+
+    def resize(self, new_size: int) -> None:
+        """Change the effective block-area capacity to *new_size*.
+
+        The block area must be empty (flush first): resident blocks
+        are addressed by patched words everywhere, so the allocator
+        cannot relocate them.  The boot geometry is the ceiling —
+        local RAM is physically provisioned once; growing beyond it
+        is a hardware change, not an admin command.
+        """
+        if not 0 < new_size <= self.geom.size:
+            raise ValueError(
+                f"tcache size must be in (0, {self.geom.size}] bytes "
+                f"(boot geometry is the hardware ceiling); "
+                f"got {new_size}")
+        if self.order:
+            raise ValueError(
+                "resize requires an empty block area (flush first)")
+        self.size = new_size
+        self._head = self._tail = self.geom.base
+        self._wrapped = False
+        self._wrap_gap_start = None
 
     def retire_oldest(self) -> TBlock:
         """Remove the oldest block from residency (caller unlinks)."""

@@ -1,0 +1,91 @@
+"""Profiler-guided tcache sizing (``--tcache-size auto``)."""
+
+import pytest
+
+from repro.profiling import (
+    auto_tcache_size,
+    estimate_tcache_size,
+    measure_rewritten_bytes,
+    profile_image,
+)
+from repro.softcache import SoftCacheConfig, SoftCacheSystem
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def sensor_image():
+    return build_workload("sensor", 0.05)
+
+
+def test_estimate_shape(sensor_image):
+    est = estimate_tcache_size(sensor_image)
+    assert est.tcache_size % 1024 == 0
+    assert est.tcache_size >= 1024
+    assert est.hot_procs  # the 90% rule always names someone
+    assert est.rewritten_hot_bytes >= est.hot_code_bytes  # expansion
+    assert est.tcache_size >= est.rewritten_hot_bytes
+    assert auto_tcache_size(sensor_image) == est.tcache_size
+
+
+def test_estimate_reuses_profile(sensor_image):
+    profile = profile_image(sensor_image)
+    est = estimate_tcache_size(sensor_image, profile=profile)
+    assert est.tcache_size == estimate_tcache_size(
+        sensor_image).tcache_size
+
+
+def test_rewritten_bytes_measured_through_chunker(sensor_image):
+    profile = profile_image(sensor_image)
+    hot = [e.proc for e in profile.hot_procs(0.90)]
+    block = measure_rewritten_bytes(sensor_image, hot,
+                                    granularity="block")
+    ebb = measure_rewritten_bytes(sensor_image, hot,
+                                  granularity="ebb")
+    static = sum(p.end - p.addr for p in hot)
+    # rewriting only adds words; granularities differ in how many
+    assert block >= static
+    assert ebb >= static
+    assert block != static or ebb != static
+
+
+def test_threshold_widens_the_hot_set(sensor_image):
+    narrow = estimate_tcache_size(sensor_image, threshold=0.50)
+    wide = estimate_tcache_size(sensor_image, threshold=0.99)
+    assert len(wide.hot_procs) >= len(narrow.hot_procs)
+    assert wide.tcache_size >= narrow.tcache_size
+
+
+def test_minimum_floors_tiny_profiles(sensor_image):
+    est = estimate_tcache_size(sensor_image, threshold=0.01,
+                               minimum=16 * 1024)
+    assert est.tcache_size >= 16 * 1024
+
+
+@pytest.mark.parametrize("workload", ["sensor", "adpcm_enc"])
+def test_auto_size_within_one_sweep_step_of_best(workload):
+    """The fig6/fig8 acceptance: auto lands within one power-of-two
+    sweep step of the best fixed size, and performs within 3% of the
+    sweep's best cycle count."""
+    image = build_workload(workload, 0.05)
+    ladder = [1024, 2048, 4096, 8192, 16384]
+    cycles = {}
+    for size in ladder:
+        system = SoftCacheSystem(image,
+                                 SoftCacheConfig(tcache_size=size))
+        cycles[size] = system.run().cycles
+    floor = min(cycles.values())
+    # the knee: smallest fixed size within 2% of the asymptote
+    best = next(s for s in ladder if cycles[s] <= 1.02 * floor)
+
+    auto = auto_tcache_size(image)
+    system = SoftCacheSystem(image, SoftCacheConfig(tcache_size=auto))
+    auto_cycles = system.run().cycles
+
+    import math
+    step_distance = abs(math.log2(auto) - math.log2(best))
+    assert step_distance <= 1.0, (
+        f"{workload}: auto={auto}B is {step_distance:.2f} sweep "
+        f"steps from the knee at {best}B")
+    assert auto_cycles <= 1.03 * floor, (
+        f"{workload}: auto={auto}B runs {auto_cycles} cycles vs "
+        f"sweep floor {floor}")

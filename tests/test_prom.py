@@ -1,5 +1,8 @@
 """Prometheus text exposition of the MetricsRegistry."""
 
+import math
+import re
+
 from repro.obs import MetricsRegistry, to_prometheus, write_prometheus
 
 
@@ -52,6 +55,93 @@ def test_write_prometheus_roundtrip(tmp_path):
     out = tmp_path / "metrics.prom"
     write_prometheus(reg, out)
     assert out.read_text() == to_prometheus(reg)
+
+
+def test_histogram_quantile_edge_cases():
+    reg = MetricsRegistry()
+    h = reg.histogram("cc.latency")
+    # empty histogram: quantiles are 0.0, never a crash or NaN
+    assert h.quantile(0.5) == 0.0
+    assert h.quantile(0.99) == 0.0
+    snap = h.snapshot()
+    assert snap["count"] == 0 and snap["mean"] == 0.0
+    # single observation: every quantile is its bucket bound
+    h.observe(100)
+    assert h.quantile(0.0) == h.quantile(0.5) == h.quantile(1.0)
+    assert h.quantile(0.5) >= 100  # conservative upper bound
+
+
+def test_gauge_overwrite_last_value_wins():
+    reg = MetricsRegistry()
+    g = reg.gauge("fleet.utilization")
+    g.set(0.9)
+    g.set(0.1)
+    assert "repro_fleet_utilization 0.1\n" in to_prometheus(reg)
+    assert "0.9" not in to_prometheus(reg)
+
+
+# one Prometheus text-0.4 sample/comment line (promtool-style lint)
+_LINE = re.compile(
+    r"^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+"
+    r"|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? "
+    r"(-?\d+(\.\d+)?([eE][+-]?\d+)?|\+Inf|-Inf|NaN))$")
+
+
+def _lint(text):
+    for line in text.splitlines():
+        assert _LINE.match(line), f"unparseable exposition: {line!r}"
+
+
+def test_every_line_parses_including_non_finite():
+    reg = MetricsRegistry()
+    reg.counter("cc.misses").inc(3)
+    reg.gauge("weird.inf").set(math.inf)
+    reg.gauge("weird.neg_inf").set(-math.inf)
+    reg.gauge("weird.nan").set(math.nan)
+    h = reg.histogram("cc.latency")
+    h.observe(7)
+    h.observe(2 ** 1500)  # bucket bound overflows float range
+    text = to_prometheus(reg, build_info={"jit": "hot"})
+    _lint(text)
+    # Python float spellings must never leak into the exposition
+    assert "inf\n" not in text and "nan\n" not in text
+    assert 'repro_weird_inf +Inf' in text
+    assert 'repro_weird_neg_inf -Inf' in text
+    assert 'repro_weird_nan NaN' in text
+    # the overflowing bucket folds into +Inf and count still matches
+    assert 'repro_cc_latency_bucket{le="+Inf"} 2' in text
+    assert "repro_cc_latency_count 2" in text
+
+
+def test_help_lines_precede_types():
+    reg = MetricsRegistry()
+    reg.counter("cc.translations").inc(5)
+    lines = to_prometheus(reg).splitlines()
+    help_idx = next(i for i, ln in enumerate(lines)
+                    if ln.startswith("# HELP repro_cc_translations"))
+    type_idx = next(i for i, ln in enumerate(lines)
+                    if ln.startswith("# TYPE repro_cc_translations"))
+    assert help_idx == type_idx - 1
+    # curated metrics get real prose, not the generic fallback
+    assert "mirrored from" not in lines[help_idx]
+
+
+def test_build_info_gauge():
+    reg = MetricsRegistry()
+    reg.counter("cc.misses").inc(1)
+    text = to_prometheus(reg, build_info={"jit": "hot",
+                                          "granularity": "block"})
+    _lint(text)
+    assert "# TYPE repro_build_info gauge" in text
+    line = next(ln for ln in text.splitlines()
+                if ln.startswith("repro_build_info{"))
+    assert line.endswith(" 1")
+    assert 'jit="hot"' in line and 'granularity="block"' in line
+    assert 'schema="' in line  # trace schema version always present
+    # even without caller labels the schema is still stamped
+    assert 'repro_build_info{schema="' in to_prometheus(reg)
+    # an empty registry stays an empty exposition (back-compat)
+    assert to_prometheus(MetricsRegistry()) == ""
 
 
 def test_fleet_publish_exports(tmp_path):
