@@ -20,11 +20,12 @@ from .isa import disassemble_range
 from .net import LOCAL_LINK, LinkModel
 from .profiling import profile_image
 from .sim import run_native
-from .softcache import SoftCacheConfig, SoftCacheSystem
+from .softcache import SoftCacheConfig, SoftCacheSystem, policy_names
 from .workloads import WORKLOADS, build_workload
 
 
-def _softcache_config(args, recorder=None) -> SoftCacheConfig:
+def _softcache_config(args, recorder=None,
+                      policy_params=None) -> SoftCacheConfig:
     """The SoftCacheConfig shared by run/trace/debug/fleet."""
     dcache_config = None
     if getattr(args, "dcache", 0):
@@ -39,12 +40,31 @@ def _softcache_config(args, recorder=None) -> SoftCacheConfig:
                                      seed=getattr(args, "seed", 0))
     return SoftCacheConfig(
         tcache_size=args.tcache, granularity=args.granularity,
-        policy=args.policy, link=link, data_cache=dcache_config,
+        policy=args.policy, policy_params=policy_params,
+        link=link, data_cache=dcache_config,
         prefetch_depth=args.prefetch_depth,
         debug_poison=getattr(args, "poison", False),
         jit=getattr(args, "jit", "hot"),
         jit_threshold=getattr(args, "jit_threshold", 16),
         recorder=recorder, fault_plan=fault_plan)
+
+
+def _resolve_policy_params(policy: str, image) -> dict | None:
+    """Policy constructor params a CLI run can derive from the image.
+
+    ``trrip`` wants the profiler's temperature signal, so (like
+    ``--tcache-size auto``) it costs one native profiling run up
+    front; every other policy needs nothing.
+    """
+    if policy != "trrip":
+        return None
+    from .profiling import temperature_for_image
+    tm = temperature_for_image(image)
+    print(f"[policy] trrip temperatures from the profile: "
+          f"{tm.counts.get('hot', 0)} hot / "
+          f"{tm.counts.get('warm', 0)} warm / "
+          f"{tm.counts.get('cold', 0)} cold procs")
+    return {"temperature": tm}
 
 
 def _write_trace(recorder, out, *, process_names=None) -> None:
@@ -158,7 +178,9 @@ def _cmd_run(args) -> int:
     if getattr(args, "trace", None):
         from .obs import FlightRecorder
         recorder = FlightRecorder()
-    config = _softcache_config(args, recorder=recorder)
+    config = _softcache_config(
+        args, recorder=recorder,
+        policy_params=_resolve_policy_params(args.policy, image))
     server = _start_server(args)
     try:
         system = SoftCacheSystem(image, config)
@@ -219,7 +241,9 @@ def _cmd_trace(args) -> int:
                            arm_profile=(args.granularity == "proc"))
     _resolve_auto_tcache(args, image)
     recorder = FlightRecorder()
-    config = _softcache_config(args, recorder=recorder)
+    config = _softcache_config(
+        args, recorder=recorder,
+        policy_params=_resolve_policy_params(args.policy, image))
     system = SoftCacheSystem(image, config)
     report = system.run()
     out = args.out or f"trace-{args.workload}"
@@ -244,7 +268,8 @@ def _cmd_debug(args) -> int:
     image = build_workload(args.workload, args.scale,
                            arm_profile=(args.granularity == "proc"))
     _resolve_auto_tcache(args, image)
-    config = _softcache_config(args)
+    config = _softcache_config(
+        args, policy_params=_resolve_policy_params(args.policy, image))
     system = SoftCacheSystem(image, config)
     system.run()
     checked = check_consistency(system.cc)
@@ -270,7 +295,8 @@ def _cmd_fleet(args) -> int:
     if args.trace:
         from .obs import FlightRecorder
         recorder = FlightRecorder()
-    config = _softcache_config(args)
+    config = _softcache_config(
+        args, policy_params=_resolve_policy_params(args.policy, image))
     server = _start_server(args)
     try:
         result = simulate_fleet(image, args.clients, config,
@@ -343,13 +369,15 @@ def _cmd_chaos(args) -> int:
     agg = {"fault_attempts": 0, "fault_delivered": 0,
            "fault_retries": 0, "checksum_failures": 0,
            "link_down_traps": 0, "mc_restarts": 0}
+    policy = getattr(args, "policy", "fifo")
     for name in workloads:
         image = build_workload(name, args.scale)
+        params = _resolve_policy_params(policy, image)
         # poison evicted blocks in the baseline too: the digest covers
         # local RAM, so both runs must paint evictions the same way
         baseline = SoftCacheSystem(image, SoftCacheConfig(
             tcache_size=args.tcache, record_timeline=False,
-            debug_poison=True))
+            debug_poison=True, policy=policy, policy_params=params))
         baseline.run()
         want = architectural_state(baseline)
         for i in range(args.plans):
@@ -361,6 +389,7 @@ def _cmd_chaos(args) -> int:
                 system = SoftCacheSystem(image, SoftCacheConfig(
                     tcache_size=args.tcache, record_timeline=False,
                     debug_poison=True, recorder=recorder,
+                    policy=policy, policy_params=params,
                     fault_plan=plan))
                 system.run()
                 check_consistency(system.cc)
@@ -489,9 +518,12 @@ def _cmd_admin(args) -> int:
                 payload["jit"] = args.jit
             if args.jit_threshold is not None:
                 payload["jit_threshold"] = args.jit_threshold
+            if args.policy is not None:
+                payload["policy"] = args.policy
             if not payload:
-                print("admin set needs --prefetch-depth, --jit "
-                      "and/or --jit-threshold", file=sys.stderr)
+                print("admin set needs --prefetch-depth, --jit, "
+                      "--jit-threshold and/or --policy",
+                      file=sys.stderr)
                 return 2
         else:  # resize
             if args.tcache_size is None:
@@ -602,7 +634,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--granularity", default="block",
                        choices=("block", "ebb", "proc"))
         p.add_argument("--policy", default="fifo",
-                       choices=("fifo", "flush"))
+                       choices=policy_names(),
+                       help="replacement policy (trrip profiles the "
+                            "workload first for its temperature map)")
         p.add_argument("--prefetch-depth", type=int, default=0,
                        help="successor chunks batched onto each miss "
                             "reply (0 = paper-faithful protocol)")
@@ -715,6 +749,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="first seed of the matrix")
     chaos.add_argument("--scale", type=float, default=0.05)
     chaos.add_argument("--tcache", type=int, default=2048)
+    chaos.add_argument("--policy", default="fifo",
+                       choices=policy_names(),
+                       help="replacement policy for baseline and "
+                            "chaos cells alike")
     chaos.add_argument("--out-dir", default="chaos-artifacts",
                        help="failing cells' traces + plans land here")
     chaos.add_argument("--prom-out", metavar="FILE",
@@ -748,6 +786,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="set: new JIT mode")
     admin.add_argument("--jit-threshold", type=int, default=None,
                        help="set: new JIT promotion threshold")
+    admin.add_argument("--policy", default=None,
+                       choices=policy_names(),
+                       help="set: swap the replacement policy (fresh "
+                            "metadata; trrip runs without a "
+                            "temperature map when set mid-run)")
     admin.add_argument("--tcache-size", type=int, default=None,
                        help="resize: new effective tcache size, "
                             "bytes (flushes; applied at the next "

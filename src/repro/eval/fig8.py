@@ -153,6 +153,104 @@ def fig8_prefetch_ablation(workload: str = "adpcm_enc",
     return rows
 
 
+@dataclass
+class Fig8PolicyRow:
+    """One (policy, depth) cell of the policy-ablation sweep."""
+
+    policy: str
+    depth: int
+    cycles: int
+    relative_time: float
+    evictions: int
+    flushes: int
+    miss_service_cycles: int
+    demand_translations: int
+    prefetch_installs: int
+    prefetch_hits: int
+    prefetch_drops: int
+    prefetch_dropped_bytes: int
+    wasted_prefetch_bytes: int
+    policy_prefetch_rejects: int
+    policy_promotions: int
+
+
+def fig8_policy_ablation(workload: str = "adpcm_enc",
+                         scale: float = 0.35,
+                         memory: int | None = None,
+                         policies: tuple[str, ...] | None = None,
+                         depths: tuple[int, ...] = (0, 2, 4),
+                         max_instructions: int = 400_000_000
+                         ) -> list[Fig8PolicyRow]:
+    """Replacement-policy × prefetch-depth sweep in the Figure 8
+    paging regime (small tcache, networked link).
+
+    Each cell's ``relative_time`` is normalized to the fifo/depth-0
+    cell — the seed configuration.  The interesting columns at depth
+    ≥ 2 are the admission ones: ``rejected`` candidates were never
+    shipped (pure link savings), ``drops``/``dropped B`` were shipped
+    then thrown away, ``wasted B`` were installed then evicted
+    untouched.
+    """
+    from ..net import LinkModel
+    from ..profiling import temperature_for_image
+    from ..softcache import policy_names
+
+    image = build_workload(workload, scale, arm_profile=True)
+    if memory is None:
+        memory = derive_memories(workload, scale)[0]
+    if policies is None:
+        policies = policy_names()
+    temperature = None
+    if "trrip" in policies:
+        temperature = temperature_for_image(image)
+    rows: list[Fig8PolicyRow] = []
+    base_cycles: int | None = None
+    for policy in policies:
+        params = ({"temperature": temperature}
+                  if policy == "trrip" else None)
+        for depth in depths:
+            config = SoftCacheConfig(
+                tcache_size=memory, granularity="proc",
+                policy=policy, policy_params=params,
+                prefetch_depth=depth, link=LinkModel(),
+                record_timeline=False)
+            system = SoftCacheSystem(image, config)
+            report = system.run(max_instructions)
+            if base_cycles is None:
+                base_cycles = report.cycles
+            s = system.stats
+            rows.append(Fig8PolicyRow(
+                policy=policy, depth=depth, cycles=report.cycles,
+                relative_time=report.cycles / base_cycles,
+                evictions=s.evictions, flushes=s.flushes,
+                miss_service_cycles=s.miss_service_cycles,
+                demand_translations=s.demand_translations,
+                prefetch_installs=s.prefetch_installs,
+                prefetch_hits=s.prefetch_hits,
+                prefetch_drops=s.prefetch_drops,
+                prefetch_dropped_bytes=s.prefetch_dropped_bytes,
+                wasted_prefetch_bytes=s.wasted_prefetch_bytes,
+                policy_prefetch_rejects=s.policy_prefetch_rejects,
+                policy_promotions=s.policy_promotions))
+    return rows
+
+
+def render_fig8_policies(rows: list[Fig8PolicyRow]) -> str:
+    table = [[r.policy, r.depth, r.cycles, f"{r.relative_time:.2f}",
+              r.evictions, r.flushes, r.demand_translations,
+              r.prefetch_installs, r.prefetch_hits,
+              r.prefetch_drops, r.prefetch_dropped_bytes,
+              r.wasted_prefetch_bytes, r.policy_prefetch_rejects]
+             for r in rows]
+    return ascii_table(
+        ["policy", "depth", "cycles", "rel. time", "evictions",
+         "flushes", "demand", "prefetched", "pf hits", "drops",
+         "dropped B", "wasted B", "rejected"],
+        table,
+        title="Figure 8 ablation: replacement policy x prefetch depth "
+              "(proc granularity, networked link)")
+
+
 def render_fig8_prefetch(rows: list[Fig8PrefetchRow]) -> str:
     table = [[r.depth, r.cycles, f"{r.relative_time:.2f}", r.evictions,
               r.miss_service_cycles, r.demand_translations,

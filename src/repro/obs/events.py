@@ -44,7 +44,9 @@ from .metrics import MetricsRegistry
 #: summaries) — see docs/FLEET.md.
 #: v4: template-JIT tier (cpu track: cpu.jit_compile / cpu.jit_load /
 #: cpu.jit_promote) — see docs/PERFORMANCE.md.
-TRACE_SCHEMA_VERSION = 4
+#: v5: replacement policies (cc.policy_reject / cc.policy_promote /
+#: cc.policy_flush) — see docs/OBSERVABILITY.md.
+TRACE_SCHEMA_VERSION = 5
 
 #: Chrome-trace thread lane per event category.  One process (pid) is
 #: one client; within it each layer of the stack gets its own track.
@@ -75,6 +77,9 @@ EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
     "cc.guest_invalidate": ("addr", "length"),
     "cc.degraded_enter": ("orig", "pending"),
     "cc.degraded_exit": ("orig", "stall_cycles"),
+    "cc.policy_reject": ("orig", "policy"),
+    "cc.policy_promote": ("orig", "touches"),
+    "cc.policy_flush": ("resident", "protected"),
     # memory controller ------------------------------------------------
     "mc.rewrite": ("orig", "words", "exits"),
     "mc.serve": ("orig", "bytes", "cached"),

@@ -1,0 +1,86 @@
+"""Temperature classification of procedures from the flat profile.
+
+The TRRIP policy (:mod:`repro.softcache.policy`) needs a per-address
+"temperature" signal: which code is worth protecting in the tcache
+and which prefetch candidates are a waste of link bytes.  The paper's
+90%-rule hot set (:meth:`repro.profiling.Profile.hot_procs`) is
+exactly that signal, extended to three classes:
+
+* ``hot`` — procedures in the smallest prefix of the flat profile
+  covering *threshold* (default 90%) of executed instructions;
+* ``warm`` — procedures that executed at all but fell outside the
+  hot prefix;
+* ``cold`` — procedures in the image that never executed during the
+  profiling run (init/terminal/error paths).
+
+:class:`TemperatureMap` resolves an original address to its class in
+O(log n) by bisecting sorted procedure spans; addresses outside every
+known span (padding, data-in-text) classify cold — never speculated
+on, demand-fetched as usual.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+from ..asm.image import Image
+from .profiler import Profile, profile_image
+
+HOT = "hot"
+WARM = "warm"
+COLD = "cold"
+
+
+@dataclass(frozen=True)
+class TemperatureMap:
+    """Address → hot/warm/cold classifier over procedure spans."""
+
+    #: sorted, non-overlapping (start, end, temperature) spans
+    spans: tuple[tuple[int, int, str], ...]
+    #: procedure counts per temperature, e.g. {"hot": 2, ...}
+    counts: dict[str, int] = field(default_factory=dict)
+    _starts: tuple[int, ...] = field(init=False, repr=False)
+
+    def __post_init__(self):
+        object.__setattr__(self, "_starts",
+                           tuple(s[0] for s in self.spans))
+
+    def classify(self, addr: int) -> str:
+        """Temperature of *addr* (cold when no span contains it)."""
+        i = bisect_right(self._starts, addr) - 1
+        if i >= 0:
+            start, end, temp = self.spans[i]
+            if start <= addr < end:
+                return temp
+        return COLD
+
+
+def temperature_map(profile: Profile, *,
+                    threshold: float = 0.90) -> TemperatureMap:
+    """Classify every procedure of the profiled image."""
+    hot_names = {e.name for e in profile.hot_procs(threshold)}
+    executed = {e.name for e in profile.entries}
+    spans = []
+    counts = {HOT: 0, WARM: 0, COLD: 0}
+    for proc in profile.image.procs:
+        if proc.name in hot_names:
+            temp = HOT
+        elif proc.name in executed:
+            temp = WARM
+        else:
+            temp = COLD
+        counts[temp] += 1
+        spans.append((proc.addr, proc.end, temp))
+    spans.sort()
+    return TemperatureMap(spans=tuple(spans), counts=counts)
+
+
+def temperature_for_image(image: Image, *, threshold: float = 0.90,
+                          profile: Profile | None = None
+                          ) -> TemperatureMap:
+    """Profile *image* natively (unless a profile is supplied) and
+    build its temperature map — the ``--policy trrip`` front door."""
+    if profile is None:
+        profile = profile_image(image)
+    return temperature_map(profile, threshold=threshold)

@@ -34,6 +34,20 @@ from .chunks import (
     ProcedureChunker,
 )
 from .mc import MCStats, MemoryController
+from .policy import (
+    EVICT,
+    FLUSH,
+    POLICIES,
+    FifoPolicy,
+    FlushPolicy,
+    NhitPolicy,
+    ReplacementPolicy,
+    SeqCutoffPolicy,
+    TrripPolicy,
+    make_policy,
+    policy_names,
+    validate_policy_name,
+)
 from .records import ContSlot, JRSite, Link, Redirector, SiteKind, Stub, TBlock
 from .stats import SoftCacheStats
 from .system import RunReport, SoftCacheConfig, SoftCacheSystem, run_softcache
@@ -41,12 +55,15 @@ from .tcache import TCache, TCacheFull, TCacheGeometry
 
 __all__ = [
     "BaseCacheController", "BasicBlockChunker", "BlockCacheController",
-    "Chunk", "ChunkError", "ConsistencyError", "ContSlot", "EBBChunker",
-    "ExitDesc", "ExitKind", "JRSite", "Link", "MCStats",
-    "MemoryController", "ProcCacheController", "ProcedureChunker",
-    "Redirector", "RunReport", "SiteKind", "SoftCacheConfig",
-    "SoftCacheError", "SoftCacheStats", "SoftCacheSystem", "Stub",
-    "TBlock", "TCache", "TCacheFull", "TCacheGeometry",
-    "check_consistency", "chunk_graph_dot", "dump_tcache",
-    "run_softcache",
+    "Chunk", "ChunkError", "ConsistencyError", "ContSlot",
+    "EBBChunker", "EVICT", "ExitDesc", "ExitKind", "FLUSH",
+    "FifoPolicy", "FlushPolicy", "JRSite",
+    "Link", "MCStats", "MemoryController", "NhitPolicy", "POLICIES",
+    "ProcCacheController", "ProcedureChunker", "Redirector",
+    "ReplacementPolicy", "RunReport", "SeqCutoffPolicy", "SiteKind",
+    "SoftCacheConfig", "SoftCacheError", "SoftCacheStats",
+    "SoftCacheSystem", "Stub", "TBlock", "TCache", "TCacheFull",
+    "TCacheGeometry", "TrripPolicy", "check_consistency",
+    "chunk_graph_dot", "dump_tcache", "make_policy", "policy_names",
+    "run_softcache", "validate_policy_name",
 ]

@@ -37,6 +37,7 @@ from ..net.faults import LinkDown
 from ..sim.machine import Machine
 from .mc import MemoryController
 from .chunks import Chunk, ExitKind
+from .policy import FLUSH, make_policy
 from .records import ContSlot, JRSite, Link, Redirector, SiteKind, Stub, TBlock
 from .stats import SoftCacheStats
 from .tcache import TCache, TCacheFull, TCacheGeometry
@@ -130,11 +131,10 @@ class BaseCacheController:
 
     def __init__(self, machine: Machine, mc: MemoryController,
                  channel: Channel, geometry: TCacheGeometry, *,
-                 policy: str = "fifo", record_timeline: bool = True,
+                 policy="fifo", policy_params: dict | None = None,
+                 record_timeline: bool = True,
                  debug_poison: bool = False, prefetch_depth: int = 0,
                  recorder=None):
-        if policy not in ("fifo", "flush"):
-            raise ValueError(f"unknown policy {policy!r}")
         if prefetch_depth < 0:
             raise ValueError("prefetch_depth must be >= 0")
         self.machine = machine
@@ -144,7 +144,7 @@ class BaseCacheController:
         self.mc = mc
         self.channel = channel
         self.tcache = TCache(geometry)
-        self.policy = policy
+        self._set_policy(policy, policy_params)
         self.prefetch_depth = prefetch_depth
         self.record_timeline = record_timeline
         self.debug_poison = debug_poison
@@ -182,6 +182,48 @@ class BaseCacheController:
         #: pointer state.  Unattached (the default) the miss path
         #: pays one ``is not None`` comparison, nothing else.
         self._control = None
+
+    # -- replacement policy -------------------------------------------------
+
+    def _set_policy(self, policy, params: dict | None = None) -> None:
+        """Build/bind the replacement policy (constructor + admin set).
+
+        ``self.policy`` stays the plain name string the rest of the
+        system (inspect snapshots, fleet metadata, tests) reads.
+        """
+        obj = make_policy(policy, **(params or {}))
+        obj.bind(self)
+        self._policy = obj
+        self.policy = obj.name
+        self._rebuild_batch_filter()
+
+    def _rebuild_batch_filter(self) -> None:
+        """Choose the predicate handed to ``mc.serve_batch``.
+
+        A policy that never rejects admission gets the raw residency
+        bound method — the exact seed fast path, zero indirection.  A
+        filtering policy gets a wrapper that reports non-resident,
+        policy-rejected candidates as "resident" so the MC skips
+        shipping them (the link bytes are the savings), counting and
+        tracing each rejection.
+        """
+        policy = self._policy
+        if not policy.filters_prefetch:
+            self._batch_filter = self._is_resident
+            return
+
+        def batch_filter(orig: int) -> bool:
+            if self._is_resident(orig):
+                return True
+            if policy.admit_prefetch(orig):
+                return False
+            self.stats.policy_prefetch_rejects += 1
+            if self.tracer is not None:
+                self.tracer.emit("cc.policy_reject", "cc", orig=orig,
+                                 policy=policy.name)
+            return True
+
+        self._batch_filter = batch_filter
 
     # -- cost charging -----------------------------------------------------
 
@@ -248,6 +290,7 @@ class BaseCacheController:
             if block.prefetched:
                 block.prefetched = False
                 stats.prefetch_hits += 1
+            self._policy.on_hit(block)
             return block
         ctl = self._control
         if ctl is not None and ctl.pending:
@@ -257,7 +300,7 @@ class BaseCacheController:
         t0 = perf_counter()
         if self.prefetch_depth > 0:
             batch = self.mc.serve_batch(orig, self.prefetch_depth,
-                                        self._is_resident)
+                                        self._batch_filter)
             chunk, payload = batch[0]
             stats.miss_serve_host_s += perf_counter() - t0
             seconds = self._exchange_chunk(orig, batch, batched=True)
@@ -282,6 +325,7 @@ class BaseCacheController:
                                name=chunk.name)
                 self._install(block, chunk, payload)
                 self.tcache.commit(block)
+                self._policy.on_install(block, prefetched=False)
                 if self.debug_poison:
                     self.tcache.assert_invariants()
                 break
@@ -381,7 +425,7 @@ class BaseCacheController:
             # any hub key plumbing) and re-stage the reply payloads
             if batched:
                 pairs = self.mc.serve_batch(orig, self.prefetch_depth,
-                                            self._is_resident)
+                                            self._batch_filter)
             else:
                 chunk = self.mc.serve_chunk(orig)
                 pairs = [(chunk, self.mc.payload_of(chunk))]
@@ -441,6 +485,7 @@ class BaseCacheController:
                        name=chunk.name, prefetched=True)
         self._install(block, chunk, payload)
         self.tcache.commit(block)
+        self._policy.on_install(block, prefetched=True)
         if self.debug_poison:
             self.tcache.assert_invariants()
         stats.translations += 1
@@ -464,12 +509,17 @@ class BaseCacheController:
         return True
 
     def _make_space(self, nbytes: int) -> None:
-        if self.policy == "flush":
-            if self.tcache.needs_eviction(nbytes):
+        tcache = self.tcache
+        if not tcache.needs_eviction(nbytes):
+            return
+        policy = self._policy
+        while True:
+            if policy.on_evict_candidate(tcache.oldest()) == FLUSH:
                 self.flush()
-        else:
-            while self.tcache.needs_eviction(nbytes):
-                self._evict_oldest()
+                return
+            self._evict_oldest()
+            if not tcache.needs_eviction(nbytes):
+                return
 
     def pin_original(self, orig: int) -> TBlock:
         """Translate the chunk at *orig* into the permanent pinned
@@ -512,6 +562,7 @@ class BaseCacheController:
 
     def _evict_oldest(self) -> None:
         block = self.tcache.retire_oldest()
+        self._policy.on_evict(block)
         if self.tracer is not None:
             self.tracer.emit("cc.evict", "cc", orig=block.orig,
                              addr=block.addr, size=block.size,
@@ -624,15 +675,21 @@ class BaseCacheController:
 
     def admin_set(self, *, prefetch_depth: int | None = None,
                   jit: str | None = None,
-                  jit_threshold: int | None = None) -> dict:
+                  jit_threshold: int | None = None,
+                  policy: str | None = None) -> dict:
         """Retune the runtime knobs that are safe to flip mid-run.
 
         ``prefetch_depth`` shapes the *next* miss exchange (the check
         site runs before the serve path reads it); ``jit`` /
         ``jit_threshold`` steer the host-speed-only interpreter tier
-        and can never change simulated counts.
+        and can never change simulated counts; ``policy`` swaps the
+        replacement policy (fresh metadata — a mid-run ``trrip`` has
+        no temperature map and degrades to neutral seeding).
         """
         applied: dict = {"verb": "set"}
+        if policy is not None:
+            self._set_policy(policy)
+            applied["policy"] = self.policy
         if prefetch_depth is not None:
             depth = int(prefetch_depth)
             if depth < 0:
@@ -672,6 +729,9 @@ class BaseCacheController:
                 f"got {new_size}")
         self.flush()
         self.tcache.resize(new_size)
+        # the geometry changed under the policy: clear *all* metadata,
+        # including per-address history an ordinary flush preserves
+        self._policy.reset()
         return {"verb": "resize", "tcache_size": new_size,
                 "previous_size": old_size}
 
@@ -1054,6 +1114,7 @@ class BlockCacheController(BaseCacheController):
                 "flush; increase stub_capacity") from None
         self.cpu.invalidate_all_decoded()
         self._charge(self.costs.evict_per_block_cycles * len(blocks))
+        self._policy.on_flush()
 
 
 class ProcCacheController(BaseCacheController):
@@ -1189,3 +1250,4 @@ class ProcCacheController(BaseCacheController):
             self._unlink_block(block)
         self.cpu.invalidate_all_decoded()
         self._charge(self.costs.evict_per_block_cycles * len(blocks))
+        self._policy.on_flush()

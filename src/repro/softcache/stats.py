@@ -81,6 +81,17 @@ class SoftCacheStats:
     #: Admin commands (flush/set/resize) applied at miss boundaries.
     admin_commands: int = 0
 
+    # -- replacement policy ------------------------------------------------
+    #: Prefetch candidates rejected by the policy at batch-assembly
+    #: time (the bytes were never shipped — compare prefetch_drops,
+    #: which are shipped-then-dropped).
+    policy_prefetch_rejects: int = 0
+    #: Addresses promoted to prefetch-eligible (nhit crossing N).
+    policy_promotions: int = 0
+    #: Whole-cache flushes chosen by the policy over piecemeal
+    #: eviction (trrip preemptive flush).
+    policy_preemptive_flushes: int = 0
+
     # -- degraded resident mode (fault injection) -------------------------
     #: LinkDown traps raised by the miss path (retry budget exhausted).
     link_down_traps: int = 0

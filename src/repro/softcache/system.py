@@ -34,8 +34,15 @@ class SoftCacheConfig:
     granularity: str = "block"
     #: Max basic blocks glued into one EBB chunk.
     ebb_limit: int = 8
-    #: Eviction policy: ``fifo`` (per-chunk) or ``flush`` (drop all).
-    policy: str = "fifo"
+    #: Replacement policy: a registered name (``fifo``, ``flush``,
+    #: ``trrip``, ``nhit``, ``seqcutoff`` — see
+    #: :mod:`repro.softcache.policy`) or a pre-built
+    #: :class:`~repro.softcache.policy.ReplacementPolicy` instance.
+    policy: object = "fifo"
+    #: Constructor kwargs for a named policy (e.g. ``{"temperature":
+    #: TemperatureMap(...)}`` for trrip, ``{"n": 3}`` for nhit).
+    #: Ignored when ``policy`` is already an instance.
+    policy_params: dict | None = None
     #: Successor-prefetch depth: a miss reply carries up to this many
     #: extra non-resident successor chunks in one batched exchange.
     #: 0 (the default) reproduces the paper's one-chunk-per-miss
@@ -78,6 +85,12 @@ class SoftCacheConfig:
     #: Retry behaviour under faults (:class:`repro.net.RetryPolicy`);
     #: None means the default policy.  Ignored without a fault plan.
     retry_policy: object | None = None
+
+    def __post_init__(self):
+        from .policy import ReplacementPolicy, validate_policy_name
+        if not isinstance(self.policy, ReplacementPolicy):
+            # fail at config time, not at first miss
+            validate_policy_name(self.policy)
 
 
 @dataclass
@@ -161,6 +174,7 @@ class SoftCacheSystem:
         self.cc = controller_cls(
             self.machine, self.mc, self.channel, geometry,
             policy=config.policy,
+            policy_params=config.policy_params,
             record_timeline=config.record_timeline,
             debug_poison=config.debug_poison,
             prefetch_depth=config.prefetch_depth,
@@ -289,6 +303,7 @@ class SoftCacheSystem:
                 "redirector_capacity": tc.geom.redirector_capacity,
                 "pinned_bytes": tc.pinned_bytes_in_use,
                 "policy": cc.policy,
+                "policy_state": cc._policy.snapshot(),
                 "prefetch_depth": cc.prefetch_depth,
                 "blocks": blocks,
                 "pinned": pinned,

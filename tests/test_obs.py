@@ -53,7 +53,7 @@ def test_event_schema_golden():
     its argument keys must be a deliberate act (update this table, the
     EVENT_SCHEMA table and docs/OBSERVABILITY.md together, and bump
     TRACE_SCHEMA_VERSION on incompatible changes)."""
-    assert TRACE_SCHEMA_VERSION == 4
+    assert TRACE_SCHEMA_VERSION == 5
     assert EVENT_SCHEMA == {
         "cc.trap": ("kind", "id"),
         "cc.miss": ("orig", "name", "size", "batch"),
@@ -66,6 +66,9 @@ def test_event_schema_golden():
         "cc.guest_invalidate": ("addr", "length"),
         "cc.degraded_enter": ("orig", "pending"),
         "cc.degraded_exit": ("orig", "stall_cycles"),
+        "cc.policy_reject": ("orig", "policy"),
+        "cc.policy_promote": ("orig", "touches"),
+        "cc.policy_flush": ("resident", "protected"),
         "mc.rewrite": ("orig", "words", "exits"),
         "mc.serve": ("orig", "bytes", "cached"),
         "mc.batch": ("orig", "chunks", "prefetch_bytes"),

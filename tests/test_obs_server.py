@@ -83,6 +83,7 @@ def test_inspect_tcache(served_run):
     assert snap["boot_capacity"] == 2048
     assert snap["resident_blocks"] == len(snap["blocks"])
     assert snap["used"] == sum(b["size"] for b in snap["blocks"])
+    assert snap["policy_state"] == {"name": "fifo"}
     for block in snap["blocks"]:
         assert block["orig"] >= 0 and block["size"] > 0
 
@@ -260,6 +261,95 @@ def test_admin_rejects_bad_args():
     assert ctl.applied == 0
     # failed commands still bill their MC service round trip
     assert system.stats.admin_commands == 3
+
+
+def test_resize_resets_policy_state():
+    """Admin resize flushes the tcache *and* resets policy metadata:
+    nhit's per-address touch history survives ordinary flushes by
+    design, so the resize boundary is the one place it must be wiped —
+    stale heat counters against a reshaped cache would promote the
+    wrong chunks."""
+    from repro.softcache import NhitPolicy
+
+    class ProbeNhit(NhitPolicy):
+        def __init__(self):
+            super().__init__(n=2)
+            self.reset_history = []
+
+        def reset(self):
+            self.reset_history.append(len(self.touches))
+            super().reset()
+
+    probe = ProbeNhit()
+    image = build_workload("sensor", 0.05)
+    system = SoftCacheSystem(image, SoftCacheConfig(
+        tcache_size=2048, policy=probe, prefetch_depth=2))
+    _run_partially(system)
+    accumulated = len(probe.touches)
+    assert accumulated > 0       # mid-run heat exists to go stale
+
+    ctl = ControlPlane()
+    system.cc._control = ctl
+    cmd = ctl.post("resize", {"tcache_size": 1024})
+    exit_code = system.machine.cpu.run(2_000_000_000)
+    assert exit_code == 0
+    assert cmd.error is None
+    # exactly one reset, at the resize, clearing the stale history
+    assert len(probe.reset_history) == 1
+    assert probe.reset_history[0] >= accumulated
+    # post-resize touches are fresh accumulation, not stale + new
+    snap = system.inspect()["tcache"]["policy_state"]
+    assert snap["name"] == "nhit"
+    assert snap["tracked_origs"] == len(probe.touches)
+
+
+def test_resize_resets_trrip_rrpv():
+    """Same boundary for trrip: every RRPV entry left after a mid-run
+    resize must reference a currently-resident block (the audit inside
+    check_consistency fails on anything stale)."""
+    from repro.softcache import TrripPolicy
+    from repro.softcache.debug import check_consistency
+
+    policy = TrripPolicy()
+    image = build_workload("sensor", 0.05)
+    system = SoftCacheSystem(image, SoftCacheConfig(
+        tcache_size=2048, policy=policy))
+    _run_partially(system)
+    assert policy._rrpv            # metadata exists mid-run
+
+    ctl = ControlPlane()
+    system.cc._control = ctl
+    cmd = ctl.post("resize", {"tcache_size": 1024})
+    assert system.machine.cpu.run(2_000_000_000) == 0
+    assert cmd.error is None
+    assert check_consistency(system.cc) > 0
+    resident = set(map(id, list(system.cc.tcache.order)
+                       + list(system.cc.tcache.pinned_blocks)))
+    assert all(id(b) in resident for b in policy._rrpv)
+
+
+def test_admin_set_policy():
+    """`admin set --policy` swaps the policy at a miss boundary; an
+    unknown name fails with the full valid set in the error."""
+    image = build_workload("sensor", 0.05)
+    system = SoftCacheSystem(image, SoftCacheConfig(tcache_size=2048))
+    _run_partially(system)
+    assert system.cc.policy == "fifo"
+
+    ctl = ControlPlane()
+    system.cc._control = ctl
+    good = ctl.post("set", {"policy": "nhit"})
+    bad = ctl.post("set", {"policy": "lru"})
+    assert system.machine.cpu.run(2_000_000_000) == 0
+
+    assert good.error is None
+    assert good.result["policy"] == "nhit"
+    assert system.cc.policy == "nhit"
+    snap = system.inspect()["tcache"]["policy_state"]
+    assert snap["name"] == "nhit"
+    assert bad.error is not None
+    for name in ("fifo", "flush", "nhit", "seqcutoff", "trrip"):
+        assert name in bad.error
 
 
 def test_resize_over_http_202_then_visible():
