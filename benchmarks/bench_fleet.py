@@ -56,13 +56,17 @@ def _point(image, config, n: int, *, shards: int, hub_capacity: int,
         "shard_requests": [s.requests for s in r.shard_loads],
         "shard_balance": r.shard_balance,
         "hub_hit_rate": r.hub_hit_rate,
+        "rollout_makespan_s": r.rollout_makespan_s,
+        "clients_converged": r.clients_converged,
     }
 
 
 def run_benchmarks(max_clients: int, shards: int, hub_capacity: int,
-                   stagger_s: float) -> dict:
+                   stagger_s: float,
+                   update_at: tuple = ()) -> dict:
     image = build_workload("sensor", 0.05)
-    config = SoftCacheConfig(tcache_size=8192, record_timeline=False)
+    config = SoftCacheConfig(tcache_size=8192, record_timeline=False,
+                             update_at=update_at)
     counts = [n for n in (1, 10, 100, 1000, 10_000)
               if n <= max_clients]
     if counts[-1] != max_clients:
@@ -71,12 +75,13 @@ def run_benchmarks(max_clients: int, shards: int, hub_capacity: int,
                      hub_capacity=hub_capacity, stagger_s=stagger_s)
               for n in counts]
     return {
-        "schema": "BENCH_fleet/1",
+        "schema": "BENCH_fleet/2",
         "python": platform.python_version(),
         "machine": platform.machine(),
         "shards": shards,
         "hub_capacity": hub_capacity,
         "stagger_s": stagger_s,
+        "update_at": list(update_at),
         "scaling": points,
     }
 
@@ -89,6 +94,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--stagger-us", type=float, default=50.0,
                         help="boot-time offset between clients "
                              "(microseconds)")
+    parser.add_argument("--update-at", metavar="CYCLES:IMAGE",
+                        action="append", default=None,
+                        help="publish a live update mid-run; the "
+                             "rollout-wavefront column then reports "
+                             "time to full-fleet convergence")
     parser.add_argument("--out", type=Path,
                         default=Path("BENCH_fleet.json"))
     parser.add_argument("--budget-s", type=float, default=None,
@@ -98,24 +108,31 @@ def main(argv: list[str] | None = None) -> int:
 
     results = run_benchmarks(args.max_clients, args.shards,
                              args.hub_capacity,
-                             args.stagger_us * 1e-6)
+                             args.stagger_us * 1e-6,
+                             tuple(args.update_at or ()))
     args.out.write_text(json.dumps(results, indent=2) + "\n")
 
     print(f"{'clients':>8} {'wall':>9} {'makespan':>10} {'util':>6} "
-          f"{'mean queue':>11} {'balance':>8} {'hub':>5}")
+          f"{'mean queue':>11} {'balance':>8} {'hub':>5} "
+          f"{'rollout':>9}")
     for p in results["scaling"]:
         print(f"{p['clients']:>8} {p['wall_s'] * 1e3:>7.0f}ms "
               f"{p['makespan_s']:>9.3f}s "
               f"{100 * p['link_utilization']:>5.1f}% "
               f"{p['mean_queue_delay_s'] * 1e6:>9.1f}us "
               f"{p['shard_balance']:>8.2f} "
-              f"{100 * p['hub_hit_rate']:>4.0f}%")
+              f"{100 * p['hub_hit_rate']:>4.0f}% "
+              f"{p['rollout_makespan_s'] * 1e3:>7.2f}ms")
     print(f"wrote {args.out}")
 
     biggest = results["scaling"][-1]
     # sanity: server-side rewrite work must stay constant in fleet
-    # size (the whole point of the shared chunk cache)
-    smallest = results["scaling"][0]
+    # size (the whole point of the shared chunk cache).  With a live
+    # update in play the single-client point skips stale-version
+    # serving entirely, so compare against the previous sweep point
+    # instead of the smallest.
+    smallest = results["scaling"][-2 if args.update_at else 0] \
+        if len(results["scaling"]) > 1 else biggest
     if biggest["mc_chunks_built"] != smallest["mc_chunks_built"]:
         print("FAIL: MC rewrite work grew with fleet size",
               file=sys.stderr)

@@ -46,7 +46,8 @@ def _softcache_config(args, recorder=None,
         debug_poison=getattr(args, "poison", False),
         jit=getattr(args, "jit", "hot"),
         jit_threshold=getattr(args, "jit_threshold", 16),
-        recorder=recorder, fault_plan=fault_plan)
+        recorder=recorder, fault_plan=fault_plan,
+        update_at=tuple(getattr(args, "update_at", None) or ()))
 
 
 def _resolve_policy_params(policy: str, image) -> dict | None:
@@ -219,6 +220,12 @@ def _cmd_run(args) -> int:
     if stats.admin_commands:
         print(f"  admin commands    : {stats.admin_commands} applied "
               f"at miss boundaries")
+    if stats.update_barriers:
+        print(f"  live updates      : {stats.update_barriers} barriers "
+              f"to epoch {system.cc._epoch}; "
+              f"{stats.update_invalidated_blocks} blocks invalidated, "
+              f"{stats.update_restamped_blocks} kept, "
+              f"{stats.update_text_patched_words} text words patched")
     usage = system.local_memory_in_use
     print(f"  local memory      : {usage}")
     if system.dcache is not None:
@@ -337,6 +344,12 @@ def _cmd_fleet(args) -> int:
     if result.link_retries:
         print(f"  fault retries     : {result.link_retries} replayed "
               f"exchanges queued on the uplink")
+    if result.rollout_wavefront_s:
+        wf = result.rollout_wavefront_s
+        print(f"  rollout           : epoch {result.final_epoch}, "
+              f"{result.clients_converged}/{result.n_clients} "
+              f"converged; wavefront "
+              f"{wf[0] * 1e3:.2f}..{wf[-1] * 1e3:.2f} ms")
     if recorder is not None:
         names = {c.client_id: f"client {c.client_id}"
                  for c in result.clients}
@@ -359,8 +372,18 @@ def _cmd_chaos(args) -> int:
     """
     from .net import FaultPlan
     from .obs import FlightRecorder
-    from .softcache.debug import architectural_state, check_consistency
+    from .softcache.debug import (
+        architectural_state,
+        check_consistency,
+        observable_state,
+    )
 
+    update_at = tuple(getattr(args, "update_at", None) or ())
+    # under a live update, barrier timing (hence tcache placement and
+    # local RAM) legitimately shifts with fault-induced delays, so the
+    # differential compares the observable state — patched text, data,
+    # exit code, output — instead of the full architectural digest
+    state_fn = observable_state if update_at else architectural_state
     workloads = [w.strip() for w in args.workloads.split(",")
                  if w.strip()]
     out_dir = Path(args.out_dir)
@@ -377,9 +400,10 @@ def _cmd_chaos(args) -> int:
         # local RAM, so both runs must paint evictions the same way
         baseline = SoftCacheSystem(image, SoftCacheConfig(
             tcache_size=args.tcache, record_timeline=False,
-            debug_poison=True, policy=policy, policy_params=params))
+            debug_poison=True, policy=policy, policy_params=params,
+            update_at=update_at))
         baseline.run()
-        want = architectural_state(baseline)
+        want = state_fn(baseline)
         for i in range(args.plans):
             plan = FaultPlan.chaos(args.seed + i)
             label = f"{name}-seed{args.seed + i}"
@@ -390,13 +414,15 @@ def _cmd_chaos(args) -> int:
                     tcache_size=args.tcache, record_timeline=False,
                     debug_poison=True, recorder=recorder,
                     policy=policy, policy_params=params,
-                    fault_plan=plan))
+                    fault_plan=plan, update_at=update_at))
                 system.run()
                 check_consistency(system.cc)
-                got = architectural_state(system)
+                got = state_fn(system)
                 if got != want:
+                    what = ("observable" if update_at
+                            else "architectural")
                     raise AssertionError(
-                        f"architectural state diverged from the "
+                        f"{what} state diverged from the "
                         f"fault-free run: {got[:16]}… != {want[:16]}…")
             except Exception as exc:
                 failures += 1
@@ -433,7 +459,7 @@ def _cmd_chaos(args) -> int:
               f"(artifacts in {out_dir})", file=sys.stderr)
         return 1
     print(f"\n[chaos] all {total} cells reached the fault-free "
-          f"architectural state")
+          f"{'observable' if update_at else 'architectural'} state")
     return 0
 
 
@@ -525,6 +551,13 @@ def _cmd_admin(args) -> int:
                       "--jit-threshold and/or --policy",
                       file=sys.stderr)
                 return 2
+        elif args.verb == "publish":
+            if args.image is None:
+                print("admin publish needs --image PATH (a file "
+                      "written by repro.softcache.update.save_image)",
+                      file=sys.stderr)
+                return 2
+            payload = {"image": args.image}
         else:  # resize
             if args.tcache_size is None:
                 print("admin resize needs --tcache-size",
@@ -656,6 +689,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--jit-threshold", type=int, default=16,
                        help="superblock executions before JIT "
                             "promotion (jit=hot)")
+        p.add_argument("--update-at", metavar="CYCLES:IMAGE",
+                       action="append", default=None,
+                       help="publish a new image version once the "
+                            "client clock passes CYCLES; IMAGE is "
+                            "'patch' / 'patch:SEED' (a derived "
+                            "behaviour-preserving patch) or '@PATH' "
+                            "(a saved image file); prefix CYCLES "
+                            "with '~' for a non-durable publish "
+                            "(rolled back by an MC crash).  May "
+                            "repeat for staged rollouts "
+                            "(see docs/UPDATES.md)")
 
     run = sub.add_parser("run", help="run a workload")
     run.add_argument("workload", choices=sorted(WORKLOADS))
@@ -753,6 +797,13 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=policy_names(),
                        help="replacement policy for baseline and "
                             "chaos cells alike")
+    chaos.add_argument("--update-at", metavar="CYCLES:IMAGE",
+                       action="append", default=None,
+                       help="publish a live update mid-run in every "
+                            "cell (and the fault-free baseline); the "
+                            "differential then compares observable "
+                            "state (text/data/output) across the "
+                            "update")
     chaos.add_argument("--out-dir", default="chaos-artifacts",
                        help="failing cells' traces + plans land here")
     chaos.add_argument("--prom-out", metavar="FILE",
@@ -765,10 +816,11 @@ def build_parser() -> argparse.ArgumentParser:
                       "--serve (or inspect a recorded trace offline)")
     admin.add_argument("verb",
                        choices=("stats", "inspect", "flush", "set",
-                                "resize"),
+                                "resize", "publish"),
                        help="stats: raw /metrics; inspect: JSON "
-                            "snapshot; flush/set/resize: control "
-                            "verbs applied at the next miss boundary")
+                            "snapshot; flush/set/resize/publish: "
+                            "control verbs applied at the next miss "
+                            "boundary")
     admin.add_argument("--url", default="http://127.0.0.1:9178",
                        help="base URL of the live ops endpoint")
     admin.add_argument("--from", dest="from_file", metavar="FILE",
@@ -777,7 +829,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "(stats/inspect only)")
     admin.add_argument("--route", default="tcache",
                        choices=("tcache", "superblocks", "shards",
-                                "all"),
+                                "images", "all"),
                        help="inspect: which snapshot section")
     admin.add_argument("--prefetch-depth", type=int, default=None,
                        help="set: new prefetch depth")
@@ -795,6 +847,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="resize: new effective tcache size, "
                             "bytes (flushes; applied at the next "
                             "miss boundary)")
+    admin.add_argument("--image", default=None, metavar="PATH",
+                       help="publish: a saved image file to hot-patch "
+                            "the running system to (layout-"
+                            "preserving; see docs/UPDATES.md)")
     admin.add_argument("--no-wait", action="store_true",
                        help="queue the control verb and return "
                             "immediately (HTTP 202)")

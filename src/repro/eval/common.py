@@ -41,8 +41,13 @@ from ..workloads import build_workload
 #: (``trace-v{N}-{digest}.npz``) so the directory is shared with the
 #: JIT's compiled-superblock artifacts (``jit-*``,
 #: :mod:`repro.sim.jitcache`) without any chance of collision, and so
-#: stale generations are enumerable.
-_CACHE_VERSION = 2
+#: stale generations are enumerable.  v3: the image's canonical
+#: content digest (:func:`repro.softcache.update.image_digest` — the
+#: identity the live-update epoch machinery uses) joined the key
+#: material, so a republished image version can never alias a
+#: pre-update trace entry even if a future refactor drops the raw
+#: byte hashing below.
+_CACHE_VERSION = 3
 
 
 @dataclass
@@ -88,6 +93,7 @@ def set_trace_cache_dir(path: "os.PathLike | str | None") -> None:
 def _trace_key(workload: str, scale: float, arm_profile: bool,
                image: Image, max_instructions: int) -> str:
     """Content hash identifying one traced run."""
+    from ..softcache.update import image_digest
     costs = ",".join(
         f"{op.name}:{cyc}" for op, cyc in
         sorted(DEFAULT_COSTS.op_cycles.items(), key=lambda kv: kv[0].name))
@@ -95,7 +101,7 @@ def _trace_key(workload: str, scale: float, arm_profile: bool,
     h.update((f"v{_CACHE_VERSION}|{workload}|{scale!r}|{arm_profile}|"
               f"{max_instructions}|{image.entry}|{image.text_base}|"
               f"{image.data_base}|{image.bss_base}|{image.bss_size}|"
-              f"{costs}|").encode())
+              f"{image_digest(image)}|{costs}|").encode())
     h.update(image.text)
     h.update(b"|")
     h.update(image.data)

@@ -56,6 +56,11 @@ class ClientResult:
     #: on the shared clock; 0 under the legacy model, which does not
     #: feed delays back into client timelines.
     queue_delay_s: float = 0.0
+    #: Image epoch the client finished on (0: never updated).
+    final_epoch: int = 0
+    #: Absolute fleet time (s) at which the client crossed its last
+    #: update barrier; equals start_s when no update was scheduled.
+    converged_s: float = 0.0
 
     @property
     def end_s(self) -> float:
@@ -114,6 +119,22 @@ class FleetResult:
     #: Architectural digest of the reference client (every client of a
     #: deterministic fleet reaches the same one); None for n=0.
     architectural_digest: str | None = None
+    #: Image epoch the fleet converged on (0: no update scheduled).
+    final_epoch: int = 0
+    #: Clients that reached :attr:`final_epoch` by the end of their
+    #: run (with a schedule and durable publishes this is everyone —
+    #: the quiescent sync at run exit applies every due publish).
+    clients_converged: int = 0
+    #: Sorted absolute times (s) at which each client crossed its last
+    #: update barrier — the rollout wavefront.  Empty when no client
+    #: observed an update.
+    rollout_wavefront_s: list[float] = field(default_factory=list)
+
+    @property
+    def rollout_makespan_s(self) -> float:
+        """Time from fleet t=0 until the last client converged."""
+        return self.rollout_wavefront_s[-1] \
+            if self.rollout_wavefront_s else 0.0
 
     @property
     def link_utilization(self) -> float:
@@ -173,6 +194,9 @@ class FleetResult:
         g("fleet.mean_shard_delay_s").set(self.mean_shard_delay_s)
         g("fleet.chunk_cache_sharing").set(self.chunk_cache_sharing)
         g("fleet.shard_balance").set(self.shard_balance)
+        g("update.final_epoch").set(self.final_epoch)
+        g("update.clients_converged").set(self.clients_converged)
+        g("update.rollout_makespan_s").set(self.rollout_makespan_s)
         for load in self.shard_loads:
             p = f"fleet.shard{load.shard}"
             c(f"{p}.requests").inc(
@@ -295,10 +319,15 @@ def simulate_fleet(image: Image, n_clients: int,
     n_distinct = max(1, min(n_clients, distinct_clients))
 
     # -- capture phase: run the distinct clients ----------------------
+    updates_on = bool(config.update_at)
     traces: list[ClientTrace] = []
     reports: list[RunReport] = []
     translations: list[int] = []
     bytes_requested: list[int] = []
+    final_epochs: list[int] = []
+    #: per distinct client: cycle count at its last barrier (None if
+    #: it never crossed one)
+    converge_cycles: list[int | None] = []
     digest: str | None = None
     for client_id in range(n_distinct):
         start = client_id * stagger_s
@@ -330,14 +359,26 @@ def simulate_fleet(image: Image, n_clients: int,
         reports.append(report)
         translations.append(system.stats.translations)
         bytes_requested.append(system.link_stats.payload_bytes)
+        transitions = system.cc.epoch_transitions
+        final_epochs.append(system.cc._epoch)
+        converge_cycles.append(transitions[-1][0] if transitions
+                               else None)
         if client_id == 0:
             from ..softcache.debug import architectural_state
             digest = architectural_state(system)
         elif report.output != reports[0].output or \
-                translations[-1] != translations[0]:
+                (not updates_on and
+                 translations[-1] != translations[0]):
+            # under a live update, barrier timing depends on each
+            # client's miss pattern (cold vs warm), so invalidation /
+            # refetch counts legitimately differ — output equality is
+            # the divergence contract that must still hold
             raise AssertionError(
                 "chunk-cache-served client diverged from the first "
                 "client")
+        if updates_on and final_epochs[-1] != final_epochs[0]:
+            raise AssertionError(
+                "fleet clients finished on different image epochs")
 
     # -- assignment: replicated clients replay warm traces ------------
     def trace_index(client_id: int) -> int:
@@ -378,13 +419,22 @@ def simulate_fleet(image: Image, n_clients: int,
                              n_shards=shards, recorder=recorder)
 
     clients: list[ClientResult] = []
+    wavefront: list[float] = []
     for client_id, t_idx in enumerate(assignment):
+        boot = boots[client_id]
+        cyc = converge_cycles[t_idx]
+        converged = (boot + costs.cycles_to_seconds(cyc)
+                     if cyc is not None else boot)
         result = ClientResult(
-            client_id=client_id, start_s=boots[client_id],
+            client_id=client_id, start_s=boot,
             report=reports[t_idx],
             translations=translations[t_idx],
             bytes_requested=bytes_requested[t_idx],
-            queue_delay_s=sim.waits[client_id])
+            queue_delay_s=sim.waits[client_id],
+            final_epoch=final_epochs[t_idx],
+            converged_s=converged)
+        if cyc is not None:
+            wavefront.append(converged)
         clients.append(result)
         if recorder is not None:
             recorder.emit(
@@ -439,7 +489,13 @@ def simulate_fleet(image: Image, n_clients: int,
         hub_capacity=hub_capacity,
         hub_requests=sim.hub_requests,
         hub_hits=sim.hub_hits,
-        architectural_digest=digest)
+        architectural_digest=digest,
+        final_epoch=final_epochs[0] if final_epochs else 0,
+        clients_converged=sum(
+            1 for r in clients
+            if r.final_epoch == (final_epochs[0] if final_epochs
+                                 else 0)),
+        rollout_wavefront_s=sorted(wavefront))
 
     if recorder is not None:
         end_cycles = int(makespan * cpu_hz)

@@ -134,6 +134,10 @@ class ShardedMemoryController:
         #: Successor addresses that failed to chunk, shared across
         #: shards so a batch walk skips them regardless of owner.
         self._unchunkable: set[int] = set()
+        #: Epoch that produced the bytes of the most recent serve
+        #: (mirrors the owning shard's value; the hub keys entries
+        #: with it).
+        self.last_served_epoch = 0
 
     @property
     def n_shards(self) -> int:
@@ -164,6 +168,65 @@ class ShardedMemoryController:
         for shard in self.shards:
             shard.data_rewriter = value
 
+    # -- live code update (versioned image) ----------------------------
+    # Every shard sees the same publish sequence, so shard epochs stay
+    # in lockstep; version queries delegate to shard 0 and publishes
+    # fan out.
+
+    @property
+    def epoch(self) -> int:
+        return self.shards[0].epoch
+
+    @property
+    def image_digest(self) -> str:
+        return self.shards[0].image_digest
+
+    @property
+    def group(self) -> str:
+        return self.shards[0].group
+
+    @property
+    def client_epoch(self):
+        return self.shards[0].client_epoch
+
+    @client_epoch.setter
+    def client_epoch(self, value) -> None:
+        for shard in self.shards:
+            shard.client_epoch = value
+
+    def knows_image(self, image: Image) -> bool:
+        return self.shards[0].knows_image(image)
+
+    def publish(self, new_image: Image, *, durable: bool = True) -> int:
+        """Publish *new_image* on every shard (one logical epoch bump).
+
+        The successor graph changes with the image, so the shared
+        unchunkable set is dropped along with the per-shard caches.
+        """
+        epochs = {s.publish(new_image, durable=durable)
+                  for s in self.shards}
+        if len(epochs) != 1:
+            raise ChunkError(f"shard epochs diverged on publish: "
+                             f"{sorted(epochs)}")
+        self._unchunkable.clear()
+        self.image = self.shards[0].image
+        return epochs.pop()
+
+    def dirty_spans_between(self, a: int, b: int):
+        return self.shards[0].dirty_spans_between(a, b)
+
+    def image_at(self, epoch: int) -> Image:
+        return self.shards[0].image_at(epoch)
+
+    def epoch_of_digest(self, digest: str):
+        return self.shards[0].epoch_of_digest(digest)
+
+    def epoch_servable(self, epoch: int) -> bool:
+        return self.shards[0].epoch_servable(epoch)
+
+    def version_info(self) -> dict:
+        return self.shards[0].version_info()
+
     # -- routing -------------------------------------------------------
 
     def owner_of(self, orig_addr: int) -> int:
@@ -175,7 +238,10 @@ class ShardedMemoryController:
     # -- miss service --------------------------------------------------
 
     def serve_chunk(self, orig_addr: int) -> Chunk:
-        return self.shard_for(orig_addr).serve_chunk(orig_addr)
+        shard = self.shard_for(orig_addr)
+        chunk = shard.serve_chunk(orig_addr)
+        self.last_served_epoch = shard.last_served_epoch
+        return chunk
 
     def payload_of(self, chunk: Chunk) -> bytes:
         return self.shard_for(chunk.orig).payload_of(chunk)
@@ -198,6 +264,7 @@ class ShardedMemoryController:
         """
         demand_shard = self.shard_for(orig_addr)
         demand = demand_shard.serve_chunk(orig_addr)
+        self.last_served_epoch = demand_shard.last_served_epoch
         batch = [(demand, demand_shard.payload_of(demand))]
         if depth <= 0:
             return batch

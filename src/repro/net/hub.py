@@ -54,7 +54,13 @@ class HubStats:
 
 
 class LruChunkCache:
-    """A byte-capacity LRU over chunk keys (original addresses).
+    """A byte-capacity LRU over chunk keys.
+
+    Keys are original addresses for a single-version MC, and
+    ``(group, epoch, orig)`` tuples once an MC is versioned or serves
+    a non-default tenant group (see :func:`hub_key`) — entries from
+    different image versions or different programs can then never
+    alias each other while sharing one hub's byte budget.
 
     The storage half of a hub: used in-line by :class:`HubChannel`
     (per-exchange, blocking semantics) and by the fleet's event-driven
@@ -70,19 +76,19 @@ class LruChunkCache:
         self.capacity = capacity_bytes
         self.cached_bytes = 0
         self.evictions = 0
-        self._entries: OrderedDict[int, int] = OrderedDict()
+        self._entries: OrderedDict = OrderedDict()
 
-    def __contains__(self, key: int) -> bool:
+    def __contains__(self, key) -> bool:
         return key in self._entries
 
     def __len__(self) -> int:
         return len(self._entries)
 
-    def touch(self, key: int) -> None:
+    def touch(self, key) -> None:
         """Mark *key* most recently used."""
         self._entries.move_to_end(key)
 
-    def insert(self, key: int, payload_bytes: int) -> None:
+    def insert(self, key, payload_bytes: int) -> None:
         if self.capacity <= 0:
             return
         if key in self._entries:
@@ -93,6 +99,24 @@ class LruChunkCache:
             _, evicted = self._entries.popitem(last=False)
             self.cached_bytes -= evicted
             self.evictions += 1
+
+
+def hub_key(mc, orig_addr: int):
+    """The hub-cache key for a chunk just served by *mc*.
+
+    A plain original address while the MC is unversioned (epoch 0)
+    and serving the default tenant group — byte-identical behaviour
+    with pre-update hubs.  Once an image has been republished (or the
+    MC serves a named group), keys become ``(group, epoch, orig)``:
+    the *serving* epoch tags the entry, so a lagging client drawing a
+    stale version and an updated client drawing the current one can
+    never hand each other's bytes through the hub.
+    """
+    epoch = getattr(mc, "last_served_epoch", 0)
+    group = getattr(mc, "group", "default")
+    if epoch or group != "default":
+        return (group, epoch, orig_addr)
+    return orig_addr
 
 
 class HubChannel(Channel):
@@ -308,12 +332,16 @@ def with_hub(system, near: LinkModel | None = None,
     original_batch = mc.serve_batch
 
     def serving(orig_addr: int):
-        hub.next_key = orig_addr
-        return original(orig_addr)
+        # key AFTER serving: the serve resolves which epoch this
+        # client is drawing from (mc.last_served_epoch), and the key
+        # must carry the epoch that produced the bytes
+        result = original(orig_addr)
+        hub.next_key = hub_key(mc, orig_addr)
+        return result
 
     def serving_batch(orig_addr: int, depth: int, is_resident):
         batch = original_batch(orig_addr, depth, is_resident)
-        hub.next_keys = [chunk.orig for chunk, _ in batch]
+        hub.next_keys = [hub_key(mc, chunk.orig) for chunk, _ in batch]
         return batch
 
     mc.serve_chunk = serving

@@ -46,7 +46,9 @@ from .metrics import MetricsRegistry
 #: cpu.jit_promote) — see docs/PERFORMANCE.md.
 #: v5: replacement policies (cc.policy_reject / cc.policy_promote /
 #: cc.policy_flush) — see docs/OBSERVABILITY.md.
-TRACE_SCHEMA_VERSION = 5
+#: v6: live code update (mc.publish, cc.epoch_observed,
+#: cc.update_barrier) — see docs/UPDATES.md.
+TRACE_SCHEMA_VERSION = 6
 
 #: Chrome-trace thread lane per event category.  One process (pid) is
 #: one client; within it each layer of the stack gets its own track.
@@ -80,11 +82,16 @@ EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
     "cc.policy_reject": ("orig", "policy"),
     "cc.policy_promote": ("orig", "touches"),
     "cc.policy_flush": ("resident", "protected"),
+    "cc.epoch_observed": ("epoch", "prev"),
+    "cc.update_barrier": ("epoch", "prev", "invalidated", "restamped",
+                          "dropped_prefetch"),
     # memory controller ------------------------------------------------
     "mc.rewrite": ("orig", "words", "exits"),
     "mc.serve": ("orig", "bytes", "cached"),
     "mc.batch": ("orig", "chunks", "prefetch_bytes"),
     "mc.restart": (),
+    "mc.publish": ("epoch", "digest", "dirty_chunks", "dirty_bytes",
+                   "durable"),
     # link / hub ---------------------------------------------------------
     "link.exchange": ("kind", "payload", "overhead", "seconds"),
     "link.batch": ("kind", "chunks", "payload", "seconds"),

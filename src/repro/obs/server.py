@@ -27,10 +27,14 @@ Routes::
     GET  /inspect/tcache       residency map, stub/link occupancy, heat
     GET  /inspect/superblocks  interpreter tier census (CPU.superblock_census)
     GET  /inspect/shards       per-shard MC load (fleets; 1 shard solo)
+    GET  /inspect/images       image versions: epoch, digest, diff
+                               sizes, client convergence
     POST /admin/flush          drop every unpinned block
     POST /admin/set            {"prefetch_depth": N, "jit": MODE,
                                 "jit_threshold": N}
     POST /admin/resize         {"tcache_size": N}  (<= boot geometry)
+    POST /admin/publish        {"image": PATH}  (a saved image file;
+                                layout-preserving hot patch)
 
 POSTs block until the command is applied (``?wait=0`` returns 202
 immediately; the command still applies at the next miss).
@@ -251,6 +255,15 @@ class ObsServer:
             system = self._system
             fleet_mc = self._fleet_mc
             shards = self._fleet_shards
+        if route == "images":
+            if system is not None:
+                return self._snapshot(system._inspect_images)
+            if fleet_mc is not None:
+                info = getattr(fleet_mc, "version_info", None)
+                if info is not None:
+                    return self._snapshot(info)
+                return {"group": "default", "epoch": 0, "versions": []}
+            raise _NotAttached("no system or fleet attached")
         if route in ("", "tcache", "superblocks"):
             if system is None:
                 raise _NotAttached("no system attached")
@@ -305,7 +318,7 @@ class ObsServer:
                        {"error": f"snapshot raced with the "
                                  f"simulation: {exc}"})
 
-    _ADMIN_VERBS = ("flush", "set", "resize")
+    _ADMIN_VERBS = ("flush", "set", "resize", "publish")
 
     def _handle_post(self, handler) -> None:
         parsed = urlparse(handler.path)

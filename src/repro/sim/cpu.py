@@ -186,6 +186,12 @@ class CPU:
         #: block at first dispatch.
         self.jit = jit
         self.jit_threshold = max(1, int(jit_threshold))
+        #: Content tag of the image this CPU executes (live code
+        #: update): part of the in-process and persistent JIT cache
+        #: keys, so artifacts from one image version can never be
+        #: resurrected for another.  "" (native/unversioned runs)
+        #: keeps legacy keys and filenames.
+        self.image_tag = ""
         self.jit_stats = JitStats()
         self.sb_stats = SuperblockStats()
         #: Flight-recorder hook: ``hook(kind, pc, n)`` with kind one of
@@ -506,13 +512,14 @@ class CPU:
         if jfn is not None:
             return jfn
         js = self.jit_stats
-        cache_key = (self._sb_cost_tag, key)
+        cache_key = (self._sb_cost_tag, self.image_tag, key)
         cached = _SB_JIT_COMPILED.get(cache_key)
         kind = None
         if cached is not None:
             js.jit_mem_hits += 1
         else:
-            digest = jitcache.artifact_key(self._sb_cost_sig, key)
+            digest = jitcache.artifact_key(self._sb_cost_sig, key,
+                                           self.image_tag)
             cached = jitcache.load(digest)
             if cached is not None:
                 js.jit_disk_hits += 1
@@ -552,7 +559,8 @@ class CPU:
                             "hits": None, "source": None, "words": None})
                 continue
             jit = key in self._sb_jit_fns
-            cached = (_SB_JIT_COMPILED.get((self._sb_cost_tag, key))
+            cached = (_SB_JIT_COMPILED.get(
+                          (self._sb_cost_tag, self.image_tag, key))
                       if jit else
                       _SB_COMPILED_CACHE.get((self._sb_cost_tag, key)))
             cell = self._sb_counts.get(key)
@@ -1083,7 +1091,7 @@ _SB_CODE_CACHE: dict[str, object] = {}
 #: runs.
 _SB_COMPILED_CACHE: dict[tuple, tuple[object, dict, str]] = {}
 
-#: Same idea for the JIT tier: (cost tag, word tuple) -> the
+#: Same idea for the JIT tier: (cost tag, image tag, word tuple) -> the
 #: ``(code, fixups, src)`` triple produced by :func:`jit_codegen` (or
 #: loaded from the persistent store in :mod:`repro.sim.jitcache`).
 _SB_JIT_COMPILED: dict[tuple, tuple[object, dict, str]] = {}

@@ -12,6 +12,13 @@ File names are fully self-describing:
 
     jit-v{JIT_CODEGEN_VERSION}-{interpreter cache_tag}-{digest}.sbc
 
+where *digest* is ``i{image_tag}-{hex}`` for versioned images (live
+code update) and a bare hex digest for legacy/unversioned runs — the
+image tag participates in both the key material and the filename, so a
+republished image can never hit a pre-update artifact, and
+:func:`sweep_stale` can garbage-collect artifacts from retired image
+versions when told which tags are still live.
+
 ``marshal`` byte streams are only readable by the interpreter version
 that wrote them, so the interpreter's ``cache_tag`` participates in the
 name (not just the key) and :func:`sweep_stale` deletes any ``jit-*``
@@ -64,11 +71,20 @@ def set_artifact_dir(path) -> None:
     _dir_override = Path(path) if path is not None else None
 
 
-def artifact_key(cost_sig, words) -> str:
-    """Content digest for one superblock's compiled artifact."""
+def artifact_key(cost_sig, words, image_tag: str = "") -> str:
+    """Content digest for one superblock's compiled artifact.
+
+    *image_tag* is the content tag of the image version the words came
+    from (live code update): a republished image gets a disjoint
+    artifact namespace, so a pre-update ``.sbc`` file can never be
+    resurrected for post-update code.  The empty default keeps the
+    legacy keys of unversioned (native-mode) runs.
+    """
     h = hashlib.blake2b(digest_size=20)
-    h.update(repr((JIT_CODEGEN_VERSION, _TAG, cost_sig,
+    h.update(repr((JIT_CODEGEN_VERSION, _TAG, cost_sig, image_tag,
                    tuple(words))).encode())
+    if image_tag:
+        return f"i{image_tag}-{h.hexdigest()}"
     return h.hexdigest()
 
 
@@ -113,15 +129,28 @@ def store(digest: str, code, fixups, src: str) -> bool:
     return True
 
 
-def sweep_stale(directory=None) -> int:
+def sweep_stale(directory=None, image_tags=None) -> int:
     """Delete ``jit-*`` artifacts from other codegen versions or
-    interpreters.  Returns the number of files removed."""
+    interpreters.  Returns the number of files removed.
+
+    When *image_tags* is given (a collection of live image tags),
+    additionally delete artifacts from image versions *not* in the set
+    — the stale-epoch sweep after a live code update retires old
+    versions.  Legacy artifacts without an image-tag component are
+    kept: they belong to unversioned runs, not to any retired epoch.
+    """
     directory = Path(directory) if directory is not None else artifact_dir()
     if not directory.is_dir():
         return 0
+    live = set(image_tags) if image_tags is not None else None
     removed = 0
     for entry in directory.glob(f"jit-*{ARTIFACT_SUFFIX}"):
-        if entry.name.startswith(ARTIFACT_PREFIX):
+        stale = not entry.name.startswith(ARTIFACT_PREFIX)
+        if not stale and live is not None:
+            digest = entry.name[len(ARTIFACT_PREFIX):-len(ARTIFACT_SUFFIX)]
+            if digest.startswith("i") and "-" in digest:
+                stale = digest[1:].split("-", 1)[0] not in live
+        if not stale:
             continue
         try:
             entry.unlink()

@@ -182,6 +182,16 @@ class BaseCacheController:
         #: pointer state.  Unattached (the default) the miss path
         #: pays one ``is not None`` comparison, nothing else.
         self._control = None
+        #: Live code update (:mod:`repro.softcache.update`): the image
+        #: epoch this client's resident code belongs to, the optional
+        #: per-client publish schedule, and the epoch each parked miss
+        #: was pending under (audited by ``check_consistency``).
+        self._epoch = getattr(mc, "epoch", 0)
+        self._update_schedule = None
+        self.pending_miss_epochs: dict[int, int] = {}
+        #: (cycles, epoch) per crossed update barrier — the client's
+        #: leg of the fleet rollout wavefront.
+        self.epoch_transitions: list[tuple[int, int]] = []
 
     # -- replacement policy -------------------------------------------------
 
@@ -224,6 +234,137 @@ class BaseCacheController:
             return True
 
         self._batch_filter = batch_filter
+
+    # -- live code update ---------------------------------------------------
+
+    def set_update_schedule(self, schedule) -> None:
+        """Attach a per-client :class:`~repro.softcache.update.
+        UpdateSchedule`.  The schedule gates the observed epoch
+        (``min(mc.epoch, cap)``), so a client attached to a shared MC
+        that other clients already updated starts from the oldest
+        version its own clock allows — the rollout wavefront."""
+        self._update_schedule = schedule
+        self._epoch = min(self._epoch,
+                          schedule.poll(self.cpu.cycles, self.mc))
+
+    def _sync_epoch(self) -> None:
+        """Observe the MC's epoch at a miss boundary, crossing the
+        update barrier if it moved, and route the serves that follow:
+        ``mc.client_epoch`` makes the MC resolve them at the epoch
+        this client observed, not at the MC's own head."""
+        mc = self.mc
+        sched = self._update_schedule
+        if sched is not None:
+            observed = min(getattr(mc, "epoch", 0),
+                           sched.poll(self.cpu.cycles, mc))
+        else:
+            observed = getattr(mc, "epoch", 0)
+        if observed != self._epoch:
+            self._update_barrier(observed)
+        mc.client_epoch = observed
+
+    def _update_barrier(self, new_epoch: int) -> None:
+        """Cross to image epoch *new_epoch* at a miss boundary — the
+        only safe point (no placed-but-uncommitted block, no
+        mid-install pointer state).
+
+        Exactly the resident blocks whose original span intersects
+        text the publish changed are invalidated through the normal
+        unlink machinery (prefetched-but-unexecuted ones are dropped
+        and counted); every surviving block, stub and parked miss is
+        re-stamped to the new epoch; the client's text mirror is
+        rewritten with the new bytes (the flash write a real update
+        agent performs — it also kills any decoded closure over those
+        words through the memory code-write hooks); and the JIT
+        artifact namespace rolls to the new image's content digest so
+        a persistent ``.sbc`` artifact can never resurrect old code.
+        Refetching is lazy: untouched hot code keeps running and dirty
+        chunks fault back in on their next use.  Runs symmetrically
+        for a *downgrade* (an MC crash-restart rolled back a
+        non-durable publish).
+        """
+        stats = self.stats
+        prev = self._epoch
+        mc = self.mc
+        spans = mc.dirty_spans_between(prev, new_epoch)
+
+        def dirty(orig: int, size: int) -> bool:
+            for start, end in spans:
+                if orig < end and start < orig + size:
+                    return True
+            return False
+
+        for block in self.tcache.pinned_blocks:
+            if dirty(block.orig, block.orig_size):
+                raise SoftCacheError(
+                    f"publish (epoch {new_epoch}) rewrites pinned "
+                    f"chunk {block.orig:#x}; pinned code cannot be "
+                    f"hot-patched")
+        victims = [b for b in self.tcache.order
+                   if dirty(b.orig, b.orig_size)]
+        invalidated = 0
+        dropped_prefetch = 0
+        try:
+            for block in victims:
+                if block.prefetched:
+                    dropped_prefetch += 1
+                self.tcache.retire(block)
+                self._policy.on_evict(block)
+                self._unlink_block(block)
+                if self.debug_poison:
+                    self.mem.write_bytes(
+                        block.addr, _BREAK_WORD.to_bytes(4, "little")
+                        * (block.size // 4))
+                invalidated += 1
+        except _StubExhausted:
+            raise SoftCacheError(
+                "stub area exhausted while repairing pointers during "
+                "an update barrier; increase stub_capacity") from None
+        self._charge(self.costs.evict_per_block_cycles * invalidated)
+        # untouched old-epoch code stays resident: re-stamp it (and
+        # the stubs/parked misses, which hold original addresses and
+        # so stay valid across a layout-preserving publish)
+        restamped = 0
+        for block in self.tcache.order:
+            if block.epoch != new_epoch:
+                block.epoch = new_epoch
+                restamped += 1
+        for block in self.tcache.pinned_blocks:
+            block.epoch = new_epoch
+        stubs = getattr(self, "stubs", None)
+        if stubs:
+            for stub in stubs.values():
+                stub.epoch = new_epoch
+        for orig in self.pending_misses:
+            self.pending_miss_epochs[orig] = new_epoch
+        # the program can read its own text as data, and the update
+        # convergence proof hashes the text mirror
+        patched_words = 0
+        new_image = mc.image_at(new_epoch)
+        mem = self.mem
+        base = new_image.text_base
+        for start, end in spans:
+            mem.write_bytes(start,
+                            new_image.text[start - base:end - base])
+            patched_words += (end - start) // 4
+        if hasattr(self.cpu, "image_tag"):
+            from .update import image_digest
+            self.cpu.image_tag = image_digest(new_image)[:8]
+        self._epoch = new_epoch
+        self.epoch_transitions.append((self.cpu.cycles, new_epoch))
+        stats.update_barriers += 1
+        stats.update_invalidated_blocks += invalidated
+        stats.update_restamped_blocks += restamped
+        stats.update_prefetch_dropped += dropped_prefetch
+        stats.update_text_patched_words += patched_words
+        trc = self.tracer
+        if trc is not None:
+            trc.emit("cc.epoch_observed", "cc", epoch=new_epoch,
+                     prev=prev)
+            trc.emit("cc.update_barrier", "cc", epoch=new_epoch,
+                     prev=prev, invalidated=invalidated,
+                     restamped=restamped,
+                     dropped_prefetch=dropped_prefetch)
 
     # -- cost charging -----------------------------------------------------
 
@@ -295,22 +436,29 @@ class BaseCacheController:
         ctl = self._control
         if ctl is not None and ctl.pending:
             self._apply_admin(ctl)
+        self._sync_epoch()
         trc = self.tracer
         miss_start = self.cpu.cycles if trc is not None else 0
         t0 = perf_counter()
+        # NOTE: chunk/payload are re-bound from the exchange result —
+        # an outage replay re-serves them, and if a publish landed
+        # mid-outage the replayed pairs are the *new* version's;
+        # installing the pre-exchange capture would be a torn write.
         if self.prefetch_depth > 0:
             batch = self.mc.serve_batch(orig, self.prefetch_depth,
                                         self._batch_filter)
-            chunk, payload = batch[0]
             stats.miss_serve_host_s += perf_counter() - t0
-            seconds = self._exchange_chunk(orig, batch, batched=True)
+            seconds, batch = self._exchange_chunk(orig, batch,
+                                                  batched=True)
+            chunk, payload = batch[0]
         else:
             batch = None
             chunk = self.mc.serve_chunk(orig)
             payload = self.mc.payload_of(chunk)
             stats.miss_serve_host_s += perf_counter() - t0
-            seconds = self._exchange_chunk(orig, [(chunk, payload)],
-                                           batched=False)
+            seconds, pairs = self._exchange_chunk(
+                orig, [(chunk, payload)], batched=False)
+            chunk, payload = pairs[0]
         stats.miss_link_cycles += self._charge_link(seconds)
         self._charge(self.costs.mc_service_cycles)
         stats.miss_serve_cycles += self.costs.mc_service_cycles
@@ -322,7 +470,7 @@ class BaseCacheController:
                 block = TBlock(orig=orig, addr=addr, size=chunk.size,
                                orig_size=chunk.orig_size,
                                extra_words=chunk.extra_words,
-                               name=chunk.name)
+                               name=chunk.name, epoch=self._epoch)
                 self._install(block, chunk, payload)
                 self.tcache.commit(block)
                 self._policy.on_install(block, prefetched=False)
@@ -364,7 +512,7 @@ class BaseCacheController:
     # -- miss exchange / degraded resident mode ---------------------------
 
     def _exchange_chunk(self, orig: int, pairs, *,
-                        batched: bool) -> float:
+                        batched: bool) -> tuple[float, list]:
         """One chunk RPC (single or batched reply), fault-aware.
 
         *pairs* is ``[(chunk, payload), ...]``, demanded chunk first.
@@ -372,6 +520,12 @@ class BaseCacheController:
         faults installed the reply payloads and their header checksums
         are staged first (so corruption is detected on real bytes), and
         an exhausted retry budget drops into degraded resident mode.
+
+        Returns ``(link seconds, delivered pairs)``.  The delivered
+        pairs are what the caller must install: an outage replay
+        re-serves them, and when a publish lands mid-outage the fresh
+        pairs belong to the epoch the client crossed to — installing
+        the pre-outage capture would be a torn version.
         """
         sizes = [c.payload_bytes for c, _ in pairs]
         if self._stager is not None:
@@ -379,13 +533,14 @@ class BaseCacheController:
             self._stager([(p, mc.checksum_of(c)) for c, p in pairs])
         try:
             if batched:
-                return self.channel.batch_exchange("chunk", sizes)
-            return self.channel.exchange("chunk", sizes[0])
+                return self.channel.batch_exchange("chunk", sizes), pairs
+            return self.channel.exchange("chunk", sizes[0]), pairs
         except LinkDown as down:
-            return down.seconds + self._replay_after_reconnect(
-                orig, batched)
+            seconds, pairs = self._replay_after_reconnect(orig, batched)
+            return down.seconds + seconds, pairs
 
-    def _replay_after_reconnect(self, orig: int, batched: bool) -> float:
+    def _replay_after_reconnect(self, orig: int,
+                                batched: bool) -> tuple[float, list]:
         """Degraded resident mode: the link is down mid-miss.
 
         Resident chunks would keep executing — it is only this miss
@@ -396,7 +551,8 @@ class BaseCacheController:
         replayed — re-served by the MC (which may have crash-restarted;
         rewriting is deterministic, so the replayed chunks are
         byte-identical) and re-exchanged until it lands.  Returns the
-        link seconds of the replay attempts.
+        link seconds of the replay attempts and the pairs the last,
+        successful exchange actually delivered.
         """
         stats = self.stats
         stats.link_down_traps += 1
@@ -404,6 +560,7 @@ class BaseCacheController:
             stats.link_down_by_chunk.get(orig, 0) + 1
         stats.degraded_entries += 1
         self.pending_misses.append(orig)
+        self.pending_miss_epochs[orig] = self._epoch
         trc = self.tracer
         if trc is not None:
             trc.emit("cc.degraded_enter", "cc", orig=orig,
@@ -418,6 +575,11 @@ class BaseCacheController:
             self._charge(cycles)
             stats.degraded_stall_cycles += cycles
             stall_cycles += cycles
+            # a publish (or an MC crash-restart rolling one back) may
+            # have landed during the outage: cross the barrier before
+            # re-serving, so the replay resolves to exactly one
+            # version — the one this client is at when it installs
+            self._sync_epoch()
             if self.debug_poison:
                 from .debug import check_consistency
                 check_consistency(self)
@@ -442,11 +604,12 @@ class BaseCacheController:
                 seconds += down.seconds
                 continue
             self.pending_misses.remove(orig)
+            self.pending_miss_epochs.pop(orig, None)
             stats.pending_miss_replays += 1
             if trc is not None:
                 trc.emit("cc.degraded_exit", "cc", orig=orig,
                          stall_cycles=stall_cycles)
-            return seconds
+            return seconds, pairs
         raise SoftCacheError(
             f"miss on {orig:#x} never delivered across 1000 reconnect "
             f"epochs; the fault plan cannot make progress")
@@ -482,7 +645,8 @@ class BaseCacheController:
         block = TBlock(orig=chunk.orig, addr=addr, size=chunk.size,
                        orig_size=chunk.orig_size,
                        extra_words=chunk.extra_words,
-                       name=chunk.name, prefetched=True)
+                       name=chunk.name, prefetched=True,
+                       epoch=self._epoch)
         self._install(block, chunk, payload)
         self.tcache.commit(block)
         self._policy.on_install(block, prefetched=True)
@@ -535,15 +699,19 @@ class BaseCacheController:
             raise SoftCacheError(
                 f"{orig:#x} is already resident unpinned; pin before "
                 f"running")
+        self._sync_epoch()
         chunk = self.mc.serve_chunk(orig)
-        self._charge_link(self._exchange_chunk(
-            orig, [(chunk, self.mc.payload_of(chunk))], batched=False))
+        seconds, pairs = self._exchange_chunk(
+            orig, [(chunk, self.mc.payload_of(chunk))], batched=False)
+        chunk, payload = pairs[0]
+        self._charge_link(seconds)
         self._charge(self.costs.mc_service_cycles)
         addr = self.tcache.place_pinned(chunk.size)
         block = TBlock(orig=orig, addr=addr, size=chunk.size,
                        orig_size=chunk.orig_size,
-                       extra_words=chunk.extra_words, name=chunk.name)
-        self._install(block, chunk, self.mc.payload_of(chunk))
+                       extra_words=chunk.extra_words, name=chunk.name,
+                       epoch=self._epoch)
+        self._install(block, chunk, payload)
         self.tcache.commit_pinned(block)
         self.stats.translations += 1
         self.stats.words_installed += len(chunk.words)
@@ -665,6 +833,8 @@ class BaseCacheController:
             return self.admin_set(**args)
         if verb == "resize":
             return self.admin_resize(**args)
+        if verb == "publish":
+            return self.admin_publish(**args)
         raise ValueError(f"unknown admin verb {verb!r}")
 
     def admin_flush(self) -> dict:
@@ -710,6 +880,20 @@ class BaseCacheController:
         if len(applied) == 1:
             raise ValueError("admin set: no knob given")
         return applied
+
+    def admin_publish(self, *, image: str) -> dict:
+        """Hot-patch: load an image file and publish it to this
+        client's MC.  The epoch bump is observed at this very miss
+        boundary (``_sync_epoch`` runs right after the admin drain),
+        so the update barrier crosses before the miss is served."""
+        from .update import image_digest, load_image
+        try:
+            new_image = load_image(image)
+        except OSError as exc:
+            raise ValueError(str(exc)) from None
+        epoch = self.mc.publish(new_image)
+        return {"verb": "publish", "epoch": epoch,
+                "digest": image_digest(new_image)}
 
     def admin_resize(self, *, tcache_size: int) -> dict:
         """Resize the effective block area within the boot geometry.
@@ -874,7 +1058,7 @@ class BlockCacheController(BaseCacheController):
         slot_addr = self._alloc_stub_slot()
         stub_id = self._stub_ids.alloc()
         stub = Stub(stub_id, slot_addr, orig_target, site_addr,
-                    site_kind, src)
+                    site_kind, src, epoch=self._epoch)
         self.stubs[stub_id] = stub
         self.mem.write_word(slot_addr,
                             _trap_word(Trap.MISS_BRANCH, stub_id))

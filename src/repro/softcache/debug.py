@@ -130,6 +130,55 @@ def check_consistency(cc: BaseCacheController) -> int:
     if pending is not None:
         checked += 1
 
+    # live code update: the torn-version invariant.  The resident set
+    # (pinned included) and the stub table must belong to exactly one
+    # epoch — the one the controller observes — and a parked miss may
+    # only be pending against an epoch its MC can still serve.  A
+    # superblock is fused from tcache words of resident blocks, so a
+    # single-epoch resident set also guarantees no superblock ever
+    # fuses code from two epochs; the span check below enforces it
+    # directly for every live decoded block.
+    cc_epoch = getattr(cc, "_epoch", 0)
+    epochs = {b.epoch for b in resident}
+    if len(epochs) > 1:
+        raise ConsistencyError(
+            f"resident set mixes image epochs {sorted(epochs)}")
+    if epochs and epochs != {cc_epoch}:
+        raise ConsistencyError(
+            f"resident blocks at epoch {epochs.pop()} but the "
+            f"controller observes epoch {cc_epoch}")
+    stub_table = getattr(cc, "stubs", None)
+    if stub_table:
+        bad = {s.epoch for s in stub_table.values()} - {cc_epoch}
+        if bad:
+            raise ConsistencyError(
+                f"stubs at epochs {sorted(bad)} but the controller "
+                f"observes epoch {cc_epoch}")
+    servable = getattr(cc.mc, "epoch_servable", None)
+    if servable is not None:
+        miss_epochs = getattr(cc, "pending_miss_epochs", {})
+        for orig in (pending or ()):
+            epoch = miss_epochs.get(orig, cc_epoch)
+            if not servable(epoch):
+                raise ConsistencyError(
+                    f"pending miss {orig:#x} parked against retired "
+                    f"epoch {epoch}")
+    span_map = getattr(cc.cpu, "_block_span", None)
+    if span_map:
+        in_range = tcache.in_tcache_range
+        containing = tcache.block_containing
+        for start, end in list(span_map.items()):
+            if not in_range(start):
+                continue
+            first = containing(start)
+            last = containing(end - 4)
+            if first is not None and last is not None and \
+                    first.epoch != last.epoch:
+                raise ConsistencyError(
+                    f"superblock [{start:#x},{end:#x}) fuses code "
+                    f"from epochs {first.epoch} and {last.epoch}")
+    checked += 1
+
     # replacement-policy metadata must only reference resident blocks
     policy = getattr(cc, "_policy", None)
     if policy is not None:
@@ -164,6 +213,30 @@ def architectural_state(system) -> str:
     for value in cpu.regs:
         h.update(int(value).to_bytes(8, "little", signed=True))
     h.update(int(cpu.pc).to_bytes(8, "little", signed=True))
+    exit_code = cpu.exit_code if cpu.exit_code is not None else -1
+    h.update(int(exit_code).to_bytes(8, "little", signed=True))
+    h.update(system.machine.output_text.encode())
+    return h.hexdigest()
+
+
+def observable_state(system) -> str:
+    """SHA-256 digest of what the program (and its operator) can
+    observe across a *live code update*: the text mirror, the
+    data/bss/heap bytes, the exit code and the console output.
+
+    :func:`architectural_state` additionally hashes local RAM, the
+    stack, registers and pc — all of which legitimately differ between
+    a client hot-patched mid-run and a clean run of the new image
+    (different tcache placements, different return-address values).
+    The update differential therefore pins this digest: a code update
+    may only change *code*, never the data the program computed.
+    """
+    h = hashlib.sha256()
+    for region in system.machine.mem.regions:
+        if region.name in ("text", "data"):
+            h.update(region.name.encode())
+            h.update(bytes(region.buf))
+    cpu = system.machine.cpu
     exit_code = cpu.exit_code if cpu.exit_code is not None else -1
     h.update(int(exit_code).to_bytes(8, "little", signed=True))
     h.update(system.machine.output_text.encode())

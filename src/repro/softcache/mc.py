@@ -38,6 +38,7 @@ from .chunks import (
     EBBChunker,
     ProcedureChunker,
 )
+from .update import image_digest
 
 
 @dataclass
@@ -61,23 +62,76 @@ class MCStats:
     #: Crash-restart epochs survived (fault injection): each one wipes
     #: the server-side chunk/payload caches and the successor graph.
     restarts: int = 0
+    #: Image epochs published (live code update).
+    publishes: int = 0
+    #: Publishes that were idempotent no-ops (same content digest).
+    publish_noops: int = 0
+    #: Non-durable epochs rolled back by a crash-restart.
+    publish_rollbacks: int = 0
+    #: Requests resolved against a retired epoch (a client whose
+    #: update gate has not opened yet, see UpdateSchedule).
+    stale_serves: int = 0
+
+
+@dataclass(frozen=True)
+class ImageVersion:
+    """One published image epoch."""
+
+    epoch: int
+    image: Image
+    digest: str
+    durable: bool = True
+    #: Word-aligned ``[start, end)`` original-address spans whose text
+    #: differs from the *previous* epoch; empty for the boot epoch.
+    dirty_spans: tuple[tuple[int, int], ...] = ()
+
+    @property
+    def dirty_bytes(self) -> int:
+        return sum(end - start for start, end in self.dirty_spans)
+
+
+def _text_dirty_spans(old: Image,
+                      new: Image) -> tuple[tuple[int, int], ...]:
+    """Coalesced word spans where the two texts differ."""
+    spans: list[list[int]] = []
+    old_t, new_t, base = old.text, new.text, new.text_base
+    for off in range(0, len(new_t), 4):
+        if old_t[off:off + 4] != new_t[off:off + 4]:
+            addr = base + off
+            if spans and spans[-1][1] == addr:
+                spans[-1][1] = addr + 4
+            else:
+                spans.append([addr, addr + 4])
+    return tuple((s, e) for s, e in spans)
 
 
 class MemoryController:
     """Server-side miss service: chunking + dynamic binary rewriting."""
 
     def __init__(self, image: Image, granularity: str = "block",
-                 ebb_limit: int = 8):
-        if granularity == "block":
-            self.chunker = BasicBlockChunker(image)
-        elif granularity == "ebb":
-            self.chunker = EBBChunker(image, limit=ebb_limit)
-        elif granularity == "proc":
-            self.chunker = ProcedureChunker(image)
-        else:
-            raise ValueError(f"unknown granularity {granularity!r}")
+                 ebb_limit: int = 8, group: str = "default"):
+        self.chunker = self._make_chunker(image, granularity, ebb_limit)
         self.image = image
         self.granularity = granularity
+        self.ebb_limit = ebb_limit
+        #: Tenant label: one MC/hub tier can serve several image
+        #: groups; hub entries are keyed by (group, epoch, chunk).
+        self.group = group
+        #: Current image epoch; bumped by :meth:`publish`.
+        self.epoch = 0
+        #: Content digest of the current image (idempotence identity).
+        self.image_digest = image_digest(image)
+        self._versions: dict[int, ImageVersion] = {
+            0: ImageVersion(0, image, self.image_digest, True, ())}
+        #: Epoch the requesting client still runs at (reply resolution
+        #: happens at ``min`` semantics client-side; ``None`` = current).
+        #: Set by the CC before each serve; survives the probe/hub
+        #: wrappers because it is attribute state on this object.
+        self.client_epoch: int | None = None
+        #: Epoch the last serve actually resolved against (the reply
+        #: header's version tag; payload/checksum lookups follow it).
+        self.last_served_epoch = 0
+        self._stale_mc: dict[int, "MemoryController"] = {}
         self.stats = MCStats()
         #: Flight recorder (repro.obs), attached by the system; the
         #: fleet rebinds it per simulated client (runs are sequential).
@@ -98,6 +152,156 @@ class MemoryController:
         #: Optional data-access rewriter (full-system mode, §3).
         self.data_rewriter = None
 
+    @staticmethod
+    def _make_chunker(image: Image, granularity: str, ebb_limit: int):
+        if granularity == "block":
+            return BasicBlockChunker(image)
+        if granularity == "ebb":
+            return EBBChunker(image, limit=ebb_limit)
+        if granularity == "proc":
+            return ProcedureChunker(image)
+        raise ValueError(f"unknown granularity {granularity!r}")
+
+    # -- live code update ---------------------------------------------
+
+    def knows_image(self, image: Image) -> bool:
+        """True if *image* is some published version of this MC's
+        program (identity or content match) — the shared-MC sanity
+        check a client system runs at boot."""
+        if image is self.image:
+            return True
+        digest = image_digest(image)
+        return any(v.digest == digest for v in self._versions.values())
+
+    def publish(self, new_image: Image, *, durable: bool = True) -> int:
+        """Publish a new image epoch; returns the (possibly unchanged)
+        current epoch.
+
+        Idempotent by content digest: republishing the image already
+        current is a no-op, so any number of per-client update
+        schedules can assert the same publish against a shared MC.
+        The update is a *hot patch*: layout must be preserved (same
+        text base/size, data segment, entry point) because resident
+        stubs and continuations hold original addresses.  A
+        non-durable publish is rolled back by :meth:`restart` to the
+        latest durable epoch.
+        """
+        digest = image_digest(new_image)
+        if digest == self.image_digest:
+            self.stats.publish_noops += 1
+            return self.epoch
+        old = self.image
+        if (new_image.text_base != old.text_base
+                or len(new_image.text) != len(old.text)
+                or new_image.data_base != old.data_base
+                or new_image.data != old.data
+                or new_image.bss_size != old.bss_size
+                or new_image.entry != old.entry):
+            raise ValueError(
+                "publish requires a layout-preserving image: same text "
+                "base/size, data segment, bss size and entry point")
+        spans = _text_dirty_spans(old, new_image)
+        self.epoch += 1
+        version = ImageVersion(self.epoch, new_image, digest,
+                               durable, spans)
+        self._versions[self.epoch] = version
+        self.image = new_image
+        self.image_digest = digest
+        self.chunker = self._make_chunker(new_image, self.granularity,
+                                          self.ebb_limit)
+        self._chunk_cache.clear()
+        self._payload_cache.clear()
+        self._checksum_cache.clear()
+        self._successors.clear()
+        self._unchunkable.clear()
+        self.stats.publishes += 1
+        if self.tracer is not None:
+            self.tracer.emit("mc.publish", "mc", epoch=self.epoch,
+                             digest=digest[:12],
+                             dirty_chunks=len(spans),
+                             dirty_bytes=version.dirty_bytes,
+                             durable=durable)
+        return self.epoch
+
+    def dirty_spans_between(self, a: int,
+                            b: int) -> tuple[tuple[int, int], ...]:
+        """Union of text spans that changed between epochs *a* and *b*
+        (order-independent).  Falls back to the whole text segment if
+        an intermediate version is no longer known (rolled back), so
+        invalidation is conservative, never incomplete."""
+        lo, hi = (a, b) if a <= b else (b, a)
+        spans: list[tuple[int, int]] = []
+        for epoch in range(lo + 1, hi + 1):
+            version = self._versions.get(epoch)
+            if version is None:
+                img = self.image
+                return ((img.text_base, img.text_end),)
+            spans.extend(version.dirty_spans)
+        return tuple(spans)
+
+    def image_at(self, epoch: int) -> Image:
+        """The image of a retained epoch (the update barrier patches
+        the client text mirror from it)."""
+        version = self._versions.get(epoch)
+        if version is None:
+            raise ChunkError(f"epoch {epoch} is not servable (retired)")
+        return version.image
+
+    def epoch_of_digest(self, digest: str) -> int | None:
+        """Latest retained epoch whose image has *digest*, or None.
+
+        Update schedules check this before publishing: on a shared MC
+        a lagging client asserting a version some other client already
+        published must *observe* that epoch, not re-publish it (which
+        would roll the whole fleet back to the old image).
+        """
+        found = None
+        for epoch, version in self._versions.items():
+            if version.digest == digest and (found is None
+                                             or epoch > found):
+                found = epoch
+        return found
+
+    def epoch_servable(self, epoch: int) -> bool:
+        """Can a request pinned at *epoch* still be resolved?"""
+        return epoch == self.epoch or epoch in self._versions
+
+    def version_info(self) -> dict:
+        """Version store snapshot (``/inspect/images``)."""
+        return {
+            "group": self.group,
+            "epoch": self.epoch,
+            "image": self.image.name,
+            "digest": self.image_digest,
+            "versions": [
+                {"epoch": v.epoch, "image": v.image.name,
+                 "digest": v.digest, "durable": v.durable,
+                 "dirty_spans": len(v.dirty_spans),
+                 "dirty_bytes": v.dirty_bytes}
+                for _, v in sorted(self._versions.items())],
+        }
+
+    def _stale_for_client(self) -> "MemoryController | None":
+        """The serving MC for the requesting client's epoch: ``None``
+        when the client is current (hot path), else a lazily built
+        server over the retained older version."""
+        epoch = self.client_epoch
+        if epoch is None or epoch == self.epoch:
+            self.last_served_epoch = self.epoch
+            return None
+        self.last_served_epoch = epoch
+        server = self._stale_mc.get(epoch)
+        if server is None:
+            version = self._versions.get(epoch)
+            if version is None:
+                raise ChunkError(
+                    f"epoch {epoch} is not servable (retired)")
+            server = MemoryController(version.image, self.granularity,
+                                      self.ebb_limit, group=self.group)
+            server.data_rewriter = self.data_rewriter
+            self._stale_mc[epoch] = server
+        return server
+
     # -- chunk production ---------------------------------------------
 
     def _obtain(self, orig_addr: int) -> Chunk:
@@ -117,7 +321,11 @@ class MemoryController:
         return chunk
 
     def payload_of(self, chunk: Chunk) -> bytes:
-        """The chunk's pre-encoded body bytes (cached server-side)."""
+        """The chunk's pre-encoded body bytes (cached server-side,
+        resolved at the epoch of the last serve)."""
+        if self.last_served_epoch != self.epoch:
+            return self._stale_mc[self.last_served_epoch].payload_of(
+                chunk)
         payload = self._payload_cache.get(chunk.orig)
         if payload is None:
             payload = b"".join(
@@ -128,6 +336,9 @@ class MemoryController:
     def checksum_of(self, chunk: Chunk) -> int:
         """The integrity word the reply header carries for *chunk*:
         CRC32 over the pre-encoded payload, cached server-side."""
+        if self.last_served_epoch != self.epoch:
+            return self._stale_mc[self.last_served_epoch].checksum_of(
+                chunk)
         checksum = self._checksum_cache.get(chunk.orig)
         if checksum is None:
             from ..net.faults import chunk_checksum
@@ -147,6 +358,13 @@ class MemoryController:
 
     def serve_chunk(self, orig_addr: int) -> Chunk:
         """Service one instruction miss: return the rewritten chunk."""
+        stale = self._stale_for_client()
+        if stale is not None:
+            chunk = stale.serve_chunk(orig_addr)
+            self.stats.requests += 1
+            self.stats.stale_serves += 1
+            self.stats.bytes_served += chunk.payload_bytes
+            return chunk
         self.stats.requests += 1
         cached = orig_addr in self._chunk_cache
         chunk = self._obtain(orig_addr)
@@ -169,6 +387,16 @@ class MemoryController:
         *is_resident* reports the client already holds.  With
         ``depth == 0`` the reply is exactly ``serve_chunk``'s.
         """
+        stale = self._stale_for_client()
+        if stale is not None:
+            batch = stale.serve_batch(orig_addr, depth, is_resident)
+            st = self.stats
+            st.requests += 1
+            st.stale_serves += 1
+            st.bytes_served += sum(len(p) for _, p in batch)
+            if depth > 0:
+                st.batch_requests += 1
+            return batch
         demand = self.serve_chunk(orig_addr)
         batch = [(demand, self.payload_of(demand))]
         if depth <= 0:
@@ -216,6 +444,13 @@ class MemoryController:
         its owning shard while keeping the walk logic in one place.
         Raises :class:`ChunkError` if the address cannot be chunked.
         """
+        stale = self._stale_for_client()
+        if stale is not None:
+            chunk, payload = stale.prefetch_one(addr)
+            self.stats.prefetch_chunks_sent += 1
+            self.stats.prefetch_bytes_served += chunk.payload_bytes
+            self.stats.bytes_served += chunk.payload_bytes
+            return chunk, payload
         chunk = self._obtain(addr)
         payload = self.payload_of(chunk)
         self.stats.prefetch_chunks_sent += 1
@@ -266,18 +501,37 @@ class MemoryController:
             self._checksum_cache.pop(orig, None)
             self._successors.pop(orig, None)
         self._unchunkable.clear()
+        for server in self._stale_mc.values():
+            server.invalidate_chunks(addr, length)
         return len(stale)
 
     def restart(self) -> None:
         """Simulate an MC crash-restart (fault injection).
 
-        The program image is durable but every server-side cache comes
-        back cold: chunks, payloads, checksums, the successor graph
-        and the unchunkable set are all rebuilt on demand.  Rewriting
-        is deterministic, so the rebuilt chunks are byte-identical —
-        the client only pays extra service time, never sees different
-        code.
+        Durable image versions survive but every server-side cache
+        comes back cold: chunks, payloads, checksums, the successor
+        graph and the unchunkable set are all rebuilt on demand.
+        Rewriting is deterministic, so the rebuilt chunks are
+        byte-identical — the client only pays extra service time,
+        never sees different code.  Non-durable published epochs are
+        rolled back: the MC comes back serving its latest *durable*
+        epoch (clients above it re-assert their schedules or barrier
+        back down).
         """
+        dropped = [e for e, v in self._versions.items()
+                   if not v.durable]
+        for epoch in dropped:
+            del self._versions[epoch]
+        latest = max(self._versions)
+        if latest != self.epoch:
+            version = self._versions[latest]
+            self.epoch = latest
+            self.image = version.image
+            self.image_digest = version.digest
+            self.chunker = self._make_chunker(
+                version.image, self.granularity, self.ebb_limit)
+            self.stats.publish_rollbacks += 1
+        self._stale_mc.clear()
         self._chunk_cache.clear()
         self._payload_cache.clear()
         self._checksum_cache.clear()

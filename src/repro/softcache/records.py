@@ -84,6 +84,10 @@ class TBlock:
     #: yet entered; cleared on first demand hit, counted as wasted
     #: prefetch if still set at eviction time.
     prefetched: bool = False
+    #: Image epoch whose text this block was translated from (live
+    #: code update).  The epoch audit in ``check_consistency`` rejects
+    #: a resident set that mixes epochs — the torn-version invariant.
+    epoch: int = 0
     #: Links whose *site* lies inside this block.
     outgoing: LinkIndex = field(default_factory=LinkIndex)
     #: Links whose *target* lies inside this block (the eviction-time
@@ -140,6 +144,10 @@ class Stub:
     site_kind: SiteKind
     src: TBlock | None
     live: bool = True
+    #: Image epoch current when the stub was created (re-stamped by
+    #: the update barrier: a stub targets an original address, so it
+    #: stays valid across epochs once re-stamped).
+    epoch: int = 0
 
 
 @dataclass(slots=True, eq=False)

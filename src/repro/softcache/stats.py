@@ -78,8 +78,23 @@ class SoftCacheStats:
     miss_patch_host_s: float = 0.0
 
     # -- ops plane ---------------------------------------------------------
-    #: Admin commands (flush/set/resize) applied at miss boundaries.
+    #: Admin commands (flush/set/resize/publish) applied at miss
+    #: boundaries.
     admin_commands: int = 0
+
+    # -- live code update --------------------------------------------------
+    #: Update barriers crossed (one per epoch change observed).
+    update_barriers: int = 0
+    #: Resident blocks invalidated by barriers (their original text
+    #: changed between the epochs).
+    update_invalidated_blocks: int = 0
+    #: Surviving blocks re-stamped to the new epoch — untouched hot
+    #: code that kept running (the laziness the barrier preserves).
+    update_restamped_blocks: int = 0
+    #: Prefetched-but-never-entered blocks dropped by barriers.
+    update_prefetch_dropped: int = 0
+    #: Client text-mirror words rewritten by barriers.
+    update_text_patched_words: int = 0
 
     # -- replacement policy ------------------------------------------------
     #: Prefetch candidates rejected by the policy at batch-assembly

@@ -85,6 +85,13 @@ class SoftCacheConfig:
     #: Retry behaviour under faults (:class:`repro.net.RetryPolicy`);
     #: None means the default policy.  Ignored without a fault plan.
     retry_policy: object | None = None
+    #: Live code update schedule: ``CYCLES:IMAGE`` spec strings (see
+    #: :func:`repro.softcache.update.parse_update_spec`).  Each system
+    #: builds its own :class:`~repro.softcache.update.UpdateSchedule`
+    #: from these, so one shared config drives a whole fleet (publishes
+    #: are idempotent by content digest on a shared MC).  Empty (the
+    #: default) adds nothing to any path.
+    update_at: tuple = ()
 
     def __post_init__(self):
         from .policy import ReplacementPolicy, validate_policy_name
@@ -133,7 +140,9 @@ class SoftCacheSystem:
             jit_threshold=config.jit_threshold,
         ))
         if shared_mc is not None:
-            if shared_mc.image is not image:
+            knows = getattr(shared_mc, "knows_image", None)
+            if not (knows(image) if knows is not None
+                    else shared_mc.image is image):
                 raise ValueError("shared MC serves a different image")
             if shared_mc.granularity != config.granularity:
                 raise ValueError("shared MC granularity mismatch")
@@ -200,6 +209,20 @@ class SoftCacheSystem:
             from ..net.faults import install_faults
             self.faults = install_faults(self, config.fault_plan,
                                          config.retry_policy)
+        #: Live code update schedule driving mid-run publishes, or None.
+        self.update_schedule = None
+        if config.update_at:
+            from .update import UpdateSchedule
+            self.update_schedule = UpdateSchedule.from_specs(
+                config.update_at, image)
+            self.cc.set_update_schedule(self.update_schedule)
+        # softcache-mode tcache words are content enough for JIT
+        # artifact identity, but the *image* digest namespaces the
+        # persistent store so a republished image can never resurrect
+        # a pre-update artifact
+        if hasattr(self.machine.cpu, "image_tag"):
+            from .update import image_digest
+            self.machine.cpu.image_tag = image_digest(image)[:8]
 
     @staticmethod
     def _geometry(image: Image, config: SoftCacheConfig) -> TCacheGeometry:
@@ -248,6 +271,13 @@ class SoftCacheSystem:
         finally:
             if self.dcache is not None:
                 self.dcache.finalize()
+        if self.update_schedule is not None:
+            # quiescent sync: a device drains its update queue when
+            # the program exits, so end-of-run state reflects every
+            # publish that was due — the convergence differential must
+            # not depend on whether a miss happened to occur after the
+            # last publish point
+            self.cc._sync_epoch()
         cpu = self.machine.cpu
         if self.recorder is not None:
             self.publish_metrics()
@@ -310,6 +340,7 @@ class SoftCacheSystem:
                 "heat": heat,
             },
             "superblocks": self.machine.cpu.superblock_census(),
+            "images": self._inspect_images(),
             "stats": {
                 "translations": stats.translations,
                 "evictions": stats.evictions,
@@ -320,6 +351,19 @@ class SoftCacheSystem:
                 "cycles": self.machine.cpu.cycles,
             },
         }
+
+    def _inspect_images(self) -> dict:
+        """``/inspect/images``: the MC's version store plus this
+        client's update progress (epoch observed, barriers crossed)."""
+        info = getattr(self.mc, "version_info", lambda: {})()
+        stats = self.cc.stats
+        info["client_epoch"] = self.cc._epoch
+        info["converged"] = self.cc._epoch == getattr(self.mc,
+                                                      "epoch", 0)
+        info["update_barriers"] = stats.update_barriers
+        info["invalidated_blocks"] = stats.update_invalidated_blocks
+        info["restamped_blocks"] = stats.update_restamped_blocks
+        return info
 
     def publish_metrics(self, registry=None) -> None:
         """Mirror every layer's stats dataclass into a metrics
@@ -341,6 +385,22 @@ class SoftCacheSystem:
         cpu = self.machine.cpu
         registry.gauge("sim.instructions").set(cpu.icount)
         registry.gauge("sim.cycles").set(cpu.cycles)
+        st = self.cc.stats
+        for name, value in (
+                ("update.barriers", st.update_barriers),
+                ("update.invalidated_blocks",
+                 st.update_invalidated_blocks),
+                ("update.restamped_blocks", st.update_restamped_blocks),
+                ("update.prefetch_dropped", st.update_prefetch_dropped),
+                ("update.text_patched_words",
+                 st.update_text_patched_words),
+                ("update.publishes", self.mc.stats.publishes),
+                ("update.stale_serves", self.mc.stats.stale_serves)):
+            counter = registry.counter(name)
+            counter.inc(value - counter.value)
+        registry.gauge("update.epoch").set(self.cc._epoch)
+        registry.gauge("update.mc_epoch").set(
+            getattr(self.mc, "epoch", 0))
 
     # -- reporting --------------------------------------------------------
 

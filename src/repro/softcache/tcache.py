@@ -239,6 +239,31 @@ class TCache:
             self._wrapped = False
         return block
 
+    def retire(self, block: TBlock) -> TBlock:
+        """Remove one *specific* resident block (update-barrier
+        invalidation; caller unlinks).
+
+        The oldest block retires exactly like :meth:`retire_oldest`;
+        a mid-FIFO block leaves a hole that is reclaimed when the head
+        sweeps past it — conservative but safe, since the free-space
+        accounting never counts holes as allocatable.
+        """
+        if self.order and self.order[0] is block:
+            return self.retire_oldest()
+        try:
+            self.order.remove(block)
+        except ValueError:
+            raise KeyError(f"block for {block.orig:#x} is not in the "
+                           f"eviction order") from None
+        if self.map.get(block.orig) is block:
+            del self.map[block.orig]
+        block.alive = False
+        if not self.order:
+            self._head = self._tail = self.geom.base
+            self._wrap_gap_start = None
+            self._wrapped = False
+        return block
+
     def retire_all(self) -> list[TBlock]:
         """Flush: drop every resident block (caller fixes pointers)."""
         blocks = list(self.order)

@@ -1,0 +1,296 @@
+"""Live code update: versioned images and epoch-based invalidation.
+
+The paper's MC serves one immutable rewritten image per run; a fielded
+fleet needs to patch code without rebooting.  This module supplies the
+version plumbing around :class:`~repro.softcache.mc.MemoryController`:
+
+* :func:`image_digest` — the content identity of an image.  Publishing
+  is idempotent by digest, so any number of per-client update schedules
+  can re-assert the same image against a shared MC and the epoch bumps
+  exactly once.
+* :func:`derive_patched_image` — a *behaviorally equivalent* variant of
+  an image (layout-preserving swaps of adjacent independent ALU pairs
+  inside basic blocks).  Equivalent-but-different-bytes images are what
+  make the update differential exact: a client hot-patched mid-run must
+  converge to a state digest-identical to a clean run of the new image,
+  which is only decidable when old and new code compute the same thing.
+* :func:`save_image` / :func:`load_image` — the on-disk form behind
+  ``repro admin publish --image`` and ``--update-at CYCLES:@PATH``.
+* :class:`UpdateSchedule` — per-client publish points in local cycles.
+  The schedule also *gates* the observed epoch: until this client's
+  clock reaches a publish point, replies resolve against the older
+  version (the MC retains retired epochs), which is exactly the rollout
+  wavefront of a staggered fleet — the MC flipped at wall time T, each
+  client first notices at its first miss after T.
+
+See docs/UPDATES.md for the epoch model and barrier semantics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from dataclasses import dataclass, field
+
+from ..asm.image import Image
+from ..cfg.graph import build_cfg
+from ..isa import Fmt, decode
+from ..isa.registers import ZERO
+
+
+def image_digest(image: Image) -> str:
+    """Content identity of an image (hex, 32 chars).
+
+    Covers everything a client's behaviour can depend on: segment
+    bases, entry point, text, data and bss size.  Symbol tables are
+    excluded — they are debug metadata, not behaviour.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(f"{image.text_base}|{image.data_base}|{image.entry}|"
+             f"{image.bss_size}|".encode())
+    h.update(image.text)
+    h.update(b"|")
+    h.update(image.data)
+    return h.hexdigest()
+
+
+# -- behaviorally equivalent patches ----------------------------------
+
+#: Pure register-to-register / register-immediate ALU opcodes: no
+#: memory, no control flow, no traps.  Two adjacent independent ones
+#: commute exactly (same final registers, same total instructions and
+#: cycles), so swapping them is a semantics-preserving binary patch.
+_PURE_ALU = frozenset((
+    "ADD", "SUB", "AND", "OR", "XOR", "NOR", "SLT", "SLTU",
+    "SLL", "SRL", "SRA", "MUL", "DIV", "REM",
+    "ADDI", "ANDI", "ORI", "XORI", "SLTI", "SLTIU", "SLLI",
+    "SRLI", "SRAI", "LUI",
+))
+
+
+def _alu_defs_uses(insn) -> tuple[int, set[int]] | None:
+    """``(defined reg, used regs)`` of a pure ALU insn, else None."""
+    if insn.op.name not in _PURE_ALU:
+        return None
+    fmt = insn.fmt
+    if fmt is Fmt.R:
+        return insn.rd, {insn.rs1, insn.rs2}
+    if fmt is Fmt.I:
+        if insn.op.name == "LUI":
+            return insn.rd, set()
+        return insn.rd, {insn.rs1}
+    return None
+
+
+def swap_sites(image: Image, max_sites: int | None = None) -> list[int]:
+    """Addresses ``a`` where the words at ``a`` and ``a + 4`` are
+    adjacent independent pure-ALU instructions strictly inside one
+    basic block (``a + 4`` is not a branch/jump/indirect target or
+    procedure entry), so swapping them preserves behaviour."""
+    cfg = build_cfg(image)
+    entries = set(cfg.blocks)
+    entries.update(cfg.indirect_targets)
+    entries.update(image.symbols.values())
+    entries.update(p.addr for p in image.procs)
+    entries.add(image.entry)
+    sites: list[int] = []
+    for block in cfg.blocks.values():
+        addr = block.addr
+        while addr + 4 < block.end:
+            nxt = addr + 4
+            if nxt in entries:
+                addr += 4
+                continue
+            try:
+                a = decode(image.word_at(addr))
+                b = decode(image.word_at(nxt))
+            except Exception:
+                addr += 4
+                continue
+            da, db = _alu_defs_uses(a), _alu_defs_uses(b)
+            if (da is not None and db is not None
+                    and da[0] != db[0]
+                    and da[0] not in db[1] and db[0] not in da[1]
+                    and da[0] != ZERO and db[0] != ZERO):
+                sites.append(addr)
+                addr += 8  # sites never overlap
+                if max_sites is not None and len(sites) >= max_sites:
+                    return sites
+                continue
+            addr += 4
+    return sorted(set(sites))
+
+
+def derive_patched_image(image: Image, seed: int = 1,
+                         max_swaps: int = 12) -> Image:
+    """A behaviorally equivalent image with different text bytes.
+
+    Deterministically (by *seed*) picks up to *max_swaps* independent
+    adjacent ALU pairs and swaps each pair's two words.  The layout is
+    untouched — same bases, sizes, entry, symbols — which is also the
+    hot-patch contract :meth:`MemoryController.publish` enforces
+    (resident stubs and continuations hold original addresses).
+
+    Raises ValueError when the image has no safe swap site (nothing to
+    patch would make the update differential vacuous).
+    """
+    sites = swap_sites(image)
+    if not sites:
+        raise ValueError(f"image {image.name!r} has no safe ALU swap "
+                         f"site to derive a patch from")
+    import random
+    rng = random.Random(seed)
+    chosen = sorted(rng.sample(sites, min(max_swaps, len(sites))))
+    text = bytearray(image.text)
+    for addr in chosen:
+        off = addr - image.text_base
+        text[off:off + 4], text[off + 4:off + 8] = \
+            text[off + 4:off + 8], text[off:off + 4]
+    return Image(
+        name=f"{image.name}+p{seed}", text=bytes(text), data=image.data,
+        bss_size=image.bss_size, entry=image.entry,
+        symbols=dict(image.symbols), procs=list(image.procs),
+        data_object_sizes=dict(image.data_object_sizes),
+        text_base=image.text_base, data_base=image.data_base)
+
+
+# -- on-disk images ----------------------------------------------------
+
+_IMAGE_MAGIC = b"repro-image-v1\n"
+
+
+def save_image(image: Image, path) -> None:
+    """Write *image* to *path* (``repro admin publish --image`` input)."""
+    with open(path, "wb") as fh:
+        fh.write(_IMAGE_MAGIC)
+        pickle.dump(image, fh, protocol=4)
+
+
+def load_image(path) -> Image:
+    """Read an image written by :func:`save_image` (trusted input)."""
+    with open(path, "rb") as fh:
+        magic = fh.read(len(_IMAGE_MAGIC))
+        if magic != _IMAGE_MAGIC:
+            raise ValueError(f"{path}: not a repro image file")
+        image = pickle.load(fh)
+    if not isinstance(image, Image):
+        raise ValueError(f"{path}: does not contain an Image")
+    return image
+
+
+# -- update schedules --------------------------------------------------
+
+@dataclass
+class UpdateEntry:
+    """One scheduled publish: at local cycle *at_cycles*, *image*."""
+
+    at_cycles: int
+    image: Image
+    digest: str = ""
+    #: Epoch the MC assigned when this entry was (last) published.
+    epoch: int | None = None
+    durable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.digest:
+            self.digest = image_digest(self.image)
+
+
+def parse_update_spec(spec: str, base_image: Image) -> UpdateEntry:
+    """Parse one ``--update-at`` cell: ``CYCLES:IMAGE``.
+
+    ``IMAGE`` is ``patch`` / ``patch:SEED`` (derive a behaviorally
+    equivalent image from *base_image*, see
+    :func:`derive_patched_image`) or ``@PATH`` (an image file written
+    by :func:`save_image`).  A leading ``~`` on IMAGE marks the publish
+    non-durable: an MC crash-restart rolls it back to the latest
+    durable epoch until the schedule re-asserts it.
+    """
+    cycles_s, sep, image_s = spec.partition(":")
+    if not sep or not image_s:
+        raise ValueError(f"bad --update-at spec {spec!r} "
+                         f"(expected CYCLES:IMAGE)")
+    at_cycles = int(cycles_s)
+    durable = True
+    if image_s.startswith("~"):
+        durable = False
+        image_s = image_s[1:]
+    if image_s.startswith("@"):
+        image = load_image(image_s[1:])
+    elif image_s == "patch" or image_s.startswith("patch:"):
+        _, _, seed_s = image_s.partition(":")
+        image = derive_patched_image(base_image,
+                                     seed=int(seed_s) if seed_s else 1)
+    else:
+        raise ValueError(f"bad --update-at image {image_s!r} "
+                         f"(expected patch[:SEED] or @PATH)")
+    return UpdateEntry(at_cycles=at_cycles, image=image, durable=durable)
+
+
+@dataclass
+class UpdateSchedule:
+    """Publish points in this client's local cycles, plus the epoch
+    gate that models when the MC's flip became visible to it."""
+
+    entries: list[UpdateEntry] = field(default_factory=list)
+    _next: int = 0
+    _cap: int = 0
+
+    @classmethod
+    def from_specs(cls, specs, base_image: Image) -> "UpdateSchedule":
+        entries = [parse_update_spec(s, base_image) for s in specs]
+        entries.sort(key=lambda e: e.at_cycles)
+        # chain patch derivations: each later entry patched a later
+        # build, so its digest must differ from every earlier one
+        seen = {image_digest(base_image)}
+        for e in entries:
+            if e.digest in seen:
+                raise ValueError(
+                    f"--update-at entry at {e.at_cycles} cycles "
+                    f"publishes an image identical to an earlier one")
+            seen.add(e.digest)
+        return cls(entries=entries)
+
+    def poll(self, cycles: int, mc) -> int:
+        """Publish every entry due at local *cycles* (idempotent on a
+        shared MC) and return the epoch cap for this client: replies
+        resolve at ``min(mc.epoch, cap)`` so a client never observes a
+        flip its own clock has not reached yet.  Re-asserts published
+        entries whose epoch an MC crash-restart rolled back."""
+        entries = self.entries
+        while self._next < len(entries) and \
+                entries[self._next].at_cycles <= cycles:
+            entry = entries[self._next]
+            entry.epoch = self._assert_published(entry, mc)
+            self._cap = entry.epoch
+            self._next += 1
+        if self._cap and mc.epoch < self._cap:
+            # the MC restarted and rolled back to its latest durable
+            # epoch: the update driver pushes the patches again
+            for entry in entries[:self._next]:
+                entry.epoch = self._assert_published(entry, mc)
+            self._cap = entries[self._next - 1].epoch
+        return self._cap
+
+    @staticmethod
+    def _assert_published(entry: UpdateEntry, mc) -> int:
+        """Make sure *entry*'s image is a published epoch and return
+        it.  If some other client of a shared MC already published
+        this digest, *observe* its epoch instead of re-publishing —
+        a lagging client must never roll the fleet's MC back."""
+        known = mc.epoch_of_digest(entry.digest)
+        if known is not None:
+            return known
+        return mc.publish(entry.image, durable=entry.durable)
+
+    @property
+    def exhausted(self) -> bool:
+        return self._next >= len(self.entries)
+
+    def copy(self) -> "UpdateSchedule":
+        """A fresh, unpolled schedule over the same entries (each
+        fleet client drives its own copy)."""
+        return UpdateSchedule(entries=[
+            UpdateEntry(at_cycles=e.at_cycles, image=e.image,
+                        digest=e.digest, durable=e.durable)
+            for e in self.entries])

@@ -53,7 +53,7 @@ def test_event_schema_golden():
     its argument keys must be a deliberate act (update this table, the
     EVENT_SCHEMA table and docs/OBSERVABILITY.md together, and bump
     TRACE_SCHEMA_VERSION on incompatible changes)."""
-    assert TRACE_SCHEMA_VERSION == 5
+    assert TRACE_SCHEMA_VERSION == 6
     assert EVENT_SCHEMA == {
         "cc.trap": ("kind", "id"),
         "cc.miss": ("orig", "name", "size", "batch"),
@@ -69,10 +69,15 @@ def test_event_schema_golden():
         "cc.policy_reject": ("orig", "policy"),
         "cc.policy_promote": ("orig", "touches"),
         "cc.policy_flush": ("resident", "protected"),
+        "cc.epoch_observed": ("epoch", "prev"),
+        "cc.update_barrier": ("epoch", "prev", "invalidated",
+                              "restamped", "dropped_prefetch"),
         "mc.rewrite": ("orig", "words", "exits"),
         "mc.serve": ("orig", "bytes", "cached"),
         "mc.batch": ("orig", "chunks", "prefetch_bytes"),
         "mc.restart": (),
+        "mc.publish": ("epoch", "digest", "dirty_chunks", "dirty_bytes",
+                       "durable"),
         "link.exchange": ("kind", "payload", "overhead", "seconds"),
         "link.batch": ("kind", "chunks", "payload", "seconds"),
         "link.send": ("kind", "payload", "seconds"),

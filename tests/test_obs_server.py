@@ -423,6 +423,98 @@ def _wait_for(predicate, timeout_s):
     return predicate()
 
 
+# -- live code update over the ops plane -----------------------------------
+
+def test_inspect_images_route(served_run):
+    server, system, _ = served_run
+    status, body = _get(server.url + "/inspect/images")
+    snap = json.loads(body)
+    assert status == 200
+    assert snap["epoch"] == 0
+    assert snap["group"] == "default"
+    assert len(snap["versions"]) == 1
+    assert snap["versions"][0]["digest"] == snap["digest"]
+
+
+def test_admin_publish_over_http(tmp_path):
+    """POST /admin/publish hot-patches a live run: the epoch bump is
+    taken at the next miss boundary and the run finishes on the new
+    image with the old image's observable behaviour."""
+    from repro.softcache.debug import check_consistency
+    from repro.softcache.update import (derive_patched_image,
+                                        image_digest, save_image)
+    image = build_workload("sensor", 0.05)
+    patched = derive_patched_image(image, seed=1)
+    path = tmp_path / "patched.img"
+    save_image(patched, path)
+
+    system = SoftCacheSystem(image, SoftCacheConfig(tcache_size=2048))
+    _run_partially(system)
+
+    with ObsServer("127.0.0.1", 0) as server:
+        server.attach_system(system)
+        status, body = _post(server.url + "/admin/publish?wait=0",
+                             {"image": str(path)})
+        assert status == 202
+        exit_code = system.machine.cpu.run(2_000_000_000)
+        assert exit_code == 0
+
+        status, body = _get(server.url + "/inspect/images")
+        snap = json.loads(body)
+        assert snap["epoch"] == 1
+        assert snap["digest"] == image_digest(patched)
+        assert len(snap["versions"]) == 2
+
+    assert system.stats.update_barriers == 1
+    assert system.cc._epoch == 1
+    assert check_consistency(system.cc) > 0
+
+
+def test_served_update_run_is_digest_identical_to_unserved():
+    """Cycle invisibility composes with live updates: a mid-run
+    publish scheduled by cycle count lands at the same simulated
+    boundary whether or not an ops server is scraping, so both runs
+    end observably identical (and here, architecturally too — the
+    schedule, not wall clock, drives the barrier)."""
+    image = build_workload("sensor", 0.05)
+    config = SoftCacheConfig(tcache_size=2048, debug_poison=True,
+                             update_at=("20000:patch",))
+
+    plain = SoftCacheSystem(image, config)
+    plain_report = plain.run()
+    want = architectural_state(plain)
+    assert plain.stats.update_barriers >= 1
+
+    served = SoftCacheSystem(image, config)
+    with ObsServer("127.0.0.1", 0) as server:
+        server.attach_system(served)
+        stop = threading.Event()
+        scrapes = []
+
+        def scraper():
+            while not stop.is_set():
+                for route in ("/metrics", "/inspect/images",
+                              "/inspect/tcache", "/healthz"):
+                    try:
+                        status, _ = _get(server.url + route, timeout=5)
+                        scrapes.append(status)
+                    except urllib.error.HTTPError as exc:
+                        scrapes.append(exc.code)
+
+        thread = threading.Thread(target=scraper, daemon=True)
+        thread.start()
+        report = served.run()
+        stop.set()
+        thread.join(timeout=10)
+
+    assert scrapes, "scraper never got a request through mid-run"
+    assert all(code in (200, 503) for code in scrapes)
+    assert report.output == plain_report.output
+    assert report.cycles == plain_report.cycles
+    assert served.cc._epoch == 1
+    assert architectural_state(served) == want
+
+
 # -- fleet attachment ------------------------------------------------------
 
 def test_fleet_serve_exposes_shards():
@@ -488,6 +580,37 @@ def test_cli_admin_live(served_run, capsys):
     out = capsys.readouterr().out
     assert rc == 0
     assert json.loads(out)["status"] == "pending"
+
+
+def test_cli_admin_publish(tmp_path, capsys):
+    from repro.cli import main
+    from repro.softcache.update import derive_patched_image, save_image
+
+    # publish without --image is a usage error, not a request
+    rc = main(["admin", "publish", "--url", "http://127.0.0.1:1"])
+    err = capsys.readouterr().err
+    assert rc == 2
+    assert "--image" in err
+
+    image = build_workload("sensor", 0.05)
+    path = tmp_path / "patched.img"
+    save_image(derive_patched_image(image, seed=1), path)
+    system = SoftCacheSystem(image, SoftCacheConfig(tcache_size=2048))
+    _run_partially(system)
+    with ObsServer("127.0.0.1", 0) as server:
+        server.attach_system(system)
+        rc = main(["admin", "publish", "--url", server.url,
+                   "--image", str(path), "--no-wait"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert json.loads(out)["status"] == "pending"
+        assert system.machine.cpu.run(2_000_000_000) == 0
+
+        rc = main(["admin", "inspect", "--url", server.url,
+                   "--route", "images"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert json.loads(out)["epoch"] == 1
 
 
 def test_cli_admin_unreachable(capsys):
